@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! clustering on/off, replication on/off, wear-aware allocation on/off.
+
+mod common;
+
+use common::{bench_cfg, bench_device, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_simkit::DetRng;
+use fc_ssd::{FtlKind, Lpn, Ssd};
+use flashcoop::{replay, PolicyKind, Scheme};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let trace = bench_trace(1_000, 17);
+
+    // Clustering (Section III.B.3) on/off.
+    for clustering in [true, false] {
+        let mut cfg = bench_cfg(FtlKind::Bast, PolicyKind::Lar);
+        cfg.clustering = clustering;
+        group.bench_function(
+            format!("clustering_{}", if clustering { "on" } else { "off" }),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        replay(&trace, &cfg, Scheme::FlashCoop(PolicyKind::Lar), None, 17)
+                            .mean_write_pages,
+                    )
+                })
+            },
+        );
+    }
+
+    // Replication on/off (pure local write-back).
+    for replication in [true, false] {
+        let mut cfg = bench_cfg(FtlKind::Bast, PolicyKind::Lar);
+        cfg.replication = replication;
+        group.bench_function(
+            format!("replication_{}", if replication { "on" } else { "off" }),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        replay(&trace, &cfg, Scheme::FlashCoop(PolicyKind::Lar), None, 17)
+                            .avg_write_response,
+                    )
+                })
+            },
+        );
+    }
+
+    // Wear-aware free-block allocation on/off.
+    for wear_aware in [true, false] {
+        let mut dev = bench_device(FtlKind::PageLevel);
+        dev.ftl_config.wear_aware_alloc = wear_aware;
+        group.bench_function(
+            format!("wear_aware_{}", if wear_aware { "on" } else { "off" }),
+            |b| {
+                b.iter(|| {
+                    let mut ssd = Ssd::new(dev);
+                    let mut rng = DetRng::new(23);
+                    let logical = ssd.logical_pages();
+                    for _ in 0..2_000 {
+                        let lpn = if rng.chance(0.9) {
+                            rng.below(logical / 10)
+                        } else {
+                            rng.below(logical)
+                        };
+                        ssd.write(Lpn(lpn), 1);
+                    }
+                    black_box(ssd.wear_report().imbalance())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared setup for the criterion benches: a reduced device and workload so
+//! each iteration stays in the millisecond range. The benches measure the
+//! simulator's throughput on each experiment's inner loop; the actual
+//! figures/tables are produced by the `repro` binary at full scale.
+#![allow(dead_code)]
+
+use fc_ssd::{FtlConfig, FtlKind, Geometry, SsdConfig, TimingParams};
+use fc_trace::{SyntheticSpec, Trace};
+use flashcoop::{FlashCoopConfig, PolicyKind};
+
+/// 32 MiB device with Table II page/block shape.
+pub fn bench_device(ftl: FtlKind) -> SsdConfig {
+    SsdConfig {
+        geometry: Geometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            blocks_per_plane: 32,
+            planes_per_die: 4,
+            dies: 1,
+        },
+        timing: TimingParams::table2(),
+        ftl,
+        ftl_config: FtlConfig {
+            log_blocks: 8,
+            spare_fraction: 0.15,
+            gc_high_watermark: 8,
+            gc_low_watermark: 4,
+            wear_aware_alloc: true,
+            cmt_entries: 8192,
+        },
+    }
+}
+
+/// FlashCoop config over the bench device.
+pub fn bench_cfg(ftl: FtlKind, policy: PolicyKind) -> FlashCoopConfig {
+    let mut c = FlashCoopConfig::evaluation(ftl, policy);
+    c.ssd = bench_device(ftl);
+    c.buffer_pages = 512;
+    c
+}
+
+/// A small Fin1-shaped trace fitting the bench device.
+pub fn bench_trace(requests: usize, seed: u64) -> Trace {
+    let mut spec = SyntheticSpec::fin1(4 * 1024);
+    spec.requests = requests;
+    spec.generate(seed)
+}

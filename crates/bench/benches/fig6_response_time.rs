@@ -1,0 +1,31 @@
+//! Figure 6 bench: full trace replay per scheme on BAST (the figure's
+//! headline panel). `repro fig6` prints the actual table.
+
+mod common;
+
+use common::{bench_cfg, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_ssd::FtlKind;
+use flashcoop::{replay, PolicyKind, Scheme};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_response_time");
+    group.sample_size(10);
+    let trace = bench_trace(1_500, 3);
+
+    for scheme in Scheme::ALL {
+        let policy = match scheme {
+            Scheme::FlashCoop(p) => p,
+            Scheme::Baseline => PolicyKind::Lar,
+        };
+        let cfg = bench_cfg(FtlKind::Bast, policy);
+        group.bench_function(scheme.name().replace(' ', "_"), |b| {
+            b.iter(|| black_box(replay(&trace, &cfg, scheme, None, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

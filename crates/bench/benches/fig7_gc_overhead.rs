@@ -1,0 +1,45 @@
+//! Figure 7 bench: the erase-count measurement loop — an aged device under
+//! the raw vs LAR-filtered write stream, per FTL. `repro fig7` prints the
+//! actual counts.
+
+mod common;
+
+use common::{bench_cfg, bench_device, bench_trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_simkit::DetRng;
+use fc_ssd::{FtlKind, Lpn, Ssd};
+use flashcoop::{replay, PolicyKind, Scheme};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_gc_overhead");
+    group.sample_size(10);
+
+    for ftl in FtlKind::ALL {
+        // Raw random-write GC churn on an aged device.
+        group.bench_function(format!("{}_raw_churn", ftl.name()), |b| {
+            let mut ssd = Ssd::new(bench_device(ftl));
+            let mut rng = DetRng::new(5);
+            ssd.precondition(0.9, 0.5, &mut rng);
+            let logical = ssd.logical_pages();
+            b.iter(|| {
+                for _ in 0..128 {
+                    ssd.write(Lpn(rng.below(logical)), 1);
+                }
+                black_box(ssd.erases_since_reset())
+            });
+        });
+        // The same figure's FlashCoop cell: replay with LAR.
+        let trace = bench_trace(800, 5);
+        let cfg = bench_cfg(ftl, PolicyKind::Lar);
+        group.bench_function(format!("{}_lar_replay", ftl.name()), |b| {
+            b.iter(|| {
+                black_box(replay(&trace, &cfg, Scheme::FlashCoop(PolicyKind::Lar), None, 5).erases)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 bench: the buffer's flush-planning hot path — the machinery that
+//! shapes the write-length distribution. Per policy: a write storm with
+//! evictions and the resulting run construction. `repro fig8` prints the
+//! actual CDFs.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_simkit::DetRng;
+use flashcoop::{BufferManager, PolicyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_write_length");
+    group.sample_size(10);
+
+    for policy in PolicyKind::ALL {
+        group.bench_function(format!("{}_eviction_storm", policy.name()), |b| {
+            b.iter(|| {
+                let mut buf = BufferManager::new(policy, 512, 64, true);
+                let mut rng = DetRng::new(9);
+                let mut flushed = 0u64;
+                for _ in 0..2_000 {
+                    let lpn = rng.below(16 * 1024);
+                    let ev = buf.write(lpn, 1);
+                    flushed += ev.flushed_pages();
+                }
+                black_box(flushed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

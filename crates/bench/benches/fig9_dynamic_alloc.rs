@@ -1,0 +1,53 @@
+//! Figure 9 bench: a cooperative-pair replay with the dynamic allocation
+//! loop enabled. `repro fig9` prints the actual θ sweep.
+
+mod common;
+
+use common::bench_cfg;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_simkit::{DetRng, SimDuration, SimTime};
+use fc_ssd::FtlKind;
+use fc_trace::{IoRequest, Op, Trace};
+use flashcoop::{CoopPair, PolicyKind};
+use std::hint::black_box;
+
+fn trace(n: usize, write_frac: f64, seed: u64) -> Trace {
+    let mut rng = DetRng::new(seed);
+    let mut t = Trace::new("bench");
+    let mut now = SimTime::ZERO;
+    for _ in 0..n {
+        now += SimDuration::from_millis(5);
+        let op = if rng.chance(write_frac) { Op::Write } else { Op::Read };
+        t.push(IoRequest { at: now, lpn: rng.below(4 * 1024), pages: 1, op });
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_dynamic_alloc");
+    group.sample_size(10);
+
+    let t0 = trace(800, 0.5, 1);
+    let t1 = trace(800, 0.9, 2);
+    group.bench_function("pair_replay_dynamic", |b| {
+        b.iter(|| {
+            let mut cfg = bench_cfg(FtlKind::PageLevel, PolicyKind::Lar);
+            cfg.alloc.period = SimDuration::from_millis(500);
+            let mut pair = CoopPair::new(cfg.clone(), cfg, true);
+            pair.replay([&t0, &t1], &[]);
+            black_box(pair.theta_now(0))
+        })
+    });
+    group.bench_function("pair_replay_static", |b| {
+        b.iter(|| {
+            let cfg = bench_cfg(FtlKind::PageLevel, PolicyKind::Lar);
+            let mut pair = CoopPair::new(cfg.clone(), cfg, false);
+            pair.replay([&t0, &t1], &[]);
+            black_box(pair.theta_now(0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

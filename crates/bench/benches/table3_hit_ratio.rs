@@ -1,0 +1,41 @@
+//! Table III bench: the buffer's hit/lookup path across policies and sizes.
+//! `repro table3` prints the actual hit-ratio table.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fc_simkit::rng::Zipf;
+use fc_simkit::DetRng;
+use flashcoop::{BufferManager, PolicyKind};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_hit_ratio");
+    group.sample_size(10);
+
+    for policy in PolicyKind::ALL {
+        for capacity in [256usize, 1024] {
+            group.bench_function(format!("{}_{}pages", policy.name(), capacity), |b| {
+                b.iter(|| {
+                    let mut buf = BufferManager::new(policy, capacity, 64, true);
+                    let mut rng = DetRng::new(13);
+                    let zipf = Zipf::new(256, 0.95);
+                    for _ in 0..3_000 {
+                        let block = zipf.sample(&mut rng);
+                        let lpn = block * 64 + rng.below(64);
+                        if rng.chance(0.9) {
+                            buf.write(lpn, 1);
+                        } else {
+                            buf.read(lpn, 1);
+                        }
+                    }
+                    black_box(buf.stats().hit_ratio())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

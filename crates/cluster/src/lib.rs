@@ -1,0 +1,35 @@
+//! # fc-cluster
+//!
+//! The *real* (threaded) FlashCoop cooperative pair, complementing the
+//! trace-replay simulation in the `flashcoop` crate:
+//!
+//! * [`wire`] — hand-rolled, length-prefixed binary protocol (replication,
+//!   acks, discards, heartbeats, the recovery handshake).
+//! * [`transport`] — in-memory (crossbeam) and TCP (`std::net`) links.
+//! * [`backend`] — where flushed pages land: a plain map or the `fc-ssd`
+//!   simulator (for device statistics).
+//! * [`node`] — a runnable node: same buffer manager and policies as the
+//!   simulation, plus real threads, heartbeats, degraded mode, and the
+//!   Section III.D recovery protocol.
+//!
+//! ```
+//! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig, WriteOutcome};
+//!
+//! let (ta, tb) = mem_pair();
+//! let a = Node::spawn(NodeConfig::test_profile(0), ta, shared_backend(MemBackend::new()));
+//! let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+//! assert_eq!(a.write(1, b"page"), WriteOutcome::Replicated);
+//! assert_eq!(a.read(1), Some(b"page".to_vec()));
+//! a.shutdown();
+//! b.shutdown();
+//! ```
+
+pub mod backend;
+pub mod node;
+pub mod transport;
+pub mod wire;
+
+pub use backend::{MemBackend, SimSsdBackend, StorageBackend};
+pub use node::{shared_backend, Node, NodeConfig, NodeStats, SharedBackend, WriteOutcome};
+pub use transport::{mem_pair, MemTransport, TcpTransport, Transport, TransportError};
+pub use wire::{decode, encode, Message, WireError};

@@ -1,0 +1,346 @@
+//! Wire protocol between cooperative peers.
+//!
+//! A hand-rolled, length-prefixed binary framing over [`bytes`] — no external
+//! serialisation dependency. Every frame is
+//!
+//! ```text
+//! [u32 LE: payload length][u8: message tag][payload…]
+//! ```
+//!
+//! The message set implements Figure 3's arrows: write replication and acks,
+//! discards after local flushes, heartbeats (Section III.D), and the
+//! recovery handshake (RCT fetch → snapshot → purge).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum frame payload accepted by the decoder (16 MiB): protects against
+/// corrupted length prefixes.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Replicate one dirty page into the peer's remote buffer.
+    WriteRepl {
+        /// Sender-local sequence number, echoed in the ack.
+        seq: u64,
+        /// Logical page.
+        lpn: u64,
+        /// Page version (monotone per owner).
+        version: u64,
+        /// Page contents.
+        data: Bytes,
+    },
+    /// Acknowledge a replicated write.
+    ReplAck {
+        /// The `seq` of the acknowledged [`Message::WriteRepl`].
+        seq: u64,
+    },
+    /// The owner flushed these pages to its SSD; the peer drops its copies.
+    Discard {
+        /// Flushed pages.
+        lpns: Vec<u64>,
+    },
+    /// Liveness beat.
+    Heartbeat {
+        /// Sender's node id.
+        from: u8,
+        /// Sender's monotonic clock, milliseconds.
+        at_millis: u64,
+    },
+    /// Rebooted owner asks for everything the peer holds for it.
+    RctFetch,
+    /// Reply to [`Message::RctFetch`]: the remote-buffer contents.
+    RctSnapshot {
+        /// (lpn, version, data) triples.
+        entries: Vec<(u64, u64, Bytes)>,
+    },
+    /// Owner finished recovery; peer clears its remote buffer.
+    Purge,
+    /// Acknowledge a [`Message::Purge`].
+    PurgeAck,
+}
+
+/// Decoder errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame advertised more than [`MAX_FRAME`] bytes.
+    FrameTooLarge(usize),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Payload ended before the message was complete.
+    Truncated,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::Truncated => write!(f, "truncated frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_WRITE_REPL: u8 = 1;
+const TAG_REPL_ACK: u8 = 2;
+const TAG_DISCARD: u8 = 3;
+const TAG_HEARTBEAT: u8 = 4;
+const TAG_RCT_FETCH: u8 = 5;
+const TAG_RCT_SNAPSHOT: u8 = 6;
+const TAG_PURGE: u8 = 7;
+const TAG_PURGE_ACK: u8 = 8;
+
+/// Append one framed message to `out`.
+pub fn encode(msg: &Message, out: &mut BytesMut) {
+    // Reserve the length slot, fill after writing the body.
+    let len_pos = out.len();
+    out.put_u32_le(0);
+    let body_start = out.len();
+    match msg {
+        Message::WriteRepl {
+            seq,
+            lpn,
+            version,
+            data,
+        } => {
+            out.put_u8(TAG_WRITE_REPL);
+            out.put_u64_le(*seq);
+            out.put_u64_le(*lpn);
+            out.put_u64_le(*version);
+            out.put_u32_le(data.len() as u32);
+            out.put_slice(data);
+        }
+        Message::ReplAck { seq } => {
+            out.put_u8(TAG_REPL_ACK);
+            out.put_u64_le(*seq);
+        }
+        Message::Discard { lpns } => {
+            out.put_u8(TAG_DISCARD);
+            out.put_u32_le(lpns.len() as u32);
+            for l in lpns {
+                out.put_u64_le(*l);
+            }
+        }
+        Message::Heartbeat { from, at_millis } => {
+            out.put_u8(TAG_HEARTBEAT);
+            out.put_u8(*from);
+            out.put_u64_le(*at_millis);
+        }
+        Message::RctFetch => out.put_u8(TAG_RCT_FETCH),
+        Message::RctSnapshot { entries } => {
+            out.put_u8(TAG_RCT_SNAPSHOT);
+            out.put_u32_le(entries.len() as u32);
+            for (lpn, ver, data) in entries {
+                out.put_u64_le(*lpn);
+                out.put_u64_le(*ver);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+        Message::Purge => out.put_u8(TAG_PURGE),
+        Message::PurgeAck => out.put_u8(TAG_PURGE_ACK),
+    }
+    let body_len = (out.len() - body_start) as u32;
+    out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+}
+
+/// Try to decode one framed message from the front of `buf`. Returns
+/// `Ok(None)` when more bytes are needed; consumed bytes are removed.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let mut body = buf.split_to(len).freeze();
+    let msg = parse_body(&mut body)?;
+    Ok(Some(msg))
+}
+
+fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
+    fn need(body: &Bytes, n: usize) -> Result<(), WireError> {
+        if body.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    need(body, 1)?;
+    let tag = body.get_u8();
+    let msg = match tag {
+        TAG_WRITE_REPL => {
+            need(body, 8 + 8 + 8 + 4)?;
+            let seq = body.get_u64_le();
+            let lpn = body.get_u64_le();
+            let version = body.get_u64_le();
+            let dl = body.get_u32_le() as usize;
+            need(body, dl)?;
+            let data = body.split_to(dl);
+            Message::WriteRepl {
+                seq,
+                lpn,
+                version,
+                data,
+            }
+        }
+        TAG_REPL_ACK => {
+            need(body, 8)?;
+            Message::ReplAck {
+                seq: body.get_u64_le(),
+            }
+        }
+        TAG_DISCARD => {
+            need(body, 4)?;
+            let n = body.get_u32_le() as usize;
+            need(body, n * 8)?;
+            let lpns = (0..n).map(|_| body.get_u64_le()).collect();
+            Message::Discard { lpns }
+        }
+        TAG_HEARTBEAT => {
+            need(body, 1 + 8)?;
+            Message::Heartbeat {
+                from: body.get_u8(),
+                at_millis: body.get_u64_le(),
+            }
+        }
+        TAG_RCT_FETCH => Message::RctFetch,
+        TAG_RCT_SNAPSHOT => {
+            need(body, 4)?;
+            let n = body.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                need(body, 8 + 8 + 4)?;
+                let lpn = body.get_u64_le();
+                let ver = body.get_u64_le();
+                let dl = body.get_u32_le() as usize;
+                need(body, dl)?;
+                entries.push((lpn, ver, body.split_to(dl)));
+            }
+            Message::RctSnapshot { entries }
+        }
+        TAG_PURGE => Message::Purge,
+        TAG_PURGE_ACK => Message::PurgeAck,
+        other => return Err(WireError::BadTag(other)),
+    };
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let mut buf = BytesMut::new();
+        encode(&msg, &mut buf);
+        let decoded = decode(&mut buf).unwrap().expect("complete frame");
+        assert_eq!(decoded, msg);
+        assert!(buf.is_empty(), "no leftover bytes");
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(Message::WriteRepl {
+            seq: 42,
+            lpn: 7,
+            version: 3,
+            data: Bytes::from_static(b"page-contents"),
+        });
+        round_trip(Message::ReplAck { seq: 42 });
+        round_trip(Message::Discard {
+            lpns: vec![1, 2, 3, 1 << 40],
+        });
+        round_trip(Message::Heartbeat {
+            from: 1,
+            at_millis: 123_456,
+        });
+        round_trip(Message::RctFetch);
+        round_trip(Message::RctSnapshot {
+            entries: vec![
+                (1, 1, Bytes::from_static(b"a")),
+                (9, 4, Bytes::from_static(b"")),
+            ],
+        });
+        round_trip(Message::Purge);
+        round_trip(Message::PurgeAck);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut full = BytesMut::new();
+        encode(&Message::ReplAck { seq: 9 }, &mut full);
+        // Feed one byte at a time; decode must return None until complete.
+        let mut acc = BytesMut::new();
+        let total = full.len();
+        for (i, b) in full.iter().enumerate() {
+            acc.put_u8(*b);
+            let r = decode(&mut acc).unwrap();
+            if i + 1 < total {
+                assert!(r.is_none(), "premature decode at byte {i}");
+            } else {
+                assert_eq!(r, Some(Message::ReplAck { seq: 9 }));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_decode_in_order() {
+        let mut buf = BytesMut::new();
+        encode(&Message::Purge, &mut buf);
+        encode(&Message::PurgeAck, &mut buf);
+        encode(&Message::RctFetch, &mut buf);
+        assert_eq!(decode(&mut buf).unwrap(), Some(Message::Purge));
+        assert_eq!(decode(&mut buf).unwrap(), Some(Message::PurgeAck));
+        assert_eq!(decode(&mut buf).unwrap(), Some(Message::RctFetch));
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_FRAME + 1) as u32);
+        buf.put_u8(TAG_PURGE);
+        assert_eq!(
+            decode(&mut buf),
+            Err(WireError::FrameTooLarge(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u8(99);
+        assert_eq!(decode(&mut buf), Err(WireError::BadTag(99)));
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        // A frame claiming to be a ReplAck but with a 2-byte body.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(3);
+        buf.put_u8(TAG_REPL_ACK);
+        buf.put_u16_le(7);
+        assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn empty_page_data_is_fine() {
+        round_trip(Message::WriteRepl {
+            seq: 0,
+            lpn: 0,
+            version: 0,
+            data: Bytes::new(),
+        });
+        round_trip(Message::Discard { lpns: vec![] });
+        round_trip(Message::RctSnapshot { entries: vec![] });
+    }
+}

@@ -1,0 +1,143 @@
+//! Dynamic memory allocation — Equation 1 of Section III.C.
+//!
+//! Each server splits its memory between a local buffer and a remote buffer
+//! donated to the peer. The remote-buffer ratio θᵢ of server *i* is
+//!
+//! ```text
+//! θᵢ = aⱼ · (1 − bᵢ)          (Equation 1)
+//! aⱼ = λʷʳⁱᵗᵉⱼ / λⱼ           (peer j's write-intensity)
+//! bᵢ = α·mᵢ + β·pᵢ + γ·nᵢ     (local resource usage)
+//! ```
+//!
+//! so "more remote buffer will be allocated if its local usage is low and
+//! workload of its neighbor is write intensive". The two servers
+//! periodically exchange (a, b) and resize their donated stores.
+
+use crate::config::AllocParams;
+use crate::server::UtilSample;
+use serde::{Deserialize, Serialize};
+
+/// Local resource usage bᵢ = α·m + β·p + γ·n, clamped to [0, 1].
+pub fn resource_usage(params: &AllocParams, u: UtilSample) -> f64 {
+    (params.alpha * u.m.clamp(0.0, 1.0)
+        + params.beta * u.p.clamp(0.0, 1.0)
+        + params.gamma * u.n.clamp(0.0, 1.0))
+    .clamp(0.0, 1.0)
+}
+
+/// Remote-buffer ratio θᵢ = aⱼ·(1 − bᵢ), clamped to [0, 1].
+pub fn theta(peer_write_fraction: f64, local_usage: f64) -> f64 {
+    (peer_write_fraction.clamp(0.0, 1.0) * (1.0 - local_usage.clamp(0.0, 1.0))).clamp(0.0, 1.0)
+}
+
+/// Differences a window of request counters, yielding the workload factor
+/// aⱼ = λʷʳⁱᵗᵉ/λ over that window ("each server of the pair periodically
+/// collects and exchanges required information").
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WorkloadWindow {
+    last_writes: u64,
+    last_reads: u64,
+}
+
+impl WorkloadWindow {
+    /// Fresh window anchored at zero counters.
+    pub fn new() -> Self {
+        WorkloadWindow::default()
+    }
+
+    /// Consume the counter deltas since the previous call and return the
+    /// window's write fraction. An idle window reports the *cumulative*
+    /// fraction so θ does not collapse to zero between sparse arrivals.
+    pub fn write_fraction(&mut self, total_writes: u64, total_reads: u64) -> f64 {
+        let dw = total_writes.saturating_sub(self.last_writes);
+        let dr = total_reads.saturating_sub(self.last_reads);
+        self.last_writes = total_writes;
+        self.last_reads = total_reads;
+        if dw + dr > 0 {
+            dw as f64 / (dw + dr) as f64
+        } else if total_writes + total_reads > 0 {
+            total_writes as f64 / (total_writes + total_reads) as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One θ evaluation for reporting (Figure 9's series points).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThetaSample {
+    /// Seconds into the run.
+    pub at_secs: f64,
+    /// Local resource usage bᵢ.
+    pub local_usage: f64,
+    /// Peer write fraction aⱼ.
+    pub peer_write_fraction: f64,
+    /// Resulting θᵢ.
+    pub theta: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> AllocParams {
+        AllocParams::default() // α=0.4 β=0.2 γ=0.4
+    }
+
+    #[test]
+    fn resource_usage_weights_inputs() {
+        let u = UtilSample { m: 0.5, p: 1.0, n: 0.25 };
+        // 0.4*0.5 + 0.2*1.0 + 0.4*0.25 = 0.5
+        assert!((resource_usage(&params(), u) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resource_usage_clamps() {
+        let u = UtilSample { m: 5.0, p: 5.0, n: 5.0 };
+        assert_eq!(resource_usage(&params(), u), 1.0);
+        let z = UtilSample { m: -1.0, p: -1.0, n: -1.0 };
+        assert_eq!(resource_usage(&params(), z), 0.0);
+    }
+
+    #[test]
+    fn theta_increases_with_peer_write_intensity() {
+        // The Figure 9 ordering: a write-heavy peer (Fin1, a≈0.91) earns a
+        // larger donation than a read-heavy one (Fin2, a≈0.10).
+        let b = 0.3;
+        assert!(theta(0.91, b) > theta(0.10, b));
+    }
+
+    #[test]
+    fn theta_decreases_with_local_usage() {
+        // The Figure 9 trend: θ falls as the local server gets busier.
+        let a = 0.91;
+        let t1 = theta(a, 0.1);
+        let t2 = theta(a, 0.5);
+        let t3 = theta(a, 0.9);
+        assert!(t1 > t2 && t2 > t3);
+    }
+
+    #[test]
+    fn theta_bounds() {
+        assert_eq!(theta(2.0, -1.0), 1.0);
+        assert_eq!(theta(0.0, 0.0), 0.0);
+        assert_eq!(theta(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn workload_window_differences_counters() {
+        let mut w = WorkloadWindow::new();
+        assert_eq!(w.write_fraction(9, 1), 0.9);
+        // Next window: 5 writes, 15 reads.
+        assert_eq!(w.write_fraction(14, 16), 0.25);
+        // Idle window falls back to the cumulative fraction.
+        let f = w.write_fraction(14, 16);
+        assert!((f - 14.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_window_empty_history_is_zero() {
+        let mut w = WorkloadWindow::new();
+        assert_eq!(w.write_fraction(0, 0), 0.0);
+    }
+}

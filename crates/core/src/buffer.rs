@@ -1,0 +1,939 @@
+//! The cooperative write buffer.
+//!
+//! [`BufferManager`] is the local half of FlashCoop's cooperative buffer: it
+//! holds both read-cached and write-buffered pages ("LAR services both read
+//! and write operations", Section III.B.1), tracks dirtiness, and produces
+//! flush plans when capacity is exceeded.
+//!
+//! Eviction behaviour per policy:
+//!
+//! * **LAR** — the victim is a whole logical block (least popular, most
+//!   dirty). A victim with dirty pages flushes *all* its resident pages as
+//!   sequential runs; a clean victim is dropped. With clustering on, small
+//!   dirty tails from several least-popular blocks are grouped into one
+//!   block-sized batch (Section III.B.3).
+//! * **LRU / LFU** — the victim is a single page. A dirty victim is flushed
+//!   together with contiguous dirty neighbours in the same logical block
+//!   (flush-time combining — matching the paper's Figure 8, where LRU/LFU
+//!   emit ~29 % single-page writes but some multi-page ones); neighbours stay
+//!   resident, marked clean.
+
+use crate::config::PolicyKind;
+use crate::policy::lar::LarDirectory;
+use crate::policy::ranked::{RankMode, RankedDirectory};
+use crate::policy::{runs_from_sorted, Eviction, FlushRun};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Residency metadata for one buffered page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageMeta {
+    dirty: bool,
+}
+
+/// Counters maintained by the buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferStats {
+    /// Page accesses that found the page resident.
+    pub page_hits: u64,
+    /// Page accesses that missed.
+    pub page_misses: u64,
+    /// Eviction cycles run.
+    pub evictions: u64,
+    /// Pages flushed to the SSD (dirty + accompanying clean).
+    pub flushed_pages: u64,
+    /// Dirty pages among those flushed.
+    pub flushed_dirty: u64,
+    /// Clean pages dropped without a flush.
+    pub clean_drops: u64,
+    /// Eviction batches that grouped more than one victim block (clustering).
+    pub clustered_batches: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio over all page accesses (Table III's metric).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.page_hits + self.page_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One contiguous piece of a read request, classified hit or miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSegment {
+    /// First page of the segment.
+    pub lpn: u64,
+    /// Length in pages.
+    pub pages: u32,
+    /// True if every page was resident.
+    pub hit: bool,
+}
+
+/// The local buffer of one cooperative server.
+#[derive(Debug, Clone)]
+pub struct BufferManager {
+    policy: PolicyKind,
+    capacity: usize,
+    ppb: u32,
+    clustering: bool,
+    pages: HashMap<u64, PageMeta>,
+    dirty_count: usize,
+    lar: LarDirectory,
+    ranked: RankedDirectory,
+    stats: BufferStats,
+    /// Background-cleaning high watermark as a dirty fraction of capacity
+    /// (None = clean only on eviction, the paper's measured configuration).
+    dirty_watermark: Option<f64>,
+}
+
+impl BufferManager {
+    /// Create a buffer of `capacity` pages managing `pages_per_block`-page
+    /// logical blocks under the given policy.
+    pub fn new(policy: PolicyKind, capacity: usize, pages_per_block: u32, clustering: bool) -> Self {
+        Self::with_options(policy, capacity, pages_per_block, clustering, true)
+    }
+
+    /// Like [`BufferManager::new`] with the LAR dirty-count tie-break made
+    /// optional (the Section III.B.2 second-level-sort ablation).
+    pub fn with_options(
+        policy: PolicyKind,
+        capacity: usize,
+        pages_per_block: u32,
+        clustering: bool,
+        lar_dirty_tiebreak: bool,
+    ) -> Self {
+        assert!(capacity > 0, "buffer needs at least one page");
+        assert!(pages_per_block > 0);
+        let mode = match policy {
+            PolicyKind::Lfu => RankMode::Lfu,
+            _ => RankMode::Lru,
+        };
+        BufferManager {
+            policy,
+            capacity,
+            ppb: pages_per_block,
+            clustering,
+            pages: HashMap::new(),
+            dirty_count: 0,
+            lar: if lar_dirty_tiebreak {
+                LarDirectory::new()
+            } else {
+                LarDirectory::popularity_only()
+            },
+            ranked: RankedDirectory::new(mode),
+            stats: BufferStats::default(),
+            dirty_watermark: None,
+        }
+    }
+
+    /// Enable proactive background cleaning: whenever the dirty fraction
+    /// exceeds `high`, [`BufferManager::background_clean`] writes back
+    /// least-popular dirty blocks (pages stay resident, now clean) until the
+    /// fraction drops to half the watermark. This bounds how much data a
+    /// failure window can expose and smooths flush bursts; the paper's
+    /// evaluation runs without it (flush only on replacement).
+    pub fn set_dirty_watermark(&mut self, high: Option<f64>) {
+        self.dirty_watermark = high.map(|h| h.clamp(0.05, 1.0));
+    }
+
+    /// Policy in use.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Dirty pages currently resident.
+    pub fn dirty(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Occupancy fraction (the `m` input of the allocation monitor).
+    pub fn occupancy(&self) -> f64 {
+        self.pages.len() as f64 / self.capacity as f64
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &BufferStats {
+        &self.stats
+    }
+
+    /// Residency and dirtiness of a page: `None` = absent,
+    /// `Some(true)` = dirty, `Some(false)` = clean.
+    pub fn lookup(&self, lpn: u64) -> Option<bool> {
+        self.pages.get(&lpn).map(|m| m.dirty)
+    }
+
+    /// Resize the buffer (dynamic memory allocation moves the local/remote
+    /// split at runtime, Section III.C). Shrinking evicts immediately;
+    /// returns the flush work that forced.
+    pub fn set_capacity(&mut self, capacity: usize) -> Eviction {
+        self.capacity = capacity.max(1);
+        self.make_room()
+    }
+
+    /// Buffer a write of `pages` pages at `lpn`; returns the flush work the
+    /// insertion forced (empty while the buffer has room).
+    pub fn write(&mut self, lpn: u64, pages: u32) -> Eviction {
+        self.access(lpn, pages, true);
+        self.make_room()
+    }
+
+    /// Classify a read into hit/miss segments and record the accesses.
+    /// The caller fetches miss segments from the SSD and then calls
+    /// [`BufferManager::insert_clean`] for each.
+    pub fn read(&mut self, lpn: u64, pages: u32) -> Vec<ReadSegment> {
+        // Record block accesses / touches first.
+        let mut segments: Vec<ReadSegment> = Vec::new();
+        for i in 0..pages as u64 {
+            let p = lpn + i;
+            let hit = self.pages.contains_key(&p);
+            if hit {
+                self.stats.page_hits += 1;
+                if matches!(self.policy, PolicyKind::Lru | PolicyKind::Lfu) {
+                    self.ranked.touch(p);
+                }
+            } else {
+                self.stats.page_misses += 1;
+            }
+            match segments.last_mut() {
+                Some(seg) if seg.hit == hit && seg.lpn + seg.pages as u64 == p => {
+                    seg.pages += 1;
+                }
+                _ => segments.push(ReadSegment { lpn: p, pages: 1, hit }),
+            }
+        }
+        if self.policy == PolicyKind::Lar {
+            // One popularity increment per block per request. Blocks that are
+            // not resident at all get their increment when the post-fetch
+            // `insert_clean` creates them (popularity 0 → 1), so each request
+            // bumps each block exactly once.
+            let first_block = lpn / self.ppb as u64;
+            let last_block = (lpn + pages as u64 - 1) / self.ppb as u64;
+            for lbn in first_block..=last_block {
+                if self.lar.get(lbn).is_some() {
+                    self.lar.on_block_access(lbn);
+                }
+            }
+        }
+        segments
+    }
+
+    /// Cache pages fetched from the SSD after a read miss; may evict.
+    pub fn insert_clean(&mut self, lpn: u64, pages: u32) -> Eviction {
+        self.access_without_hit_accounting(lpn, pages, false);
+        if self.policy == PolicyKind::Lar {
+            // Newly-created blocks receive the access increment the enclosing
+            // read could not give them (they were absent at classify time).
+            let first_block = lpn / self.ppb as u64;
+            let last_block = (lpn + pages as u64 - 1) / self.ppb as u64;
+            for lbn in first_block..=last_block {
+                if self.lar.get(lbn).map(|b| b.popularity == 0).unwrap_or(false) {
+                    self.lar.on_block_access(lbn);
+                }
+            }
+        }
+        self.make_room()
+    }
+
+    /// Discard `pages` pages at `lpn` (the data was deleted — a short-lived
+    /// file, Section III.A): resident copies vanish without a flush, dirty
+    /// or not. Returns how many resident pages were dropped.
+    pub fn discard(&mut self, lpn: u64, pages: u32) -> u32 {
+        let mut dropped = 0;
+        for i in 0..pages as u64 {
+            if self.pages.contains_key(&(lpn + i)) {
+                self.remove_page(lpn + i);
+                dropped += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Run the background cleaner if the dirty watermark is exceeded.
+    /// Returns write-back work (cleaned pages remain resident).
+    pub fn background_clean(&mut self) -> Eviction {
+        let Some(high) = self.dirty_watermark else {
+            return Eviction::default();
+        };
+        let mut ev = Eviction::default();
+        let target = ((high * 0.5) * self.capacity as f64) as usize;
+        if self.dirty_count <= ((high * self.capacity as f64) as usize).max(1) {
+            return ev;
+        }
+        while self.dirty_count > target {
+            let cleaned = match self.policy {
+                PolicyKind::Lar => self.clean_lar_block(&mut ev),
+                PolicyKind::Lru | PolicyKind::Lfu => self.clean_any_dirty_run(&mut ev),
+            };
+            if !cleaned {
+                break;
+            }
+        }
+        ev
+    }
+
+    /// Write back the least-popular dirty block's dirty span; pages stay.
+    fn clean_lar_block(&mut self, ev: &mut Eviction) -> bool {
+        let Some(lbn) = self.lar.dirty_victim() else {
+            return false;
+        };
+        let base = lbn * self.ppb as u64;
+        let mut span: Vec<(u64, bool)> = Vec::new();
+        for off in 0..self.ppb as u64 {
+            if let Some(meta) = self.pages.get(&(base + off)) {
+                span.push((base + off, meta.dirty));
+            }
+        }
+        let first = span.iter().position(|&(_, d)| d);
+        let last = span.iter().rposition(|&(_, d)| d);
+        let (Some(lo), Some(hi)) = (first, last) else {
+            return false;
+        };
+        let runs = runs_from_sorted(&span[lo..=hi]);
+        for r in &runs {
+            self.stats.flushed_pages += r.pages as u64;
+            self.stats.flushed_dirty += r.dirty as u64;
+            for i in 0..r.pages as u64 {
+                self.mark_clean(r.lpn + i);
+            }
+        }
+        ev.runs.extend(runs);
+        true
+    }
+
+    /// Write back one contiguous dirty run (lowest LPN first); pages stay.
+    fn clean_any_dirty_run(&mut self, ev: &mut Eviction) -> bool {
+        let Some(&start) = self
+            .pages
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|(l, _)| l)
+            .min()
+        else {
+            return false;
+        };
+        let block_end = (start / self.ppb as u64 + 1) * self.ppb as u64;
+        let mut end = start + 1;
+        while end < block_end && self.pages.get(&end).map(|m| m.dirty).unwrap_or(false) {
+            end += 1;
+        }
+        let pages = (end - start) as u32;
+        ev.runs.push(FlushRun {
+            lpn: start,
+            pages,
+            dirty: pages,
+        });
+        self.stats.flushed_pages += pages as u64;
+        self.stats.flushed_dirty += pages as u64;
+        for p in start..end {
+            self.mark_clean(p);
+        }
+        true
+    }
+
+    /// Flush every dirty page (remote-failure handling and shutdown:
+    /// "dirty data in its local buffer will be immediately flushed into
+    /// SSD"). Pages stay resident but become clean.
+    pub fn drain_dirty(&mut self) -> Eviction {
+        let mut dirty: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|(&l, _)| l)
+            .collect();
+        dirty.sort_unstable();
+        // Like eviction flushes, drain runs are per logical block: split the
+        // sorted dirty list at block boundaries before building runs.
+        let mut runs = Vec::new();
+        let mut chunk: Vec<(u64, bool)> = Vec::new();
+        for &l in &dirty {
+            if let Some(&(prev, _)) = chunk.last() {
+                if l / self.ppb as u64 != prev / self.ppb as u64 {
+                    runs.extend(runs_from_sorted(&chunk));
+                    chunk.clear();
+                }
+            }
+            chunk.push((l, true));
+        }
+        if !chunk.is_empty() {
+            runs.extend(runs_from_sorted(&chunk));
+        }
+        for &l in &dirty {
+            self.mark_clean(l);
+        }
+        let mut ev = Eviction::default();
+        for r in &runs {
+            self.stats.flushed_pages += r.pages as u64;
+            self.stats.flushed_dirty += r.dirty as u64;
+        }
+        ev.runs = runs;
+        ev
+    }
+
+    /// Drop every resident page (a crash losing buffer contents).
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        self.dirty_count = 0;
+        self.lar = LarDirectory::new();
+        let mode = match self.policy {
+            PolicyKind::Lfu => RankMode::Lfu,
+            _ => RankMode::Lru,
+        };
+        self.ranked = RankedDirectory::new(mode);
+    }
+
+    /// All dirty pages currently resident (recovery inspection).
+    pub fn dirty_pages(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, m)| m.dirty)
+            .map(|(&l, _)| l)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn access(&mut self, lpn: u64, pages: u32, dirty: bool) {
+        for i in 0..pages as u64 {
+            let p = lpn + i;
+            let hit = self.pages.contains_key(&p);
+            if hit {
+                self.stats.page_hits += 1;
+            } else {
+                self.stats.page_misses += 1;
+            }
+            self.insert_page(p, dirty);
+        }
+        self.count_block_accesses(lpn, pages);
+    }
+
+    fn access_without_hit_accounting(&mut self, lpn: u64, pages: u32, dirty: bool) {
+        for i in 0..pages as u64 {
+            self.insert_page(lpn + i, dirty);
+        }
+        // Popularity for the enclosing read was already counted (or the
+        // block is new — residency adjustments brought it into the
+        // directory with popularity 0; the *next* access bumps it).
+    }
+
+    fn count_block_accesses(&mut self, lpn: u64, pages: u32) {
+        if self.policy != PolicyKind::Lar {
+            return;
+        }
+        let first_block = lpn / self.ppb as u64;
+        let last_block = (lpn + pages as u64 - 1) / self.ppb as u64;
+        for lbn in first_block..=last_block {
+            self.lar.on_block_access(lbn);
+        }
+    }
+
+    fn insert_page(&mut self, lpn: u64, dirty: bool) {
+        let lbn = lpn / self.ppb as u64;
+        match self.pages.get_mut(&lpn) {
+            Some(meta) => {
+                if dirty && !meta.dirty {
+                    meta.dirty = true;
+                    self.dirty_count += 1;
+                    if self.policy == PolicyKind::Lar {
+                        self.lar.adjust(lbn, 0, 1);
+                    }
+                }
+            }
+            None => {
+                self.pages.insert(lpn, PageMeta { dirty });
+                if dirty {
+                    self.dirty_count += 1;
+                }
+                if self.policy == PolicyKind::Lar {
+                    self.lar.adjust(lbn, 1, i64::from(dirty));
+                }
+            }
+        }
+        if matches!(self.policy, PolicyKind::Lru | PolicyKind::Lfu) {
+            self.ranked.touch(lpn);
+        }
+    }
+
+    /// Mark one resident page clean (after the owning server or node has
+    /// synchronously written it through to stable storage).
+    pub fn mark_clean(&mut self, lpn: u64) {
+        if let Some(meta) = self.pages.get_mut(&lpn) {
+            if meta.dirty {
+                meta.dirty = false;
+                self.dirty_count -= 1;
+                if self.policy == PolicyKind::Lar {
+                    self.lar.adjust(lpn / self.ppb as u64, 0, -1);
+                }
+            }
+        }
+    }
+
+    fn remove_page(&mut self, lpn: u64) {
+        if let Some(meta) = self.pages.remove(&lpn) {
+            if meta.dirty {
+                self.dirty_count -= 1;
+            }
+            if self.policy == PolicyKind::Lar {
+                self.lar
+                    .adjust(lpn / self.ppb as u64, -1, -i64::from(meta.dirty));
+            } else {
+                self.ranked.remove(lpn);
+            }
+        }
+    }
+
+    fn make_room(&mut self) -> Eviction {
+        let mut ev = Eviction::default();
+        let mut evicted_blocks = 0u32;
+        while self.pages.len() > self.capacity {
+            match self.policy {
+                PolicyKind::Lar => {
+                    let Some(lbn) = self.lar.victim() else { break };
+                    // flush_block always removes the directory entry, so the
+                    // loop makes progress even on an empty (phantom) entry.
+                    if self.flush_block(lbn, &mut ev) {
+                        evicted_blocks += 1;
+                    }
+                }
+                PolicyKind::Lru | PolicyKind::Lfu => {
+                    if !self.evict_ranked_page(&mut ev) {
+                        break;
+                    }
+                }
+            }
+        }
+        // Clustering pass: if the cycle produced a small dirty flush, gather
+        // more least-popular dirty blocks until the batch reaches one
+        // physical block of pages (Section III.B.3).
+        if self.policy == PolicyKind::Lar
+            && self.clustering
+            && !ev.is_empty()
+            && ev.flushed_pages() < self.ppb as u64
+        {
+            // Only blocks from the same (least-popular) class — "the tails"
+            // of Section III.B.3 — are grouped, and only up to one physical
+            // block of pages.
+            let anchor_pop = self
+                .lar
+                .dirty_victim()
+                .and_then(|l| self.lar.get(l))
+                .map(|b| b.popularity);
+            if let Some(anchor) = anchor_pop {
+                while ev.flushed_pages() < self.ppb as u64 {
+                    let Some(lbn) = self.lar.dirty_victim() else { break };
+                    let Some(meta) = self.lar.get(lbn).copied() else { break };
+                    if meta.popularity != anchor {
+                        break;
+                    }
+                    if ev.flushed_pages() + meta.resident as u64 > self.ppb as u64 {
+                        break;
+                    }
+                    let mut extra = Eviction::default();
+                    if !self.flush_block(lbn, &mut extra) {
+                        break;
+                    }
+                    ev.absorb(extra);
+                    evicted_blocks += 1;
+                }
+            }
+        }
+        if evicted_blocks > 1 {
+            self.stats.clustered_batches += 1;
+        }
+        if !ev.is_empty() || ev.clean_dropped > 0 {
+            self.stats.evictions += 1;
+        }
+        ev
+    }
+
+    /// Flush (or drop, when clean) every resident page of `lbn`.
+    fn flush_block(&mut self, lbn: u64, ev: &mut Eviction) -> bool {
+        let base = lbn * self.ppb as u64;
+        let mut resident: Vec<(u64, bool)> = Vec::new();
+        for off in 0..self.ppb as u64 {
+            if let Some(meta) = self.pages.get(&(base + off)) {
+                resident.push((base + off, meta.dirty));
+            }
+        }
+        if resident.is_empty() {
+            self.lar.remove(lbn);
+            return false;
+        }
+        // Flush the span from the first to the last dirty page: interior
+        // clean pages are written alongside so "logically continuous pages
+        // can be physically placed onto continuous pages" (Section III.B.2),
+        // while clean pages outside the dirty span are dropped for free.
+        let first_dirty = resident.iter().position(|&(_, d)| d);
+        let last_dirty = resident.iter().rposition(|&(_, d)| d);
+        match (first_dirty, last_dirty) {
+            (Some(lo), Some(hi)) => {
+                let span = &resident[lo..=hi];
+                let runs = runs_from_sorted(span);
+                for r in &runs {
+                    self.stats.flushed_pages += r.pages as u64;
+                    self.stats.flushed_dirty += r.dirty as u64;
+                }
+                ev.runs.extend(runs);
+                let dropped = resident.len() - span.len();
+                ev.clean_dropped += dropped as u32;
+                self.stats.clean_drops += dropped as u64;
+            }
+            _ => {
+                ev.clean_dropped += resident.len() as u32;
+                self.stats.clean_drops += resident.len() as u64;
+            }
+        }
+        for (lpn, _) in resident {
+            self.remove_page(lpn);
+        }
+        self.lar.remove(lbn);
+        true
+    }
+
+    /// Evict one LRU/LFU victim page (with flush-time combining for dirty
+    /// victims). Returns false if the directory is empty.
+    fn evict_ranked_page(&mut self, ev: &mut Eviction) -> bool {
+        let Some(victim) = self.ranked.victim() else {
+            return false;
+        };
+        let dirty = self
+            .pages
+            .get(&victim)
+            .map(|m| m.dirty)
+            .unwrap_or(false);
+        if !dirty {
+            self.remove_page(victim);
+            ev.clean_dropped += 1;
+            self.stats.clean_drops += 1;
+            return true;
+        }
+        // Combine with contiguous dirty neighbours inside the same logical
+        // block; they are written out together and stay resident, clean.
+        let block_start = (victim / self.ppb as u64) * self.ppb as u64;
+        let block_end = block_start + self.ppb as u64;
+        let mut lo = victim;
+        while lo > block_start
+            && self
+                .pages
+                .get(&(lo - 1))
+                .map(|m| m.dirty)
+                .unwrap_or(false)
+        {
+            lo -= 1;
+        }
+        let mut hi = victim + 1;
+        while hi < block_end && self.pages.get(&hi).map(|m| m.dirty).unwrap_or(false) {
+            hi += 1;
+        }
+        let pages = (hi - lo) as u32;
+        ev.runs.push(FlushRun {
+            lpn: lo,
+            pages,
+            dirty: pages,
+        });
+        self.stats.flushed_pages += pages as u64;
+        self.stats.flushed_dirty += pages as u64;
+        for p in lo..hi {
+            if p == victim {
+                self.remove_page(p);
+            } else {
+                self.mark_clean(p);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PPB: u32 = 4;
+
+    fn buf(policy: PolicyKind, cap: usize) -> BufferManager {
+        BufferManager::new(policy, cap, PPB, true)
+    }
+
+    #[test]
+    fn writes_fit_until_capacity() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        for i in 0..8 {
+            let ev = b.write(i, 1);
+            assert!(ev.is_empty(), "no eviction while under capacity");
+        }
+        assert_eq!(b.resident(), 8);
+        assert_eq!(b.dirty(), 8);
+    }
+
+    #[test]
+    fn lar_evicts_whole_least_popular_block() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        // Block 0 (pages 0..4) popular: three accesses.
+        b.write(0, 4);
+        b.read(0, 2);
+        b.read(2, 2);
+        // Block 1 (pages 4..8) unpopular: one access.
+        b.write(4, 4);
+        // Overflow: block 1 must go, entirely, as one 4-page run.
+        let ev = b.write(8, 1);
+        assert_eq!(ev.runs.len(), 1);
+        assert_eq!(ev.runs[0], FlushRun { lpn: 4, pages: 4, dirty: 4 });
+        assert!(b.lookup(4).is_none());
+        assert!(b.lookup(0).is_some());
+    }
+
+    #[test]
+    fn lar_flushes_interior_clean_pages_and_drops_trailing_ones() {
+        let mut b = buf(PolicyKind::Lar, 6);
+        // Block 0: dirty pages 0 and 2, clean page 1 (read-cached), clean
+        // page 3 — one access each way.
+        b.write(0, 1);
+        b.insert_clean(1, 1);
+        b.write(2, 1);
+        b.insert_clean(3, 1);
+        // Block 1 more popular: four accesses.
+        b.write(4, 1);
+        b.read(4, 1);
+        b.write(5, 1);
+        // Overflow via block 1 again → victim is block 0 (popularity 2 vs 4).
+        let ev = b.write(6, 1);
+        // Dirty span 0..=2 flushed as one contiguous run (clean page 1
+        // rides along); trailing clean page 3 is dropped for free.
+        let total: u64 = ev.runs.iter().map(|r| r.pages as u64).sum();
+        assert_eq!(total, 3, "dirty span flushed together: {ev:?}");
+        let dirty: u64 = ev.runs.iter().map(|r| r.dirty as u64).sum();
+        assert_eq!(dirty, 2);
+        assert_eq!(ev.clean_dropped, 1);
+        assert!(b.lookup(3).is_none());
+    }
+
+    #[test]
+    fn lar_drops_clean_only_blocks_without_flush() {
+        let mut b = buf(PolicyKind::Lar, 5);
+        b.insert_clean(0, 4); // clean block 0, one access
+        b.write(4, 1);
+        b.read(4, 1); // block 1 now popularity 2
+        let ev = b.insert_clean(8, 1); // overflow → clean block 0 is dropped
+        assert!(ev.runs.is_empty(), "{ev:?}");
+        assert_eq!(ev.clean_dropped, 4);
+        assert_eq!(b.lookup(4), Some(true));
+        assert_eq!(b.lookup(8), Some(false));
+        assert!(b.lookup(0).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_single_oldest_page() {
+        let mut b = buf(PolicyKind::Lru, 4);
+        b.insert_clean(0, 1);
+        b.insert_clean(10, 1);
+        b.insert_clean(20, 1);
+        b.insert_clean(30, 1);
+        b.read(0, 1); // refresh page 0
+        let ev = b.insert_clean(40, 1); // evict page 10 (oldest)
+        assert!(ev.runs.is_empty());
+        assert_eq!(ev.clean_dropped, 1);
+        assert!(b.lookup(10).is_none());
+        assert!(b.lookup(0).is_some());
+    }
+
+    #[test]
+    fn lru_dirty_victim_combines_contiguous_dirty_neighbours() {
+        let mut b = buf(PolicyKind::Lru, 4);
+        b.write(0, 1);
+        b.write(1, 1);
+        b.write(2, 1);
+        b.write(9, 1);
+        // Overflow: victim is page 0; pages 1,2 are contiguous dirty in the
+        // same block → combined 3-page write.
+        let ev = b.write(13, 1);
+        assert_eq!(ev.runs, vec![FlushRun { lpn: 0, pages: 3, dirty: 3 }]);
+        // Victim gone; combined neighbours stay, now clean.
+        assert!(b.lookup(0).is_none());
+        assert_eq!(b.lookup(1), Some(false));
+        assert_eq!(b.lookup(2), Some(false));
+    }
+
+    #[test]
+    fn lru_combining_respects_block_boundary() {
+        let mut b = buf(PolicyKind::Lru, 4);
+        b.write(3, 1); // last page of block 0
+        b.write(4, 1); // first page of block 1 — contiguous LPN, new block
+        b.write(8, 1);
+        b.write(9, 1);
+        let ev = b.write(13, 1); // victim: page 3
+        assert_eq!(ev.runs, vec![FlushRun { lpn: 3, pages: 1, dirty: 1 }]);
+        assert_eq!(b.lookup(4), Some(true), "page in next block untouched");
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut b = buf(PolicyKind::Lfu, 3);
+        b.insert_clean(1, 1);
+        b.read(1, 1);
+        b.read(1, 1);
+        b.insert_clean(2, 1);
+        b.read(2, 1);
+        b.insert_clean(3, 1); // frequency 1 → victim
+        let ev = b.insert_clean(4, 1);
+        assert_eq!(ev.clean_dropped, 1);
+        assert!(b.lookup(3).is_none());
+    }
+
+    #[test]
+    fn read_segments_split_hits_and_misses() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        b.write(2, 2); // pages 2,3 resident
+        let segs = b.read(0, 6);
+        assert_eq!(
+            segs,
+            vec![
+                ReadSegment { lpn: 0, pages: 2, hit: false },
+                ReadSegment { lpn: 2, pages: 2, hit: true },
+                ReadSegment { lpn: 4, pages: 2, hit: false },
+            ]
+        );
+        assert_eq!(b.stats().page_hits, 2); // only the read's pages 2,3 hit
+    }
+
+    #[test]
+    fn hit_ratio_counts_all_accesses() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        b.write(0, 2); // 2 misses
+        b.write(0, 2); // 2 hits
+        b.read(0, 2); // 2 hits
+        b.read(4, 2); // 2 misses
+        let s = b.stats();
+        assert_eq!(s.page_hits, 4);
+        assert_eq!(s.page_misses, 4);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_dirty_flushes_everything_and_keeps_pages() {
+        let mut b = buf(PolicyKind::Lar, 16);
+        b.write(0, 3);
+        b.write(8, 2);
+        b.insert_clean(4, 1);
+        let ev = b.drain_dirty();
+        assert_eq!(ev.flushed_pages(), 5);
+        assert_eq!(ev.dirty_pages(), 5);
+        assert_eq!(b.dirty(), 0);
+        assert_eq!(b.resident(), 6, "pages remain resident, clean");
+        // A second drain is a no-op.
+        assert!(b.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut b = buf(PolicyKind::Lru, 8);
+        b.write(0, 4);
+        b.clear();
+        assert_eq!(b.resident(), 0);
+        assert_eq!(b.dirty(), 0);
+        assert!(b.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn clustering_groups_small_dirty_tails() {
+        // Buffer with many 1-dirty-page unpopular blocks: one eviction cycle
+        // should batch several of them toward a block-size write.
+        let mut b = BufferManager::new(PolicyKind::Lar, 6, PPB, true);
+        for blk in 0..6u64 {
+            b.write(blk * PPB as u64, 1);
+        }
+        // Make one block popular so it is retained.
+        b.read(0, 1);
+        b.read(0, 1);
+        let ev = b.write(100, 1); // overflow
+        assert!(
+            ev.runs.len() > 1,
+            "clustering should gather multiple tails: {ev:?}"
+        );
+        assert!(ev.flushed_pages() <= PPB as u64);
+        assert!(b.stats().clustered_batches >= 1);
+    }
+
+    #[test]
+    fn clustering_off_evicts_single_victim() {
+        let mut b = BufferManager::new(PolicyKind::Lar, 6, PPB, false);
+        for blk in 0..6u64 {
+            b.write(blk * PPB as u64, 1);
+        }
+        b.read(0, 1);
+        b.read(0, 1);
+        let ev = b.write(100, 1);
+        assert_eq!(ev.runs.len(), 1, "{ev:?}");
+        assert_eq!(b.stats().clustered_batches, 0);
+    }
+
+    #[test]
+    fn background_cleaner_holds_the_watermark() {
+        for policy in PolicyKind::ALL {
+            let mut b = BufferManager::new(policy, 32, PPB, true);
+            b.set_dirty_watermark(Some(0.5));
+            let mut cleaned_total = 0u64;
+            for i in 0..64u64 {
+                b.write(i % 30, 1);
+                let ev = b.background_clean();
+                for r in &ev.runs {
+                    assert_eq!(r.dirty, r.pages, "cleaner only writes dirty runs");
+                }
+                cleaned_total += ev.dirty_pages();
+                assert!(
+                    b.dirty() <= 16 + PPB as usize,
+                    "{policy}: dirty {} exceeded watermark region",
+                    b.dirty()
+                );
+            }
+            assert!(cleaned_total > 0, "{policy}: cleaner never ran");
+            // Cleaned pages remain resident.
+            assert!(b.resident() >= b.dirty());
+        }
+    }
+
+    #[test]
+    fn cleaner_disabled_by_default() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        for i in 0..8u64 {
+            b.write(i, 1);
+        }
+        assert!(b.background_clean().is_empty());
+        assert_eq!(b.dirty(), 8);
+    }
+
+    #[test]
+    fn rewrite_of_clean_page_makes_it_dirty() {
+        let mut b = buf(PolicyKind::Lar, 8);
+        b.insert_clean(0, 1);
+        assert_eq!(b.lookup(0), Some(false));
+        assert_eq!(b.dirty(), 0);
+        b.write(0, 1);
+        assert_eq!(b.lookup(0), Some(true));
+        assert_eq!(b.dirty(), 1);
+    }
+
+    #[test]
+    fn dirty_pages_lists_sorted() {
+        let mut b = buf(PolicyKind::Lar, 16);
+        b.write(9, 1);
+        b.write(2, 1);
+        b.insert_clean(5, 1);
+        assert_eq!(b.dirty_pages(), vec![2, 9]);
+    }
+}

@@ -1,0 +1,227 @@
+//! A storage cluster: many servers organised as cooperative pairs.
+//!
+//! "Storage cluster is configured into cooperative pairs, in which each
+//! server of the pair serves its own read/write requests, as well as remote
+//! write requests from neighboring peer" (Section III.A). Pairs are mutually
+//! independent — that is precisely what makes the design scale: adding
+//! servers adds pairs, and no global coordination exists. [`Cluster`] holds
+//! the pairs, replays per-server traces, and aggregates the fleet's metrics.
+
+use crate::config::FlashCoopConfig;
+use crate::pair::{CoopPair, Injection};
+use crate::server::CoopServer;
+use fc_simkit::SimDuration;
+use fc_trace::Trace;
+
+/// A cluster of `2 × pairs` cooperative servers.
+pub struct Cluster {
+    pairs: Vec<CoopPair>,
+}
+
+/// Aggregate metrics across the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Servers in the cluster.
+    pub servers: usize,
+    /// Requests served fleet-wide.
+    pub requests: u64,
+    /// Mean response time across all requests of all servers.
+    pub avg_response: SimDuration,
+    /// Total block erases across all SSDs.
+    pub total_erases: u64,
+    /// Total pages replicated between peers.
+    pub replicated_pages: u64,
+    /// Acknowledged-but-unrecoverable pages fleet-wide (must be 0).
+    pub unrecoverable: usize,
+}
+
+impl Cluster {
+    /// Build a cluster from per-pair configurations.
+    pub fn new(pair_configs: Vec<(FlashCoopConfig, FlashCoopConfig)>, dynamic_alloc: bool) -> Self {
+        assert!(!pair_configs.is_empty(), "a cluster needs at least one pair");
+        Cluster {
+            pairs: pair_configs
+                .into_iter()
+                .map(|(a, b)| CoopPair::new(a, b, dynamic_alloc))
+                .collect(),
+        }
+    }
+
+    /// Build `n` identical pairs.
+    pub fn homogeneous(cfg: FlashCoopConfig, pairs: usize, dynamic_alloc: bool) -> Self {
+        Cluster::new(
+            (0..pairs.max(1)).map(|_| (cfg.clone(), cfg.clone())).collect(),
+            dynamic_alloc,
+        )
+    }
+
+    /// Number of pairs.
+    pub fn pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.pairs.len() * 2
+    }
+
+    /// One pair.
+    pub fn pair(&self, i: usize) -> &CoopPair {
+        &self.pairs[i]
+    }
+
+    /// Mutable access to one pair (failure injection, report assembly).
+    pub fn pair_mut(&mut self, i: usize) -> &mut CoopPair {
+        &mut self.pairs[i]
+    }
+
+    /// Server `s` (pairs are laid out as `[0,1], [2,3], …`).
+    pub fn server(&self, s: usize) -> &CoopServer {
+        self.pairs[s / 2].server(s % 2)
+    }
+
+    /// Replay one trace per server (`traces.len()` must equal
+    /// [`Cluster::servers`]), with optional per-pair failure injections.
+    /// Pairs are independent, so they replay in sequence deterministically.
+    pub fn replay(&mut self, traces: &[&Trace], injections: &[Vec<Injection>]) {
+        assert_eq!(
+            traces.len(),
+            self.servers(),
+            "need one trace per server ({} != {})",
+            traces.len(),
+            self.servers()
+        );
+        for (i, pair) in self.pairs.iter_mut().enumerate() {
+            let empty = Vec::new();
+            let inj = injections.get(i).unwrap_or(&empty);
+            pair.replay([traces[2 * i], traces[2 * i + 1]], inj);
+        }
+    }
+
+    /// Aggregate the fleet's metrics.
+    pub fn report(&mut self) -> ClusterReport {
+        let mut requests = 0u64;
+        let mut weighted_ns = 0u128;
+        let mut total_erases = 0u64;
+        let mut replicated = 0u64;
+        let mut unrecoverable = 0usize;
+        for pair in &mut self.pairs {
+            unrecoverable += pair.unrecoverable().len();
+            for i in 0..2 {
+                let erases = pair.server(i).ssd().erases_since_reset();
+                let m = pair.server(i).metrics();
+                let n = m.response.count();
+                requests += n;
+                weighted_ns += m.response.mean().as_nanos() as u128 * n as u128;
+                total_erases += erases;
+                replicated += m.replicated_pages;
+            }
+        }
+        ClusterReport {
+            servers: self.servers(),
+            requests,
+            avg_response: if requests == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos((weighted_ns / requests as u128) as u64)
+            },
+            total_erases,
+            replicated_pages: replicated,
+            unrecoverable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use crate::pair::PairEvent;
+    use crate::Scheme;
+    use fc_simkit::{DetRng, SimTime};
+    use fc_ssd::FtlKind;
+    use fc_trace::{IoRequest, Op};
+
+    fn cfg() -> FlashCoopConfig {
+        let mut c = FlashCoopConfig::tiny(FtlKind::PageLevel, PolicyKind::Lar);
+        c.buffer_pages = 32;
+        c
+    }
+
+    fn trace(pages: u64, n: usize, seed: u64) -> Trace {
+        let mut rng = DetRng::new(seed);
+        let mut t = Trace::new(format!("t{seed}"));
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now += SimDuration::from_millis(10 + rng.below(10));
+            let op = if rng.chance(0.8) { Op::Write } else { Op::Read };
+            t.push(IoRequest { at: now, lpn: rng.below(pages - 2), pages: 1, op });
+        }
+        t
+    }
+
+    fn device_pages() -> u64 {
+        CoopServer::new(cfg(), Scheme::Baseline).ssd().logical_pages()
+    }
+
+    #[test]
+    fn three_pair_cluster_serves_all_servers() {
+        let pages = device_pages();
+        let mut cluster = Cluster::homogeneous(cfg(), 3, false);
+        assert_eq!(cluster.servers(), 6);
+        let traces: Vec<Trace> = (0..6).map(|i| trace(pages, 200, i as u64)).collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        cluster.replay(&refs, &[]);
+        let report = cluster.report();
+        assert_eq!(report.requests, 6 * 200);
+        assert_eq!(report.unrecoverable, 0);
+        assert!(report.replicated_pages > 0);
+        assert!(report.avg_response > SimDuration::ZERO);
+        for s in 0..6 {
+            assert!(cluster.server(s).metrics().response.count() > 0);
+        }
+    }
+
+    #[test]
+    fn failures_stay_contained_to_their_pair() {
+        let pages = device_pages();
+        let mut cluster = Cluster::homogeneous(cfg(), 2, false);
+        let traces: Vec<Trace> = (0..4).map(|i| trace(pages, 600, 10 + i as u64)).collect();
+        let refs: Vec<&Trace> = traces.iter().collect();
+        // Crash server 0 of pair 0 early enough that the survivor's 5 s
+        // heartbeat timeout fires within the trace; pair 1 untouched.
+        let crash_at = traces[0].requests[50].at;
+        let injections = vec![
+            vec![Injection { at: crash_at, event: PairEvent::Crash(0) }],
+            vec![],
+        ];
+        cluster.replay(&refs, &injections);
+        assert!(!cluster.pair(0).is_alive(0));
+        assert!(cluster.pair(1).is_alive(0) && cluster.pair(1).is_alive(1));
+        // The degraded pair still lost nothing, and pair 1 never degraded.
+        assert_eq!(cluster.report().unrecoverable, 0);
+        assert!(!cluster.pair(1).server(0).is_degraded());
+        assert!(cluster.pair(0).server(1).is_degraded());
+    }
+
+    #[test]
+    #[should_panic(expected = "need one trace per server")]
+    fn trace_count_must_match_servers() {
+        let pages = device_pages();
+        let mut cluster = Cluster::homogeneous(cfg(), 2, false);
+        let t = trace(pages, 10, 1);
+        cluster.replay(&[&t], &[]);
+    }
+
+    #[test]
+    fn heterogeneous_pairs_are_allowed() {
+        let mut big = cfg();
+        big.buffer_pages = 64;
+        let cluster = Cluster::new(vec![(cfg(), big)], false);
+        assert_eq!(cluster.pairs(), 1);
+        // "the size of the remote buffer in each storage server can be
+        // different" — construction alone must accept asymmetric pairs.
+        assert_eq!(cluster.server(0).buffer().capacity() * 2, 32);
+        assert_eq!(cluster.server(1).buffer().capacity() * 2, 64);
+    }
+}

@@ -1,0 +1,443 @@
+//! The cooperative pair — two servers backing each other's writes.
+//!
+//! "Storage cluster is configured into cooperative pairs, in which each
+//! server of the pair serves its own read/write requests, as well as remote
+//! write requests from neighboring peer" (Section III.A). [`CoopPair`]
+//! replays two traces merged by timestamp, runs the heartbeat monitors and
+//! the dynamic memory allocation loop, and supports failure injection:
+//!
+//! * **Crash(i)** — server *i* loses its volatile state and the remote store
+//!   it hosted for the peer; the peer detects the silence via heartbeat
+//!   timeout and enters degraded mode (flush dirty, write-through).
+//! * **Recover(i)** — server *i* reboots, fetches the peer-held snapshot of
+//!   its replicated pages, replays them into its SSD, and purges the peer's
+//!   store; the peer sees beats again and resumes replication.
+
+use crate::alloc::{resource_usage, theta, ThetaSample, WorkloadWindow};
+use crate::config::{FlashCoopConfig, Scheme};
+use crate::recovery::{HeartbeatMonitor, PeerEvent};
+use crate::server::CoopServer;
+use crate::tables::RemoteStore;
+use fc_simkit::SimTime;
+use fc_trace::{Op, Trace};
+
+/// A scheduled failure-injection event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub event: PairEvent,
+}
+
+/// Pair-level events for failure injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairEvent {
+    /// Server `i` crashes (volatile state lost).
+    Crash(usize),
+    /// Server `i` reboots and runs local-failure recovery.
+    Recover(usize),
+}
+
+/// Two cooperative servers and the shared machinery between them.
+pub struct CoopPair {
+    servers: [CoopServer; 2],
+    /// `stores[i]` holds server *i*'s replicated pages; it physically lives
+    /// on server `1-i` and is lost when that host crashes.
+    stores: [RemoteStore; 2],
+    alive: [bool; 2],
+    /// `hb[i]` watches server *i*'s beats (maintained by its peer).
+    hb: [HeartbeatMonitor; 2],
+    windows: [WorkloadWindow; 2],
+    total_mem: [usize; 2],
+    theta_now: [f64; 2],
+    theta_log: [Vec<ThetaSample>; 2],
+    last_alloc: SimTime,
+    next_beat: SimTime,
+    dynamic_alloc: bool,
+}
+
+impl CoopPair {
+    /// Build a pair. `cfg.buffer_pages` is interpreted as each server's
+    /// *total* donatable memory M; the dynamic allocator splits it into
+    /// local buffer (M·(1−θ)) and hosted remote buffer (M·θ). With
+    /// `dynamic_alloc` off, the split is fixed at 50/50.
+    pub fn new(cfg0: FlashCoopConfig, cfg1: FlashCoopConfig, dynamic_alloc: bool) -> Self {
+        let m0 = cfg0.buffer_pages;
+        let m1 = cfg1.buffer_pages;
+        let s0 = Scheme::FlashCoop(cfg0.policy);
+        let s1 = Scheme::FlashCoop(cfg1.policy);
+        let mut pair = CoopPair {
+            servers: [CoopServer::new(cfg0, s0), CoopServer::new(cfg1, s1)],
+            stores: [RemoteStore::new(m1 / 2), RemoteStore::new(m0 / 2)],
+            alive: [true, true],
+            hb: [
+                HeartbeatMonitor::default_profile(),
+                HeartbeatMonitor::default_profile(),
+            ],
+            windows: [WorkloadWindow::new(), WorkloadWindow::new()],
+            total_mem: [m0, m1],
+            theta_now: [0.5, 0.5],
+            theta_log: [Vec::new(), Vec::new()],
+            last_alloc: SimTime::ZERO,
+            next_beat: SimTime::ZERO,
+            dynamic_alloc,
+        };
+        // Initial 50/50 split of each server's memory.
+        for i in 0..2 {
+            pair.apply_theta(SimTime::ZERO, i, 0.5);
+        }
+        pair
+    }
+
+    /// Server `i`.
+    pub fn server(&self, i: usize) -> &CoopServer {
+        &self.servers[i]
+    }
+
+    /// Mutable server access (report assembly).
+    pub fn server_mut(&mut self, i: usize) -> &mut CoopServer {
+        &mut self.servers[i]
+    }
+
+    /// The remote store holding server `i`'s replicated pages.
+    pub fn store_for(&self, i: usize) -> &RemoteStore {
+        &self.stores[i]
+    }
+
+    /// θ history of server `i` (Figure 9's series).
+    pub fn theta_log(&self, i: usize) -> &[ThetaSample] {
+        &self.theta_log[i]
+    }
+
+    /// Current θ of server `i`.
+    pub fn theta_now(&self, i: usize) -> f64 {
+        self.theta_now[i]
+    }
+
+    /// Is server `i` up?
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// Replay two traces (one per server) merged by timestamp, applying the
+    /// failure injections at their scheduled times. Injections must be
+    /// sorted by time.
+    pub fn replay(&mut self, traces: [&Trace; 2], injections: &[Injection]) {
+        let mut idx = [0usize, 0usize];
+        let mut inj = injections.iter().peekable();
+        loop {
+            // Next request across both traces.
+            let t0 = traces[0].requests.get(idx[0]).map(|r| r.at);
+            let t1 = traces[1].requests.get(idx[1]).map(|r| r.at);
+            let (who, at) = match (t0, t1) {
+                (None, None) => break,
+                (Some(a), None) => (0, a),
+                (None, Some(b)) => (1, b),
+                (Some(a), Some(b)) => {
+                    if a <= b {
+                        (0, a)
+                    } else {
+                        (1, b)
+                    }
+                }
+            };
+            // Fire injections and housekeeping due before this request.
+            while let Some(&&Injection { at: iat, event }) = inj.peek() {
+                if iat > at {
+                    break;
+                }
+                self.advance_time(iat);
+                self.apply_event(iat, event);
+                inj.next();
+            }
+            self.advance_time(at);
+
+            let req = traces[who].requests[idx[who]];
+            idx[who] += 1;
+            if !self.alive[who] {
+                continue; // a crashed server serves nothing
+            }
+            let peer = 1 - who;
+            // Server `who` replicates into stores[who], hosted at `peer`.
+            let (servers, stores) = (&mut self.servers, &mut self.stores);
+            let remote = if self.alive[peer] {
+                Some(&mut stores[who])
+            } else {
+                None
+            };
+            match req.op {
+                Op::Write => {
+                    servers[who].handle_write(req.at, req.lpn, req.pages, remote);
+                }
+                Op::Read => {
+                    servers[who].handle_read(req.at, req.lpn, req.pages, remote);
+                }
+                Op::Trim => {
+                    servers[who].handle_trim(req.at, req.lpn, req.pages, remote);
+                }
+            }
+        }
+        // Drain remaining injections (e.g. a recovery after the last I/O).
+        let pending: Vec<Injection> = inj.copied().collect();
+        for i in pending {
+            self.advance_time(i.at);
+            self.apply_event(i.at, i.event);
+        }
+    }
+
+    /// Every acknowledged-but-unrecoverable page across the pair, as
+    /// `(server, lpn)`. Empty = the pair lost nothing.
+    pub fn unrecoverable(&self) -> Vec<(usize, u64)> {
+        let mut bad = Vec::new();
+        for i in 0..2 {
+            let peer = 1 - i;
+            let store = if self.alive[peer] {
+                Some(&self.stores[i])
+            } else {
+                None
+            };
+            for lpn in self.servers[i].unrecoverable_pages(store) {
+                bad.push((i, lpn));
+            }
+        }
+        bad
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    /// Run heartbeats and the allocation loop up to `now`.
+    fn advance_time(&mut self, now: SimTime) {
+        // Periodic beats from every live server.
+        while self.next_beat <= now {
+            let at = self.next_beat;
+            for i in 0..2 {
+                if self.alive[i] {
+                    if let Some(PeerEvent::Recovered) = self.hb[i].on_beat(at) {
+                        // Peer of `i` reconciles (its replicas at `i` are
+                        // gone) and resumes replication.
+                        self.servers[1 - i].reconcile_after_peer_recovery(at);
+                    }
+                }
+            }
+            self.next_beat = at + self.hb[0].interval();
+        }
+        // Poll monitors: a Failed event puts the *watcher* into degraded mode.
+        for i in 0..2 {
+            if let Some(PeerEvent::Failed) = self.hb[i].poll(now) {
+                let watcher = 1 - i;
+                if self.alive[watcher] {
+                    self.servers[watcher].enter_degraded(now);
+                }
+            }
+        }
+        // Dynamic allocation period.
+        let period = self.servers[0].util_period();
+        if self.dynamic_alloc && now.saturating_since(self.last_alloc) >= period {
+            self.evaluate_allocation(now);
+            self.last_alloc = now;
+        }
+    }
+
+    fn apply_event(&mut self, now: SimTime, event: PairEvent) {
+        match event {
+            PairEvent::Crash(i) => {
+                assert!(i < 2);
+                self.alive[i] = false;
+                self.servers[i].crash();
+                // The remote store hosted at `i` (holding the peer's pages)
+                // dies with it.
+                self.stores[1 - i].purge();
+            }
+            PairEvent::Recover(i) => {
+                assert!(i < 2);
+                self.alive[i] = true;
+                // Local-failure recovery: fetch the snapshot the peer held
+                // for us, replay into the SSD, purge the peer's store.
+                if self.alive[1 - i] {
+                    let snapshot = self.stores[i].snapshot();
+                    self.servers[i].recover_from_snapshot(now, &snapshot);
+                    self.stores[i].purge();
+                }
+                self.servers[i].exit_degraded();
+                // The recovery protocol contacts the peer directly (it must,
+                // to fetch the RCT snapshot), so the peer resumes replication
+                // without waiting for the next heartbeat round.
+                self.hb[i].on_beat(now);
+                if self.alive[1 - i] {
+                    self.servers[1 - i].reconcile_after_peer_recovery(now);
+                }
+            }
+        }
+    }
+
+    fn evaluate_allocation(&mut self, now: SimTime) {
+        for i in 0..2 {
+            if !self.alive[i] || !self.alive[1 - i] {
+                continue;
+            }
+            let peer = 1 - i;
+            let pm = self.servers[peer].metrics();
+            let a_peer = self.windows[peer].write_fraction(pm.writes, pm.reads);
+            let params = self.servers[i].alloc_params();
+            let b_local = resource_usage(&params, self.servers[i].util_sample(now));
+            let th = theta(a_peer, b_local);
+            self.theta_log[i].push(ThetaSample {
+                at_secs: now.as_secs_f64(),
+                local_usage: b_local,
+                peer_write_fraction: a_peer,
+                theta: th,
+            });
+            self.apply_theta(now, i, th);
+        }
+    }
+
+    /// Resize server `i`'s local buffer and its hosted remote store to match θ.
+    fn apply_theta(&mut self, now: SimTime, i: usize, th: f64) {
+        self.theta_now[i] = th;
+        let m = self.total_mem[i];
+        let remote_cap = ((m as f64) * th) as usize;
+        let local_cap = m.saturating_sub(remote_cap).max(1);
+        // The store hosted at `i` holds the *peer's* pages.
+        self.stores[1 - i].set_capacity(remote_cap.max(1));
+        let (servers, stores) = (&mut self.servers, &mut self.stores);
+        servers[i].resize_buffer(now, local_cap, Some(&mut stores[i]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PolicyKind;
+    use fc_simkit::{DetRng, SimDuration};
+    use fc_ssd::FtlKind;
+    use fc_trace::IoRequest;
+
+    fn cfg() -> FlashCoopConfig {
+        let mut c = FlashCoopConfig::tiny(FtlKind::PageLevel, PolicyKind::Lar);
+        c.buffer_pages = 32;
+        c.alloc.period = SimDuration::from_millis(500);
+        c
+    }
+
+    fn trace(pages: u64, n: usize, write_frac: f64, seed: u64, name: &str) -> Trace {
+        let mut rng = DetRng::new(seed);
+        let mut t = Trace::new(name);
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now += SimDuration::from_millis(15 + rng.below(15));
+            let op = if rng.chance(write_frac) { Op::Write } else { Op::Read };
+            t.push(IoRequest { at: now, lpn: rng.below(pages - 2), pages: 1, op });
+        }
+        t
+    }
+
+    fn device_pages() -> u64 {
+        CoopServer::new(cfg(), Scheme::Baseline).ssd().logical_pages()
+    }
+
+    #[test]
+    fn healthy_pair_loses_nothing() {
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), true);
+        let t0 = trace(pages, 400, 0.9, 1, "a");
+        let t1 = trace(pages, 400, 0.2, 2, "b");
+        pair.replay([&t0, &t1], &[]);
+        assert!(pair.unrecoverable().is_empty());
+        assert!(pair.server(0).metrics().writes > 0);
+        assert!(pair.server(1).metrics().reads > 0);
+    }
+
+    #[test]
+    fn crash_and_recovery_preserve_acknowledged_writes() {
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), false);
+        let t0 = trace(pages, 600, 0.9, 3, "a");
+        let t1 = trace(pages, 600, 0.9, 4, "b");
+        let mid = t0.requests[300].at;
+        let later = mid + SimDuration::from_secs(30);
+        let inj = [
+            Injection { at: mid, event: PairEvent::Crash(0) },
+            Injection { at: later, event: PairEvent::Recover(0) },
+        ];
+        pair.replay([&t0, &t1], &inj);
+        assert!(
+            pair.unrecoverable().is_empty(),
+            "acknowledged writes lost: {:?}",
+            pair.unrecoverable()
+        );
+        assert!(pair.is_alive(0));
+    }
+
+    #[test]
+    fn peer_enters_degraded_mode_after_crash_and_resumes_after_recovery() {
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), false);
+        let t0 = trace(pages, 400, 0.9, 5, "a");
+        let t1 = trace(pages, 400, 0.9, 6, "b");
+        let quarter = t1.requests[100].at;
+        let inj = [Injection { at: quarter, event: PairEvent::Crash(0) }];
+        pair.replay([&t0, &t1], &inj);
+        // Server 1 detected the silence and went degraded.
+        assert!(pair.server(1).is_degraded());
+        assert!(pair.unrecoverable().is_empty());
+
+        // Now with recovery: degraded mode ends.
+        let mut pair2 = CoopPair::new(cfg(), cfg(), false);
+        let recover_at = quarter + SimDuration::from_secs(20);
+        let inj2 = [
+            Injection { at: quarter, event: PairEvent::Crash(0) },
+            Injection { at: recover_at, event: PairEvent::Recover(0) },
+        ];
+        pair2.replay([&t0, &t1], &inj2);
+        assert!(!pair2.server(1).is_degraded(), "peer must resume replication");
+        assert!(pair2.unrecoverable().is_empty());
+    }
+
+    #[test]
+    fn dynamic_allocation_tracks_peer_write_intensity() {
+        let pages = device_pages();
+        // Server 1's peer (server 0) is write-heavy; server 1 is idle-ish.
+        let mut pair = CoopPair::new(cfg(), cfg(), true);
+        let t0 = trace(pages, 2_000, 0.95, 7, "writer");
+        let t1 = trace(pages, 200, 0.05, 8, "reader");
+        pair.replay([&t0, &t1], &[]);
+        let log1 = pair.theta_log(1); // server 1 donates to write-heavy peer
+        let log0 = pair.theta_log(0); // server 0 donates to read-heavy peer
+        assert!(!log1.is_empty() && !log0.is_empty());
+        let avg = |l: &[ThetaSample]| {
+            l.iter().map(|s| s.theta).sum::<f64>() / l.len() as f64
+        };
+        assert!(
+            avg(log1) > avg(log0),
+            "write-heavy peer should earn more remote buffer: {} vs {}",
+            avg(log1),
+            avg(log0)
+        );
+    }
+
+    #[test]
+    fn crashed_server_serves_no_requests() {
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), false);
+        let t0 = trace(pages, 300, 0.9, 9, "a");
+        let t1 = trace(pages, 10, 0.9, 10, "b");
+        let start = t0.requests[0].at;
+        let inj = [Injection { at: start, event: PairEvent::Crash(0) }];
+        pair.replay([&t0, &t1], &inj);
+        assert_eq!(pair.server(0).metrics().writes, 0);
+        assert!(pair.server(1).metrics().writes > 0);
+    }
+
+    #[test]
+    fn static_split_keeps_theta_constant() {
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), false);
+        let t0 = trace(pages, 300, 0.9, 11, "a");
+        let t1 = trace(pages, 300, 0.1, 12, "b");
+        pair.replay([&t0, &t1], &[]);
+        assert_eq!(pair.theta_now(0), 0.5);
+        assert_eq!(pair.theta_now(1), 0.5);
+        assert!(pair.theta_log(0).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Heartbeat-based failure detection — the "Monitor & Recovery" module of
+//! Figure 3 and Section III.D.
+//!
+//! "Availability of peer server is monitored by sending Heartbeat message
+//! periodically." The monitor is a small deterministic state machine shared
+//! by the simulation pair and the real cluster implementation
+//! (`fc-cluster`): beats arrive, the poller watches the gap since the last
+//! beat, and transitions surface as [`PeerEvent`]s.
+
+use fc_simkit::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Observed peer health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerState {
+    /// Beats arriving on schedule.
+    Healthy,
+    /// A beat is overdue (more than one interval late) but within timeout.
+    Suspected,
+    /// No beat for the full timeout: the peer is declared failed, triggering
+    /// remote-failure handling.
+    Failed,
+}
+
+/// A state transition worth acting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerEvent {
+    /// Healthy → Suspected.
+    Suspected,
+    /// Suspected/Healthy → Failed.
+    Failed,
+    /// Failed → Healthy (a beat arrived after a declared failure).
+    Recovered,
+}
+
+/// Heartbeat monitor for one peer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeartbeatMonitor {
+    interval: SimDuration,
+    timeout: SimDuration,
+    last_beat: SimTime,
+    state: PeerState,
+}
+
+impl HeartbeatMonitor {
+    /// Create a monitor. `timeout` must be at least `interval`; beats more
+    /// than one `interval` late raise suspicion, beats more than `timeout`
+    /// late declare failure.
+    pub fn new(interval: SimDuration, timeout: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        assert!(timeout >= interval, "timeout below heartbeat interval");
+        HeartbeatMonitor {
+            interval,
+            timeout,
+            last_beat: SimTime::ZERO,
+            state: PeerState::Healthy,
+        }
+    }
+
+    /// The paper's setting scaled for simulation: 1 s beats, 5 s timeout.
+    pub fn default_profile() -> Self {
+        HeartbeatMonitor::new(SimDuration::from_secs(1), SimDuration::from_secs(5))
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PeerState {
+        self.state
+    }
+
+    /// Heartbeat interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// A beat arrived at `now`.
+    pub fn on_beat(&mut self, now: SimTime) -> Option<PeerEvent> {
+        self.last_beat = self.last_beat.max(now);
+        match self.state {
+            PeerState::Failed => {
+                self.state = PeerState::Healthy;
+                Some(PeerEvent::Recovered)
+            }
+            PeerState::Suspected => {
+                self.state = PeerState::Healthy;
+                None
+            }
+            PeerState::Healthy => None,
+        }
+    }
+
+    /// Re-evaluate at `now`; returns a transition if one fired.
+    pub fn poll(&mut self, now: SimTime) -> Option<PeerEvent> {
+        let silence = now.saturating_since(self.last_beat);
+        let next = if silence >= self.timeout {
+            PeerState::Failed
+        } else if silence > self.interval {
+            PeerState::Suspected
+        } else {
+            PeerState::Healthy
+        };
+        let event = match (self.state, next) {
+            (PeerState::Healthy, PeerState::Suspected) => Some(PeerEvent::Suspected),
+            (PeerState::Healthy, PeerState::Failed)
+            | (PeerState::Suspected, PeerState::Failed) => Some(PeerEvent::Failed),
+            _ => None,
+        };
+        // poll() never un-fails a peer — only an actual beat does.
+        if !(self.state == PeerState::Failed && next != PeerState::Failed) {
+            self.state = next;
+        }
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mon() -> HeartbeatMonitor {
+        HeartbeatMonitor::new(SimDuration::from_millis(100), SimDuration::from_millis(500))
+    }
+
+    const AT: fn(u64) -> SimTime = SimTime::from_millis;
+
+    #[test]
+    fn healthy_while_beats_arrive() {
+        let mut m = mon();
+        for t in (0..10).map(|i| AT(i * 100)) {
+            assert_eq!(m.on_beat(t), None);
+            assert_eq!(m.poll(t), None);
+            assert_eq!(m.state(), PeerState::Healthy);
+        }
+    }
+
+    #[test]
+    fn late_beat_raises_suspicion_then_recovers_silently() {
+        let mut m = mon();
+        m.on_beat(AT(0));
+        assert_eq!(m.poll(AT(250)), Some(PeerEvent::Suspected));
+        assert_eq!(m.state(), PeerState::Suspected);
+        // A beat clears suspicion without a Recovered event (never failed).
+        assert_eq!(m.on_beat(AT(260)), None);
+        assert_eq!(m.state(), PeerState::Healthy);
+    }
+
+    #[test]
+    fn timeout_declares_failure_once() {
+        let mut m = mon();
+        m.on_beat(AT(0));
+        assert_eq!(m.poll(AT(600)), Some(PeerEvent::Failed));
+        assert_eq!(m.state(), PeerState::Failed);
+        // Polling again does not re-fire.
+        assert_eq!(m.poll(AT(700)), None);
+        assert_eq!(m.state(), PeerState::Failed);
+    }
+
+    #[test]
+    fn beat_after_failure_recovers() {
+        let mut m = mon();
+        m.on_beat(AT(0));
+        m.poll(AT(600));
+        assert_eq!(m.on_beat(AT(650)), Some(PeerEvent::Recovered));
+        assert_eq!(m.state(), PeerState::Healthy);
+        assert_eq!(m.poll(AT(700)), None);
+    }
+
+    #[test]
+    fn poll_does_not_resurrect_failed_peer() {
+        let mut m = mon();
+        m.on_beat(AT(0));
+        m.poll(AT(600));
+        // Even though last_beat math would say "suspected", a failed peer
+        // stays failed until an actual beat.
+        assert_eq!(m.poll(AT(601)), None);
+        assert_eq!(m.state(), PeerState::Failed);
+    }
+
+    #[test]
+    fn direct_healthy_to_failed_jump() {
+        let mut m = mon();
+        m.on_beat(AT(0));
+        // One giant gap with no intermediate poll.
+        assert_eq!(m.poll(AT(10_000)), Some(PeerEvent::Failed));
+    }
+
+    #[test]
+    fn stale_beat_does_not_rewind_clock() {
+        let mut m = mon();
+        m.on_beat(AT(1000));
+        m.on_beat(AT(400)); // out-of-order delivery
+        assert_eq!(m.poll(AT(1050)), None);
+        assert_eq!(m.state(), PeerState::Healthy);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout below heartbeat interval")]
+    fn invalid_timeout_panics() {
+        HeartbeatMonitor::new(SimDuration::from_millis(100), SimDuration::from_millis(50));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the cooperative buffer.
+//!
+//! Model-based checking: the buffer is driven with arbitrary operation
+//! sequences while a shadow model tracks which pages *must* be dirty; after
+//! every step the buffer and model agree, capacity holds, and flush runs are
+//! well-formed (contiguous, within one logical block, dirty counts sane).
+
+use flashcoop::policy::Eviction;
+use flashcoop::{BufferManager, PolicyKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const PPB: u32 = 8;
+const SPACE: u64 = 512;
+
+#[derive(Debug, Clone, Copy)]
+enum BufOp {
+    Write { lpn: u64, pages: u32 },
+    ReadAndFill { lpn: u64, pages: u32 },
+    Drain,
+    Resize { capacity: usize },
+    Discard { lpn: u64, pages: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = BufOp> {
+    prop_oneof![
+        4 => (0..SPACE - 8, 1u32..8).prop_map(|(lpn, pages)| BufOp::Write { lpn, pages }),
+        2 => (0..SPACE - 8, 1u32..8).prop_map(|(lpn, pages)| BufOp::ReadAndFill { lpn, pages }),
+        1 => Just(BufOp::Drain),
+        1 => (4usize..96).prop_map(|capacity| BufOp::Resize { capacity }),
+        1 => (0..SPACE - 8, 1u32..8).prop_map(|(lpn, pages)| BufOp::Discard { lpn, pages }),
+    ]
+}
+
+/// Apply an eviction to the shadow dirty-set: flushed pages are no longer
+/// required to be dirty in the buffer.
+fn absorb_flush(model_dirty: &mut HashSet<u64>, ev: &Eviction) {
+    for run in &ev.runs {
+        for i in 0..run.pages as u64 {
+            model_dirty.remove(&(run.lpn + i));
+        }
+    }
+}
+
+fn check_eviction_well_formed(ev: &Eviction) -> Result<(), TestCaseError> {
+    for run in &ev.runs {
+        prop_assert!(run.pages >= 1);
+        prop_assert!(run.dirty <= run.pages);
+        // A run never crosses a logical-block boundary (flushes are
+        // per-block, Section III.B.1).
+        let first_block = run.lpn / PPB as u64;
+        let last_block = (run.end_lpn() - 1) / PPB as u64;
+        prop_assert_eq!(first_block, last_block, "run crosses block boundary: {:?}", run);
+    }
+    Ok(())
+}
+
+fn run_model(policy: PolicyKind, capacity: usize, ops: &[BufOp]) -> Result<(), TestCaseError> {
+    let mut buf = BufferManager::new(policy, capacity, PPB, true);
+    let mut model_dirty: HashSet<u64> = HashSet::new();
+
+    for op in ops {
+        match *op {
+            BufOp::Write { lpn, pages } => {
+                for i in 0..pages as u64 {
+                    model_dirty.insert(lpn + i);
+                }
+                let ev = buf.write(lpn, pages);
+                check_eviction_well_formed(&ev)?;
+                absorb_flush(&mut model_dirty, &ev);
+            }
+            BufOp::ReadAndFill { lpn, pages } => {
+                let segments = buf.read(lpn, pages);
+                // Segments must partition the request exactly.
+                let mut cursor = lpn;
+                for seg in &segments {
+                    prop_assert_eq!(seg.lpn, cursor);
+                    cursor += seg.pages as u64;
+                }
+                prop_assert_eq!(cursor, lpn + pages as u64);
+                for seg in segments {
+                    if !seg.hit {
+                        let ev = buf.insert_clean(seg.lpn, seg.pages);
+                        check_eviction_well_formed(&ev)?;
+                        absorb_flush(&mut model_dirty, &ev);
+                    }
+                }
+            }
+            BufOp::Drain => {
+                let ev = buf.drain_dirty();
+                check_eviction_well_formed(&ev)?;
+                absorb_flush(&mut model_dirty, &ev);
+                prop_assert_eq!(buf.dirty(), 0);
+            }
+            BufOp::Resize { capacity } => {
+                let ev = buf.set_capacity(capacity);
+                check_eviction_well_formed(&ev)?;
+                absorb_flush(&mut model_dirty, &ev);
+            }
+            BufOp::Discard { lpn, pages } => {
+                buf.discard(lpn, pages);
+                for i in 0..pages as u64 {
+                    model_dirty.remove(&(lpn + i));
+                }
+            }
+        }
+        // Core invariants after every operation:
+        prop_assert!(buf.resident() <= buf.capacity(), "over capacity");
+        prop_assert!(buf.dirty() <= buf.resident());
+        // Durability: every page the model still considers dirty *must* be
+        // dirty-resident (it was never flushed) — the buffer may hold MORE
+        // dirty pages than the model requires only if a flushed page was
+        // rewritten, which the model tracks, so the sets match exactly.
+        for &lpn in &model_dirty {
+            prop_assert_eq!(
+                buf.lookup(lpn),
+                Some(true),
+                "page {} should be dirty-resident",
+                lpn
+            );
+        }
+        prop_assert_eq!(buf.dirty(), model_dirty.len(), "dirty count mismatch");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lar_buffer_never_loses_dirty_pages(
+        capacity in 8usize..64,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        run_model(PolicyKind::Lar, capacity, &ops)?;
+    }
+
+    #[test]
+    fn lru_buffer_never_loses_dirty_pages(
+        capacity in 8usize..64,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        run_model(PolicyKind::Lru, capacity, &ops)?;
+    }
+
+    #[test]
+    fn lfu_buffer_never_loses_dirty_pages(
+        capacity in 8usize..64,
+        ops in prop::collection::vec(op_strategy(), 1..120),
+    ) {
+        run_model(PolicyKind::Lfu, capacity, &ops)?;
+    }
+
+    /// Hit accounting is conserved: hits + misses == pages touched.
+    #[test]
+    fn hit_accounting_conserved(ops in prop::collection::vec((0..SPACE - 8, 1u32..8), 1..80)) {
+        let mut buf = BufferManager::new(PolicyKind::Lar, 32, PPB, true);
+        let mut touched = 0u64;
+        for (lpn, pages) in ops {
+            buf.write(lpn, pages);
+            touched += pages as u64;
+        }
+        let s = buf.stats();
+        prop_assert_eq!(s.page_hits + s.page_misses, touched);
+    }
+}

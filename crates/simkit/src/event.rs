@@ -1,0 +1,208 @@
+//! A stable discrete-event queue.
+//!
+//! [`EventQueue`] orders events by timestamp and breaks ties in insertion
+//! order (FIFO), which keeps simulations deterministic: two events scheduled
+//! for the same instant always pop in the order they were pushed, regardless
+//! of heap internals.
+//!
+//! The queue is data-driven — it stores plain event payloads rather than
+//! boxed closures — so simulations remain easy to snapshot, test and replay.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event payload tagged with its due time and a monotone sequence number.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then lowest-seq)
+        // event is the heap maximum.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered, FIFO-tie-breaking event queue.
+///
+/// ```
+/// use fc_simkit::event::EventQueue;
+/// use fc_simkit::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(20), "late");
+/// q.push(SimTime::from_nanos(10), "early");
+/// q.push(SimTime::from_nanos(10), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "early-second");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation clock: the due time of the most recently popped
+    /// event (never moves backwards).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to `now` — a common footgun when an
+    /// event handler computes a due time from stale state.
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Schedule `payload` `delay` after the current clock.
+    pub fn push_after(&mut self, delay: crate::time::SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.push(at, payload);
+    }
+
+    /// Pop the earliest event, advancing the clock to its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event queue time went backwards");
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Due time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drop all pending events and reset the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3u32);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(50), ());
+        q.push(SimTime::from_nanos(10), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(10));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), "a");
+        q.pop();
+        q.push(SimTime::from_nanos(10), "stale");
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, "stale");
+        assert_eq!(at, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn push_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), "base");
+        q.pop();
+        q.push_after(SimDuration::from_nanos(5), "next");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(105)));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), 1);
+        q.pop();
+        q.push(SimTime::from_nanos(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 0);
+    }
+}

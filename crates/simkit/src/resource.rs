@@ -1,0 +1,282 @@
+//! FIFO resource timelines for virtual-clock trace replay.
+//!
+//! Most FlashCoop experiments are open-loop trace replays: requests arrive at
+//! trace timestamps and contend for two serial resources — the SSD channel and
+//! the replication NIC. Rather than running a full event-driven simulation, we
+//! model each resource as a *timeline*: the instant it next becomes free. A
+//! request arriving at `t` with service demand `s` starts at
+//! `max(t, free_at)`, finishes at `start + s`, and its queueing delay is
+//! `start - t`. This is exactly an M/G/1-style FIFO queue replay and is the
+//! standard technique in storage-trace simulators (DiskSim uses the same idea
+//! per component).
+//!
+//! [`MultiTimeline`] generalises this to `k` identical servers (e.g. the
+//! planes of a flash die, which can program pages concurrently).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of acquiring a resource: when service began and ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Instant service actually started (>= request arrival).
+    pub start: SimTime,
+    /// Instant service completed.
+    pub end: SimTime,
+}
+
+impl Grant {
+    /// Queueing delay experienced before service, given the arrival instant.
+    pub fn wait_since(&self, arrival: SimTime) -> SimDuration {
+        self.start.saturating_since(arrival)
+    }
+
+    /// Total latency (queueing + service) since the arrival instant.
+    pub fn latency_since(&self, arrival: SimTime) -> SimDuration {
+        self.end.saturating_since(arrival)
+    }
+}
+
+/// A single FIFO server: busy until `free_at`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    free_at: SimTime,
+    busy: SimDuration,
+}
+
+impl Timeline {
+    /// A timeline that is free immediately.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Instant the resource next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total busy time accumulated so far (for utilisation reporting).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Utilisation over `[0, horizon]`: busy time / horizon, clamped to 1.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_nanos() as f64 / horizon.as_nanos() as f64).min(1.0)
+    }
+
+    /// Occupy the resource for `service`, starting no earlier than `arrival`.
+    pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        let start = arrival.max(self.free_at);
+        let end = start + service;
+        self.free_at = end;
+        self.busy += service;
+        Grant { start, end }
+    }
+
+    /// Occupy the resource in the *background*: work is appended to the queue
+    /// but never starts before `not_before` (used for asynchronous flushes
+    /// that should not preempt an idle period retroactively).
+    pub fn acquire_background(&mut self, not_before: SimTime, service: SimDuration) -> Grant {
+        self.acquire(not_before, service)
+    }
+
+    /// True if the resource is idle at `now`.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Reset to the initial, idle-at-zero state.
+    pub fn reset(&mut self) {
+        *self = Timeline::default();
+    }
+}
+
+/// `k` identical FIFO servers; each acquisition takes the earliest-free server.
+///
+/// Used to model plane-level parallelism: a k-page sequential write striped
+/// over `k` planes programs concurrently, while k random single-page writes to
+/// the same plane serialise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiTimeline {
+    servers: Vec<Timeline>,
+}
+
+impl MultiTimeline {
+    /// Create `k` idle servers. `k` is clamped to at least 1.
+    pub fn new(k: usize) -> Self {
+        MultiTimeline {
+            servers: vec![Timeline::default(); k.max(1)],
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Acquire the earliest-free server.
+    pub fn acquire(&mut self, arrival: SimTime, service: SimDuration) -> Grant {
+        let idx = self.earliest_free();
+        self.servers[idx].acquire(arrival, service)
+    }
+
+    /// Acquire a *specific* server (e.g. the plane that owns a physical page).
+    pub fn acquire_server(
+        &mut self,
+        server: usize,
+        arrival: SimTime,
+        service: SimDuration,
+    ) -> Grant {
+        let idx = server % self.servers.len();
+        self.servers[idx].acquire(arrival, service)
+    }
+
+    /// Instant at which all servers are free.
+    pub fn all_free_at(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|s| s.free_at())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Instant at which the least-loaded server is free.
+    pub fn earliest_free_at(&self) -> SimTime {
+        self.servers
+            .iter()
+            .map(|s| s.free_at())
+            .fold(SimTime::MAX, SimTime::min)
+    }
+
+    /// Mean utilisation across servers over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if self.servers.is_empty() {
+            return 0.0;
+        }
+        self.servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum::<f64>()
+            / self.servers.len() as f64
+    }
+
+    /// Reset every server to idle-at-zero.
+    pub fn reset(&mut self) {
+        for s in &mut self.servers {
+            s.reset();
+        }
+    }
+
+    fn earliest_free(&self) -> usize {
+        let mut best = 0;
+        let mut best_t = self.servers[0].free_at();
+        for (i, s) in self.servers.iter().enumerate().skip(1) {
+            if s.free_at() < best_t {
+                best = i;
+                best_t = s.free_at();
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const US: fn(u64) -> SimDuration = SimDuration::from_micros;
+    const AT: fn(u64) -> SimTime = SimTime::from_micros;
+
+    #[test]
+    fn idle_resource_serves_immediately() {
+        let mut t = Timeline::new();
+        let g = t.acquire(AT(10), US(5));
+        assert_eq!(g.start, AT(10));
+        assert_eq!(g.end, AT(15));
+        assert_eq!(g.wait_since(AT(10)), SimDuration::ZERO);
+        assert_eq!(g.latency_since(AT(10)), US(5));
+    }
+
+    #[test]
+    fn busy_resource_queues_fifo() {
+        let mut t = Timeline::new();
+        t.acquire(AT(0), US(100));
+        let g = t.acquire(AT(10), US(5));
+        assert_eq!(g.start, AT(100));
+        assert_eq!(g.end, AT(105));
+        assert_eq!(g.wait_since(AT(10)), US(90));
+    }
+
+    #[test]
+    fn busy_time_and_utilization_accumulate() {
+        let mut t = Timeline::new();
+        t.acquire(AT(0), US(30));
+        t.acquire(AT(50), US(20));
+        assert_eq!(t.busy_time(), US(50));
+        let u = t.utilization(AT(100));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut t = Timeline::new();
+        t.acquire(AT(0), US(500));
+        assert_eq!(t.utilization(AT(100)), 1.0);
+    }
+
+    #[test]
+    fn multi_timeline_parallelises_independent_work() {
+        let mut m = MultiTimeline::new(4);
+        // Four units of work arriving together run fully in parallel.
+        let ends: Vec<SimTime> = (0..4).map(|_| m.acquire(AT(0), US(10)).end).collect();
+        assert!(ends.iter().all(|&e| e == AT(10)));
+        // A fifth queues behind the earliest-free server.
+        let g = m.acquire(AT(0), US(10));
+        assert_eq!(g.start, AT(10));
+        assert_eq!(g.end, AT(20));
+    }
+
+    #[test]
+    fn multi_timeline_specific_server_serialises() {
+        let mut m = MultiTimeline::new(4);
+        let g1 = m.acquire_server(2, AT(0), US(10));
+        let g2 = m.acquire_server(2, AT(0), US(10));
+        assert_eq!(g1.end, AT(10));
+        assert_eq!(g2.start, AT(10));
+        // Server index wraps modulo the server count.
+        let g3 = m.acquire_server(6, AT(0), US(10));
+        assert_eq!(g3.start, AT(20));
+    }
+
+    #[test]
+    fn multi_timeline_free_at_bounds() {
+        let mut m = MultiTimeline::new(2);
+        m.acquire_server(0, AT(0), US(30));
+        assert_eq!(m.earliest_free_at(), SimTime::ZERO);
+        assert_eq!(m.all_free_at(), AT(30));
+    }
+
+    #[test]
+    fn zero_servers_clamps_to_one() {
+        let m = MultiTimeline::new(0);
+        assert_eq!(m.servers(), 1);
+    }
+
+    #[test]
+    fn reset_restores_idle_state() {
+        let mut t = Timeline::new();
+        t.acquire(AT(0), US(10));
+        t.reset();
+        assert!(t.is_idle_at(SimTime::ZERO));
+        assert_eq!(t.busy_time(), SimDuration::ZERO);
+
+        let mut m = MultiTimeline::new(2);
+        m.acquire(AT(0), US(10));
+        m.reset();
+        assert_eq!(m.all_free_at(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,367 @@
+//! Simulated time.
+//!
+//! All simulated clocks in the FlashCoop reproduction use a nanosecond tick
+//! carried in a `u64`. A `u64` of nanoseconds covers ~584 years of simulated
+//! time, far beyond any trace replay. Two newtypes keep instants and spans
+//! from being mixed up:
+//!
+//! * [`SimTime`] — an instant (nanoseconds since the start of the simulation).
+//! * [`SimDuration`] — a span between instants.
+//!
+//! Arithmetic is saturating rather than panicking: an experiment that
+//! overflows the clock pins to the far future instead of aborting, which keeps
+//! pathological parameter sweeps (e.g. a zero-bandwidth link) inspectable.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time, measured in nanoseconds from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as an "infinity" sentinel for idle resources.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us.saturating_mul(1_000))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms.saturating_mul(1_000_000))
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration from an earlier instant, saturating to zero if `earlier` is
+    /// actually later (clock skew never goes negative).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Maximum representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us.saturating_mul(1_000))
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(1_000_000))
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(1_000_000_000))
+    }
+
+    /// Construct from fractional seconds, saturating on overflow or NaN.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in fractional microseconds (for reporting).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Span in fractional milliseconds (for reporting).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Span as fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True when the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating multiply by an integer count (e.g. per-page costs).
+    #[inline]
+    pub fn saturating_mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(n))
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimDuration::from_secs(2).as_nanos(), 2_000_000_000);
+    }
+
+    #[test]
+    fn instant_plus_span_round_trips() {
+        let t = SimTime::from_micros(5);
+        let d = SimDuration::from_micros(7);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(50);
+        assert_eq!(early - late, SimDuration::ZERO);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_nanos(40));
+    }
+
+    #[test]
+    fn addition_saturates_at_max() {
+        let t = SimTime::MAX;
+        assert_eq!(t + SimDuration::from_secs(1), SimTime::MAX);
+        let d = SimDuration::MAX;
+        assert_eq!(d + SimDuration::from_nanos(1), SimDuration::MAX);
+        assert_eq!(d.saturating_mul(3), SimDuration::MAX);
+    }
+
+    #[test]
+    fn from_secs_f64_handles_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+    }
+
+    #[test]
+    fn division_never_divides_by_zero() {
+        let d = SimDuration::from_nanos(100);
+        assert_eq!(d / 0, d); // divisor clamped to 1
+        assert_eq!(d / 4, SimDuration::from_nanos(25));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(25).to_string(), "25.000us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn sum_and_ordering() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_nanos).sum();
+        assert_eq!(total, SimDuration::from_nanos(10));
+        assert!(SimTime::from_nanos(1) < SimTime::from_nanos(2));
+        assert_eq!(
+            SimTime::from_nanos(1).max(SimTime::from_nanos(2)),
+            SimTime::from_nanos(2)
+        );
+        assert_eq!(
+            SimTime::from_nanos(1).min(SimTime::from_nanos(2)),
+            SimTime::from_nanos(1)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the simulation substrate.
+
+use fc_simkit::event::EventQueue;
+use fc_simkit::resource::Timeline;
+use fc_simkit::rng::Zipf;
+use fc_simkit::stats::{LatencyStats, SizeHistogram, Welford};
+use fc_simkit::{DetRng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order, FIFO within equal times.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    // FIFO tie-break: indices of equal-time events ascend.
+                    prop_assert!(
+                        times[idx] != times[lidx] || idx > lidx,
+                        "FIFO violated: {lidx} then {idx}"
+                    );
+                }
+            }
+            last = Some((at, idx));
+        }
+    }
+
+    /// A FIFO timeline's grants never overlap and never start early.
+    #[test]
+    fn timeline_grants_never_overlap(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut t = Timeline::new();
+        let mut prev_end = SimTime::ZERO;
+        let mut total = SimDuration::ZERO;
+        // Arrivals must be offered in time order for FIFO semantics.
+        let mut jobs = jobs;
+        jobs.sort_by_key(|j| j.0);
+        for (at, dur) in jobs {
+            let arrival = SimTime::from_nanos(at);
+            let service = SimDuration::from_nanos(dur);
+            let g = t.acquire(arrival, service);
+            prop_assert!(g.start >= arrival);
+            prop_assert!(g.start >= prev_end);
+            prop_assert_eq!(g.end, g.start + service);
+            prev_end = g.end;
+            total += service;
+        }
+        prop_assert_eq!(t.busy_time(), total);
+        prop_assert_eq!(t.free_at(), prev_end);
+    }
+
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance() - var).abs() < 1e-4 * var.abs().max(1.0));
+    }
+
+    /// Percentiles are order statistics: p0 = min, p100 = max, monotone.
+    #[test]
+    fn percentiles_are_monotone(ns in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut l = LatencyStats::new();
+        for &n in &ns {
+            l.push(SimDuration::from_nanos(n));
+        }
+        let mut prev = SimDuration::ZERO;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = l.percentile(p);
+            prop_assert!(v >= prev, "percentile({p}) regressed");
+            prev = v;
+        }
+        prop_assert_eq!(l.percentile(100.0), SimDuration::from_nanos(*ns.iter().max().unwrap()));
+        prop_assert_eq!(l.percentile(0.0), SimDuration::from_nanos(*ns.iter().min().unwrap()));
+    }
+
+    /// Histogram CDF is monotone and ends at 1; counts conserve.
+    #[test]
+    fn histogram_cdf_monotone(sizes in prop::collection::vec(1u64..200, 1..300)) {
+        let mut h = SizeHistogram::new();
+        for &s in &sizes {
+            h.record(s);
+        }
+        prop_assert_eq!(h.writes(), sizes.len() as u64);
+        prop_assert_eq!(h.pages(), sizes.iter().sum::<u64>());
+        let cdf = h.cdf();
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Zipf samples stay in-domain for any (n, theta).
+    #[test]
+    fn zipf_in_domain(n in 1u64..100_000, theta in 0.0f64..0.999, seed in 0u64..1_000) {
+        let z = Zipf::new(n, theta);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Saturating time arithmetic never panics and orders sensibly.
+    #[test]
+    fn time_arithmetic_total(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let ta = SimTime::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        let sum = ta + db;
+        prop_assert!(sum >= ta);
+        prop_assert_eq!(sum.saturating_since(ta), if a.checked_add(b).is_some() {
+            db
+        } else {
+            SimDuration::from_nanos(u64::MAX - a)
+        });
+    }
+}

@@ -1,0 +1,207 @@
+//! Service-time accounting for flash operations.
+//!
+//! The FTLs record *what happened* (bus transfers, per-plane reads/programs,
+//! per-plane erases) in a [`CostBreakdown`]; the device layer converts that
+//! into a service time under the parallelism model of Section II.C.4:
+//!
+//! * The serial data bus is shared — every host page transfer serialises
+//!   (100 µs each in Table II).
+//! * Cell-array operations (read / program / erase) on *different planes*
+//!   proceed concurrently; operations on the same plane serialise. This is
+//!   the striping/interleaving optimisation that gives sequential writes
+//!   their bandwidth advantage, and that random single-page writes cannot
+//!   exploit.
+//! * GC copy-backs move pages through the on-die register without touching
+//!   the external bus.
+//!
+//! The resulting service time is
+//! `bus·t_bus + max_plane(reads)·t_read + max_plane(programs)·t_prog +
+//!  max_plane(erases)·t_erase`, a standard first-order interleaving model.
+
+use crate::timing::TimingParams;
+use fc_simkit::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-request operation counts, split per plane where parallelism applies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Host page transfers over the serial bus (reads out + writes in).
+    pub bus_transfers: u64,
+    /// Cell-array page reads, per plane.
+    pub plane_reads: Vec<u64>,
+    /// Cell-array page programs, per plane.
+    pub plane_programs: Vec<u64>,
+    /// Block erases, per plane.
+    pub plane_erases: Vec<u64>,
+}
+
+impl CostBreakdown {
+    /// An empty breakdown for a device with `planes` planes.
+    pub fn new(planes: u32) -> Self {
+        let planes = planes.max(1) as usize;
+        CostBreakdown {
+            bus_transfers: 0,
+            plane_reads: vec![0; planes],
+            plane_programs: vec![0; planes],
+            plane_erases: vec![0; planes],
+        }
+    }
+
+    /// Record a host transfer of one page over the serial bus.
+    #[inline]
+    pub fn bus(&mut self, pages: u64) {
+        self.bus_transfers += pages;
+    }
+
+    /// Record a cell-array read on `plane`.
+    #[inline]
+    pub fn read_on(&mut self, plane: u32) {
+        let idx = plane as usize % self.plane_reads.len();
+        self.plane_reads[idx] += 1;
+    }
+
+    /// Record a cell-array program on `plane`.
+    #[inline]
+    pub fn program_on(&mut self, plane: u32) {
+        let idx = plane as usize % self.plane_programs.len();
+        self.plane_programs[idx] += 1;
+    }
+
+    /// Record a block erase on `plane`.
+    #[inline]
+    pub fn erase_on(&mut self, plane: u32) {
+        let idx = plane as usize % self.plane_erases.len();
+        self.plane_erases[idx] += 1;
+    }
+
+    /// Total cell-array reads.
+    pub fn total_reads(&self) -> u64 {
+        self.plane_reads.iter().sum()
+    }
+
+    /// Total cell-array programs.
+    pub fn total_programs(&self) -> u64 {
+        self.plane_programs.iter().sum()
+    }
+
+    /// Total block erases.
+    pub fn total_erases(&self) -> u64 {
+        self.plane_erases.iter().sum()
+    }
+
+    /// Merge another breakdown (same plane count) into this one.
+    pub fn absorb(&mut self, other: &CostBreakdown) {
+        debug_assert_eq!(self.plane_reads.len(), other.plane_reads.len());
+        self.bus_transfers += other.bus_transfers;
+        for (a, b) in self.plane_reads.iter_mut().zip(&other.plane_reads) {
+            *a += b;
+        }
+        for (a, b) in self.plane_programs.iter_mut().zip(&other.plane_programs) {
+            *a += b;
+        }
+        for (a, b) in self.plane_erases.iter_mut().zip(&other.plane_erases) {
+            *a += b;
+        }
+    }
+
+    /// Convert to a service time under the interleaving model.
+    pub fn service_time(&self, t: &TimingParams) -> SimDuration {
+        let max = |v: &[u64]| v.iter().copied().max().unwrap_or(0);
+        t.bus_transfer.saturating_mul(self.bus_transfers)
+            + t.page_read.saturating_mul(max(&self.plane_reads))
+            + t.page_program.saturating_mul(max(&self.plane_programs))
+            + t.block_erase.saturating_mul(max(&self.plane_erases))
+    }
+
+    /// Service time with *no* plane parallelism (all operations serialise).
+    /// Used as the pessimistic bound in ablations.
+    pub fn serial_service_time(&self, t: &TimingParams) -> SimDuration {
+        t.bus_transfer.saturating_mul(self.bus_transfers)
+            + t.page_read.saturating_mul(self.total_reads())
+            + t.page_program.saturating_mul(self.total_programs())
+            + t.block_erase.saturating_mul(self.total_erases())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> TimingParams {
+        TimingParams::table2()
+    }
+
+    #[test]
+    fn striped_writes_parallelise_programs() {
+        // 4 pages over 4 planes: bus serialises, programs overlap.
+        let mut c = CostBreakdown::new(4);
+        for p in 0..4 {
+            c.bus(1);
+            c.program_on(p);
+        }
+        let expect = SimDuration::from_micros(4 * 100 + 200);
+        assert_eq!(c.service_time(&t()), expect);
+        // The serial model charges all four programs.
+        let serial = SimDuration::from_micros(4 * 100 + 4 * 200);
+        assert_eq!(c.serial_service_time(&t()), serial);
+    }
+
+    #[test]
+    fn same_plane_writes_serialise() {
+        let mut c = CostBreakdown::new(4);
+        for _ in 0..4 {
+            c.bus(1);
+            c.program_on(2);
+        }
+        let expect = SimDuration::from_micros(4 * 100 + 4 * 200);
+        assert_eq!(c.service_time(&t()), expect);
+    }
+
+    #[test]
+    fn copy_back_has_no_bus_component() {
+        let mut c = CostBreakdown::new(2);
+        c.read_on(0);
+        c.program_on(0);
+        assert_eq!(c.service_time(&t()), SimDuration::from_micros(225));
+    }
+
+    #[test]
+    fn erases_counted_per_plane() {
+        let mut c = CostBreakdown::new(2);
+        c.erase_on(0);
+        c.erase_on(1);
+        assert_eq!(c.total_erases(), 2);
+        // Two erases on different planes overlap.
+        assert_eq!(c.service_time(&t()), SimDuration::from_micros(1500));
+    }
+
+    #[test]
+    fn absorb_adds_counts() {
+        let mut a = CostBreakdown::new(2);
+        a.bus(1);
+        a.program_on(0);
+        let mut b = CostBreakdown::new(2);
+        b.bus(2);
+        b.program_on(1);
+        b.read_on(0);
+        b.erase_on(1);
+        a.absorb(&b);
+        assert_eq!(a.bus_transfers, 3);
+        assert_eq!(a.total_programs(), 2);
+        assert_eq!(a.total_reads(), 1);
+        assert_eq!(a.total_erases(), 1);
+    }
+
+    #[test]
+    fn plane_index_wraps() {
+        let mut c = CostBreakdown::new(2);
+        c.program_on(5); // wraps to plane 1
+        assert_eq!(c.plane_programs, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_breakdown_is_free() {
+        let c = CostBreakdown::new(4);
+        assert_eq!(c.service_time(&t()), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,240 @@
+//! Physical geometry of the simulated NAND device and address arithmetic.
+//!
+//! Follows the hierarchy of Section II.A: a device is made of dies, each die
+//! of planes, each plane of blocks, each block of pages. Pages are the
+//! read/program unit; blocks are the erase unit. Table II of the paper fixes
+//! the evaluation geometry: 4 KB pages, 256 KB blocks (64 pages), 4 GB dies.
+//!
+//! Addressing conventions used throughout the workspace:
+//!
+//! * **LPN** (`Lpn`) — logical page number, the host-visible address unit.
+//! * **LBN** — logical block number, `lpn / pages_per_block`; the granularity
+//!   FlashCoop's buffer manager and the hybrid FTLs think in.
+//! * **PPN** (`Ppn`) — physical page number, `block_id * pages_per_block +
+//!   page_offset`.
+//! * Physical block `b` lives on plane `b % planes_total`, which spreads
+//!   consecutively allocated blocks round-robin over planes and is what makes
+//!   striped sequential writes program in parallel.
+
+use serde::{Deserialize, Serialize};
+
+/// Logical page number (host address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lpn(pub u64);
+
+/// Physical page number (flash address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ppn(pub u64);
+
+/// Physical block index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl Lpn {
+    /// The logical block this page belongs to.
+    #[inline]
+    pub fn lbn(self, geo: &Geometry) -> u64 {
+        self.0 / geo.pages_per_block as u64
+    }
+
+    /// Offset of this page within its logical block.
+    #[inline]
+    pub fn block_offset(self, geo: &Geometry) -> u32 {
+        (self.0 % geo.pages_per_block as u64) as u32
+    }
+
+    /// The next logical page.
+    #[inline]
+    pub fn next(self) -> Lpn {
+        Lpn(self.0 + 1)
+    }
+}
+
+/// Device geometry. All counts are per the unit above them in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Bytes per page (data area).
+    pub page_bytes: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Dies in the device.
+    pub dies: u32,
+}
+
+impl Geometry {
+    /// The paper's Table II geometry: 4 KB pages, 64-page (256 KB) blocks,
+    /// 4 GB dies (4096 blocks/plane x 4 planes), one die.
+    ///
+    /// One Table II die is 4 GiB = 16384 blocks; we model 4 planes per die as
+    /// in the Agrawal et al. SSD model the paper plugs into DiskSim.
+    pub fn table2() -> Self {
+        Geometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            blocks_per_plane: 4096,
+            planes_per_die: 4,
+            dies: 1,
+        }
+    }
+
+    /// A scaled-down geometry for fast experiments: 512 MiB over 4 planes.
+    /// Same page/block shape as Table II so all ratios (merge costs, GC
+    /// amplification) are unchanged; only total capacity shrinks.
+    pub fn small() -> Self {
+        Geometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            blocks_per_plane: 512,
+            planes_per_die: 4,
+            dies: 1,
+        }
+    }
+
+    /// A tiny geometry for unit tests (16 MiB, 4-page blocks) so GC paths are
+    /// exercised with trivially small workloads.
+    pub fn tiny() -> Self {
+        Geometry {
+            page_bytes: 4096,
+            pages_per_block: 4,
+            blocks_per_plane: 32,
+            planes_per_die: 2,
+            dies: 1,
+        }
+    }
+
+    /// Total planes in the device.
+    #[inline]
+    pub fn planes_total(&self) -> u32 {
+        self.planes_per_die * self.dies
+    }
+
+    /// Total physical blocks in the device.
+    #[inline]
+    pub fn blocks_total(&self) -> u32 {
+        self.blocks_per_plane * self.planes_total()
+    }
+
+    /// Total physical pages in the device.
+    #[inline]
+    pub fn pages_total(&self) -> u64 {
+        self.blocks_total() as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.pages_total() * self.page_bytes as u64
+    }
+
+    /// Bytes per erase block.
+    #[inline]
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_bytes as u64
+    }
+
+    /// Plane that hosts physical block `b` (round-robin layout).
+    #[inline]
+    pub fn plane_of_block(&self, b: BlockId) -> u32 {
+        b.0 % self.planes_total()
+    }
+
+    /// Compose a PPN from block and in-block page offset.
+    #[inline]
+    pub fn ppn(&self, block: BlockId, page: u32) -> Ppn {
+        debug_assert!(page < self.pages_per_block);
+        Ppn(block.0 as u64 * self.pages_per_block as u64 + page as u64)
+    }
+
+    /// Physical block containing `ppn`.
+    #[inline]
+    pub fn block_of(&self, ppn: Ppn) -> BlockId {
+        BlockId((ppn.0 / self.pages_per_block as u64) as u32)
+    }
+
+    /// In-block page offset of `ppn`.
+    #[inline]
+    pub fn page_of(&self, ppn: Ppn) -> u32 {
+        (ppn.0 % self.pages_per_block as u64) as u32
+    }
+
+    /// Plane of the block containing `ppn`.
+    #[inline]
+    pub fn plane_of_ppn(&self, ppn: Ppn) -> u32 {
+        self.plane_of_block(self.block_of(ppn))
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_numbers() {
+        let g = Geometry::table2();
+        assert_eq!(g.page_bytes, 4096);
+        assert_eq!(g.block_bytes(), 256 * 1024);
+        assert_eq!(g.pages_per_block, 64);
+        // Die size 4 GB.
+        assert_eq!(g.capacity_bytes(), 4 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn small_keeps_table2_shape() {
+        let g = Geometry::small();
+        let t = Geometry::table2();
+        assert_eq!(g.page_bytes, t.page_bytes);
+        assert_eq!(g.pages_per_block, t.pages_per_block);
+        assert_eq!(g.capacity_bytes(), 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn ppn_round_trips() {
+        let g = Geometry::tiny();
+        for b in 0..g.blocks_total() {
+            for p in 0..g.pages_per_block {
+                let ppn = g.ppn(BlockId(b), p);
+                assert_eq!(g.block_of(ppn), BlockId(b));
+                assert_eq!(g.page_of(ppn), p);
+            }
+        }
+    }
+
+    #[test]
+    fn lpn_block_math() {
+        let g = Geometry::tiny(); // 4 pages per block
+        assert_eq!(Lpn(0).lbn(&g), 0);
+        assert_eq!(Lpn(3).lbn(&g), 0);
+        assert_eq!(Lpn(4).lbn(&g), 1);
+        assert_eq!(Lpn(7).block_offset(&g), 3);
+        assert_eq!(Lpn(7).next(), Lpn(8));
+    }
+
+    #[test]
+    fn plane_layout_is_round_robin() {
+        let g = Geometry::tiny(); // 2 planes
+        assert_eq!(g.plane_of_block(BlockId(0)), 0);
+        assert_eq!(g.plane_of_block(BlockId(1)), 1);
+        assert_eq!(g.plane_of_block(BlockId(2)), 0);
+        let ppn = g.ppn(BlockId(3), 1);
+        assert_eq!(g.plane_of_ppn(ppn), 1);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let g = Geometry::tiny();
+        assert_eq!(g.planes_total(), 2);
+        assert_eq!(g.blocks_total(), 64);
+        assert_eq!(g.pages_total(), 256);
+        assert_eq!(g.capacity_bytes(), 256 * 4096);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fc-ssd
+//!
+//! A from-scratch NAND-flash SSD simulator, standing in for the DiskSim SSD
+//! plug-in the FlashCoop paper (ICPP 2010) uses for device-level evaluation.
+//!
+//! Layers, bottom up:
+//!
+//! * [`geometry`] / [`timing`] — the physical shape and Table II operation
+//!   timings of the device.
+//! * [`nand`] — the raw array: page states, erase-before-rewrite, in-order
+//!   programming, wear counters.
+//! * [`ftl`] — three Flash Translation Layers from the paper's evaluation:
+//!   page-level mapping with greedy GC, BAST, and FAST (hybrid log-block
+//!   FTLs with switch/partial/full merges).
+//! * [`cost`] — per-request operation accounting and the plane-interleaving
+//!   service-time model (striping makes sequential writes fast; random
+//!   writes cannot exploit it — Section II.C.4).
+//! * [`device`] — the [`device::Ssd`] request interface with statistics and
+//!   the aging/preconditioning helper.
+//! * [`stats`] / [`wear`] — erase counts, write-length distributions
+//!   (Figure 8's measurement point), write amplification, wear reports.
+//!
+//! ```
+//! use fc_ssd::{Ssd, SsdConfig, FtlKind, Lpn};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::tiny(FtlKind::Bast));
+//! let t = ssd.write(Lpn(0), 4); // one whole logical block, striped
+//! assert!(t > fc_simkit::SimDuration::ZERO);
+//! assert_eq!(ssd.stats().host_pages_written, 4);
+//! ```
+
+pub mod cost;
+pub mod device;
+pub mod ftl;
+pub mod geometry;
+pub mod nand;
+pub mod stats;
+pub mod timing;
+pub mod wear;
+
+pub use cost::CostBreakdown;
+pub use device::{Ssd, SsdConfig};
+pub use ftl::{FtlConfig, FtlKind, FtlStats};
+pub use geometry::{BlockId, Geometry, Lpn, Ppn};
+pub use nand::{NandArray, PageState};
+pub use stats::SsdStats;
+pub use timing::TimingParams;
+pub use wear::WearReport;

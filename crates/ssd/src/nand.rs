@@ -1,0 +1,446 @@
+//! The physical NAND array.
+//!
+//! Models the constraints of Section II.A that every FTL must respect:
+//!
+//! * pages are programmed and read individually, blocks erased as a whole;
+//! * a page can only be programmed when **free** — no in-place update; an
+//!   overwritten page is *invalidated* and reclaimed later by erasing its
+//!   block;
+//! * a block must hold no valid pages when erased (the erasing FTL is
+//!   responsible for migrating them first) — enforced here with a check so an
+//!   FTL bug loses data loudly, not silently;
+//! * every erase increments the block's wear counter.
+//!
+//! The array stores, per valid physical page, the LPN it holds. This lets GC
+//! routines discover live pages without a reverse-map in every FTL, exactly
+//! like the out-of-band (OOB) metadata area real flash pages carry
+//! (Section II.A: "a metadata area for storing identification, page state and
+//! ECC information").
+
+use crate::geometry::{BlockId, Geometry, Lpn, Ppn};
+use serde::{Deserialize, Serialize};
+
+/// State of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Holds live data for some LPN.
+    Valid,
+    /// Held data that has since been overwritten elsewhere; space is dead
+    /// until the block is erased.
+    Invalid,
+}
+
+/// One erase block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Block {
+    states: Vec<PageState>,
+    /// OOB metadata: which LPN each valid page holds.
+    owners: Vec<Option<Lpn>>,
+    /// Next page for append-style programming.
+    write_ptr: u32,
+    valid_pages: u32,
+    erase_count: u32,
+}
+
+impl Block {
+    fn new(pages: u32) -> Self {
+        Block {
+            states: vec![PageState::Free; pages as usize],
+            owners: vec![None; pages as usize],
+            write_ptr: 0,
+            valid_pages: 0,
+            erase_count: 0,
+        }
+    }
+}
+
+/// Errors surfaced by the physical layer; any of these indicates an FTL bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NandError {
+    /// Attempt to program a page that is not free.
+    ProgramNotFree { ppn: Ppn },
+    /// Append-programming a block that has no free page left.
+    BlockFull { block: BlockId },
+    /// Erasing a block that still holds valid pages.
+    EraseWithValidPages { block: BlockId, valid: u32 },
+    /// Reading a page that holds no valid data.
+    ReadInvalid { ppn: Ppn },
+    /// The block has consumed its rated erase cycles; it must be retired.
+    WornOut { block: BlockId },
+}
+
+impl std::fmt::Display for NandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NandError::ProgramNotFree { ppn } => {
+                write!(f, "program of non-free page {ppn:?} (in-place update attempted)")
+            }
+            NandError::BlockFull { block } => write!(f, "append to full block {block:?}"),
+            NandError::EraseWithValidPages { block, valid } => {
+                write!(f, "erase of block {block:?} holding {valid} valid pages")
+            }
+            NandError::ReadInvalid { ppn } => write!(f, "read of non-valid page {ppn:?}"),
+            NandError::WornOut { block } => {
+                write!(f, "block {block:?} exceeded its rated erase cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+/// The physical array: blocks of pages plus wear counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NandArray {
+    geo: Geometry,
+    blocks: Vec<Block>,
+    total_erases: u64,
+    total_programs: u64,
+    /// Rated erase cycles per block; `None` disables endurance enforcement
+    /// (the default — Table II's 100 K cycles never trigger in simulation
+    /// timescales, so wear-out runs opt in with a low limit).
+    endurance_limit: Option<u32>,
+}
+
+impl NandArray {
+    /// A fully-erased array with the given geometry.
+    pub fn new(geo: Geometry) -> Self {
+        let blocks = (0..geo.blocks_total())
+            .map(|_| Block::new(geo.pages_per_block))
+            .collect();
+        NandArray {
+            geo,
+            blocks,
+            total_erases: 0,
+            total_programs: 0,
+            endurance_limit: None,
+        }
+    }
+
+    /// Enforce a rated erase-cycle limit: once a block has been erased this
+    /// many times, further erases fail with [`NandError::WornOut`] and the
+    /// FTL must retire the block ("After wearing out, flash memory cells can
+    /// no longer store data", Section II.A).
+    pub fn set_endurance_limit(&mut self, cycles: u32) {
+        self.endurance_limit = Some(cycles.max(1));
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// State of a physical page.
+    pub fn page_state(&self, ppn: Ppn) -> PageState {
+        let b = self.geo.block_of(ppn);
+        let p = self.geo.page_of(ppn);
+        self.blocks[b.0 as usize].states[p as usize]
+    }
+
+    /// LPN stored in a valid physical page (None if not valid).
+    pub fn page_owner(&self, ppn: Ppn) -> Option<Lpn> {
+        let b = self.geo.block_of(ppn);
+        let p = self.geo.page_of(ppn);
+        self.blocks[b.0 as usize].owners[p as usize]
+    }
+
+    /// Number of valid pages in `block`.
+    pub fn valid_pages(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].valid_pages
+    }
+
+    /// Number of invalid (dead) pages in `block`.
+    pub fn invalid_pages(&self, block: BlockId) -> u32 {
+        let b = &self.blocks[block.0 as usize];
+        b.states
+            .iter()
+            .filter(|s| matches!(s, PageState::Invalid))
+            .count() as u32
+    }
+
+    /// Number of still-free pages in `block` (append headroom).
+    pub fn free_pages(&self, block: BlockId) -> u32 {
+        self.geo.pages_per_block - self.blocks[block.0 as usize].write_ptr
+    }
+
+    /// Append-program the next free page of `block` with data for `lpn`.
+    /// Returns the programmed PPN. Respects NAND's in-order programming rule.
+    pub fn program_append(&mut self, block: BlockId, lpn: Lpn) -> Result<Ppn, NandError> {
+        let pages = self.geo.pages_per_block;
+        let blk = &mut self.blocks[block.0 as usize];
+        if blk.write_ptr >= pages {
+            return Err(NandError::BlockFull { block });
+        }
+        let page = blk.write_ptr;
+        debug_assert_eq!(blk.states[page as usize], PageState::Free);
+        blk.states[page as usize] = PageState::Valid;
+        blk.owners[page as usize] = Some(lpn);
+        blk.write_ptr += 1;
+        blk.valid_pages += 1;
+        self.total_programs += 1;
+        Ok(self.geo.ppn(block, page))
+    }
+
+    /// Program a *specific* page offset of `block` (block-mapped FTLs place
+    /// page `j` of a logical block at physical offset `j`). The page must be
+    /// free. Relaxes strict in-order programming, as MLC-era block-mapped FTL
+    /// models conventionally do; `write_ptr` advances past the programmed
+    /// page so appends and placed writes can be mixed.
+    pub fn program_at(&mut self, block: BlockId, page: u32, lpn: Lpn) -> Result<Ppn, NandError> {
+        let ppn = self.geo.ppn(block, page);
+        let blk = &mut self.blocks[block.0 as usize];
+        if blk.states[page as usize] != PageState::Free {
+            return Err(NandError::ProgramNotFree { ppn });
+        }
+        blk.states[page as usize] = PageState::Valid;
+        blk.owners[page as usize] = Some(lpn);
+        blk.write_ptr = blk.write_ptr.max(page + 1);
+        blk.valid_pages += 1;
+        self.total_programs += 1;
+        Ok(ppn)
+    }
+
+    /// Mark a valid page invalid (its LPN has been rewritten elsewhere).
+    /// Invalidating an already-invalid or free page is a no-op by design —
+    /// FTL metadata updates may race with trims in higher layers.
+    pub fn invalidate(&mut self, ppn: Ppn) {
+        let b = self.geo.block_of(ppn);
+        let p = self.geo.page_of(ppn) as usize;
+        let blk = &mut self.blocks[b.0 as usize];
+        if blk.states[p] == PageState::Valid {
+            blk.states[p] = PageState::Invalid;
+            blk.owners[p] = None;
+            blk.valid_pages -= 1;
+        }
+    }
+
+    /// Read a valid page, returning the LPN it holds.
+    pub fn read(&self, ppn: Ppn) -> Result<Lpn, NandError> {
+        match self.page_state(ppn) {
+            PageState::Valid => Ok(self.page_owner(ppn).expect("valid page has owner")),
+            _ => Err(NandError::ReadInvalid { ppn }),
+        }
+    }
+
+    /// Erase `block`. Fails if it still holds valid pages (FTL must migrate
+    /// them first); `force` overrides for recovery/format paths.
+    pub fn erase(&mut self, block: BlockId, force: bool) -> Result<(), NandError> {
+        let blk = &mut self.blocks[block.0 as usize];
+        if blk.valid_pages > 0 && !force {
+            return Err(NandError::EraseWithValidPages {
+                block,
+                valid: blk.valid_pages,
+            });
+        }
+        if let Some(limit) = self.endurance_limit {
+            if blk.erase_count >= limit {
+                return Err(NandError::WornOut { block });
+            }
+        }
+        for s in &mut blk.states {
+            *s = PageState::Free;
+        }
+        for o in &mut blk.owners {
+            *o = None;
+        }
+        blk.write_ptr = 0;
+        blk.valid_pages = 0;
+        blk.erase_count += 1;
+        self.total_erases += 1;
+        Ok(())
+    }
+
+    /// Wear (erase) count of `block`.
+    pub fn erase_count(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].erase_count
+    }
+
+    /// Total erases performed on the device.
+    pub fn total_erases(&self) -> u64 {
+        self.total_erases
+    }
+
+    /// Total page programs performed on the device.
+    pub fn total_programs(&self) -> u64 {
+        self.total_programs
+    }
+
+    /// LPNs of the valid pages in `block`, in physical page order, with the
+    /// page offset each occupies. This is what GC walks to migrate live data.
+    pub fn valid_entries(&self, block: BlockId) -> Vec<(u32, Lpn)> {
+        let blk = &self.blocks[block.0 as usize];
+        blk.states
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                PageState::Valid => Some((i as u32, blk.owners[i].expect("owner"))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Erase counts for every block (wear-leveling statistics input).
+    pub fn erase_counts(&self) -> Vec<u32> {
+        self.blocks.iter().map(|b| b.erase_count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> NandArray {
+        NandArray::new(Geometry::tiny())
+    }
+
+    #[test]
+    fn fresh_array_is_all_free() {
+        let a = array();
+        let g = *a.geometry();
+        for b in 0..g.blocks_total() {
+            assert_eq!(a.valid_pages(BlockId(b)), 0);
+            assert_eq!(a.free_pages(BlockId(b)), g.pages_per_block);
+            assert_eq!(a.erase_count(BlockId(b)), 0);
+        }
+    }
+
+    #[test]
+    fn append_programs_in_order() {
+        let mut a = array();
+        let b = BlockId(0);
+        let p0 = a.program_append(b, Lpn(10)).unwrap();
+        let p1 = a.program_append(b, Lpn(11)).unwrap();
+        assert_eq!(a.geometry().page_of(p0), 0);
+        assert_eq!(a.geometry().page_of(p1), 1);
+        assert_eq!(a.read(p0).unwrap(), Lpn(10));
+        assert_eq!(a.read(p1).unwrap(), Lpn(11));
+        assert_eq!(a.valid_pages(b), 2);
+        assert_eq!(a.free_pages(b), 2);
+    }
+
+    #[test]
+    fn append_to_full_block_fails() {
+        let mut a = array();
+        let b = BlockId(1);
+        for i in 0..4 {
+            a.program_append(b, Lpn(i)).unwrap();
+        }
+        assert_eq!(
+            a.program_append(b, Lpn(9)),
+            Err(NandError::BlockFull { block: b })
+        );
+    }
+
+    #[test]
+    fn program_at_rejects_in_place_update() {
+        let mut a = array();
+        let b = BlockId(2);
+        a.program_at(b, 2, Lpn(5)).unwrap();
+        let ppn = a.geometry().ppn(b, 2);
+        assert_eq!(
+            a.program_at(b, 2, Lpn(6)),
+            Err(NandError::ProgramNotFree { ppn })
+        );
+    }
+
+    #[test]
+    fn program_at_advances_write_ptr_past_hole() {
+        let mut a = array();
+        let b = BlockId(3);
+        a.program_at(b, 1, Lpn(5)).unwrap();
+        // Append now continues at page 2, not page 0 (page 0 stays free —
+        // real controllers would waste it; so do we).
+        let ppn = a.program_append(b, Lpn(6)).unwrap();
+        assert_eq!(a.geometry().page_of(ppn), 2);
+    }
+
+    #[test]
+    fn invalidate_then_erase() {
+        let mut a = array();
+        let b = BlockId(0);
+        let ppn = a.program_append(b, Lpn(1)).unwrap();
+        assert_eq!(
+            a.erase(b, false),
+            Err(NandError::EraseWithValidPages { block: b, valid: 1 })
+        );
+        a.invalidate(ppn);
+        assert_eq!(a.page_state(ppn), PageState::Invalid);
+        assert_eq!(a.invalid_pages(b), 1);
+        a.erase(b, false).unwrap();
+        assert_eq!(a.page_state(ppn), PageState::Free);
+        assert_eq!(a.erase_count(b), 1);
+        assert_eq!(a.total_erases(), 1);
+        assert_eq!(a.free_pages(b), 4);
+    }
+
+    #[test]
+    fn force_erase_discards_valid_pages() {
+        let mut a = array();
+        let b = BlockId(0);
+        a.program_append(b, Lpn(1)).unwrap();
+        a.erase(b, true).unwrap();
+        assert_eq!(a.valid_pages(b), 0);
+    }
+
+    #[test]
+    fn invalidate_is_idempotent() {
+        let mut a = array();
+        let b = BlockId(0);
+        let ppn = a.program_append(b, Lpn(1)).unwrap();
+        a.invalidate(ppn);
+        a.invalidate(ppn); // no panic, no double-decrement
+        assert_eq!(a.valid_pages(b), 0);
+    }
+
+    #[test]
+    fn read_invalid_page_errors() {
+        let mut a = array();
+        let b = BlockId(0);
+        let ppn = a.program_append(b, Lpn(1)).unwrap();
+        a.invalidate(ppn);
+        assert_eq!(a.read(ppn), Err(NandError::ReadInvalid { ppn }));
+        let free_ppn = a.geometry().ppn(b, 3);
+        assert_eq!(a.read(free_ppn), Err(NandError::ReadInvalid { ppn: free_ppn }));
+    }
+
+    #[test]
+    fn valid_entries_lists_live_lpns_in_page_order() {
+        let mut a = array();
+        let b = BlockId(0);
+        let p0 = a.program_append(b, Lpn(7)).unwrap();
+        a.program_append(b, Lpn(8)).unwrap();
+        a.program_append(b, Lpn(9)).unwrap();
+        a.invalidate(p0);
+        assert_eq!(a.valid_entries(b), vec![(1, Lpn(8)), (2, Lpn(9))]);
+    }
+
+    #[test]
+    fn endurance_limit_retires_blocks() {
+        let mut a = array();
+        a.set_endurance_limit(3);
+        for _ in 0..3 {
+            a.erase(BlockId(0), false).unwrap();
+        }
+        assert_eq!(
+            a.erase(BlockId(0), false),
+            Err(NandError::WornOut { block: BlockId(0) })
+        );
+        // Other blocks are unaffected.
+        a.erase(BlockId(1), false).unwrap();
+        assert_eq!(a.total_erases(), 4);
+    }
+
+    #[test]
+    fn erase_counts_vector_matches_per_block_queries() {
+        let mut a = array();
+        a.erase(BlockId(0), false).unwrap();
+        a.erase(BlockId(0), false).unwrap();
+        a.erase(BlockId(5), false).unwrap();
+        let counts = a.erase_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[5], 1);
+        assert_eq!(counts[1], 0);
+    }
+}

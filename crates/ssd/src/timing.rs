@@ -1,0 +1,93 @@
+//! Flash operation timing — the paper's Table II.
+//!
+//! | Operation | Table II value |
+//! |---|---|
+//! | Page read to register | 25 µs |
+//! | Page program from register | 200 µs |
+//! | Block erase | 1.5 ms |
+//! | Serial access to register (data bus) | 100 µs |
+//! | Erase cycles | 100 K (SLC) |
+
+use fc_simkit::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the simulated flash chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Page read (cell array → data register).
+    pub page_read: SimDuration,
+    /// Page program (data register → cell array).
+    pub page_program: SimDuration,
+    /// Block erase.
+    pub block_erase: SimDuration,
+    /// Serial bus transfer of one page between controller and data register.
+    pub bus_transfer: SimDuration,
+    /// Rated erase cycles per block before wear-out (SLC in Table II).
+    pub erase_cycles: u32,
+}
+
+impl TimingParams {
+    /// The paper's Table II values.
+    pub fn table2() -> Self {
+        TimingParams {
+            page_read: SimDuration::from_micros(25),
+            page_program: SimDuration::from_micros(200),
+            block_erase: SimDuration::from_micros(1500),
+            bus_transfer: SimDuration::from_micros(100),
+            erase_cycles: 100_000,
+        }
+    }
+
+    /// Cost of a host-visible read of one page: cell read + bus out.
+    pub fn host_page_read(&self) -> SimDuration {
+        self.page_read + self.bus_transfer
+    }
+
+    /// Cost of a host-visible program of one page: bus in + program.
+    pub fn host_page_program(&self) -> SimDuration {
+        self.bus_transfer + self.page_program
+    }
+
+    /// Cost of an internal copy-back (GC page migration): read + program,
+    /// no external bus transfer.
+    pub fn copy_back(&self) -> SimDuration {
+        self.page_read + self.page_program
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let t = TimingParams::table2();
+        assert_eq!(t.page_read, SimDuration::from_micros(25));
+        assert_eq!(t.page_program, SimDuration::from_micros(200));
+        assert_eq!(t.block_erase, SimDuration::from_micros(1500));
+        assert_eq!(t.bus_transfer, SimDuration::from_micros(100));
+        assert_eq!(t.erase_cycles, 100_000);
+    }
+
+    #[test]
+    fn composite_costs() {
+        let t = TimingParams::table2();
+        assert_eq!(t.host_page_read(), SimDuration::from_micros(125));
+        assert_eq!(t.host_page_program(), SimDuration::from_micros(300));
+        assert_eq!(t.copy_back(), SimDuration::from_micros(225));
+    }
+
+    #[test]
+    fn erase_dwarfs_program_dwarfs_read() {
+        // The asymmetry that makes random writes expensive (Section II.C).
+        let t = TimingParams::table2();
+        assert!(t.block_erase > t.page_program);
+        assert!(t.page_program > t.page_read);
+    }
+}

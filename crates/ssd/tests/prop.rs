@@ -1,0 +1,147 @@
+//! Property-based tests for the flash simulator.
+//!
+//! The central property: **every FTL is a correct block device**. For any
+//! operation sequence, each logical page's valid physical copy holds exactly
+//! the LPN the host last wrote there (the NAND owner check), no acknowledged
+//! page disappears, and physical invariants (erase-before-reuse, single
+//! valid copy) hold throughout.
+
+use fc_ssd::ftl::build_ftl;
+use fc_ssd::{FtlConfig, FtlKind, Geometry, Lpn, Ssd, SsdConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// An abstract host operation.
+#[derive(Debug, Clone, Copy)]
+enum HostOp {
+    Write { lpn_frac: f64, pages: u32 },
+    Read { lpn_frac: f64, pages: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = HostOp> {
+    prop_oneof![
+        3 => (0.0f64..1.0, 1u32..6).prop_map(|(lpn_frac, pages)| HostOp::Write { lpn_frac, pages }),
+        1 => (0.0f64..1.0, 1u32..6).prop_map(|(lpn_frac, pages)| HostOp::Read { lpn_frac, pages }),
+    ]
+}
+
+fn check_ftl(kind: FtlKind, ops: &[HostOp]) -> Result<(), TestCaseError> {
+    let geo = Geometry::tiny();
+    let cfg = FtlConfig::tiny_test();
+    let mut ftl = build_ftl(kind, geo, cfg);
+    let logical = ftl.logical_pages();
+    let mut written: HashSet<u64> = HashSet::new();
+
+    for op in ops {
+        match *op {
+            HostOp::Write { lpn_frac, pages } => {
+                let max_start = logical - pages as u64;
+                let lpn = ((lpn_frac * max_start as f64) as u64).min(max_start);
+                let cost = ftl.write(Lpn(lpn), pages);
+                prop_assert!(cost.total_programs() >= pages as u64);
+                for i in 0..pages as u64 {
+                    written.insert(lpn + i);
+                }
+            }
+            HostOp::Read { lpn_frac, pages } => {
+                let max_start = logical - pages as u64;
+                let lpn = ((lpn_frac * max_start as f64) as u64).min(max_start);
+                let cost = ftl.read(Lpn(lpn), pages);
+                prop_assert_eq!(cost.bus_transfers, pages as u64);
+                prop_assert_eq!(cost.total_programs(), 0);
+                prop_assert_eq!(cost.total_erases(), 0);
+            }
+        }
+        // Global physical invariant: the number of valid pages across the
+        // array equals the number of distinct written LPNs (single valid
+        // copy per page, none lost).
+    }
+    let nand = ftl.nand();
+    let valid_total: u64 = (0..geo.blocks_total())
+        .map(|b| nand.valid_pages(fc_ssd::BlockId(b)) as u64)
+        .sum();
+    prop_assert_eq!(
+        valid_total,
+        written.len() as u64,
+        "valid copies != written pages for {}",
+        kind
+    );
+    // Ownership check: every valid physical page holds a written LPN, and
+    // each exactly once.
+    let mut seen = HashSet::new();
+    for b in 0..geo.blocks_total() {
+        for (off, lpn) in nand.valid_entries(fc_ssd::BlockId(b)) {
+            let _ = off;
+            prop_assert!(written.contains(&lpn.0), "phantom page {lpn:?}");
+            prop_assert!(seen.insert(lpn.0), "duplicate valid copy of {lpn:?}");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_ftl_is_a_correct_block_device(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        check_ftl(FtlKind::PageLevel, &ops)?;
+    }
+
+    #[test]
+    fn bast_is_a_correct_block_device(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        check_ftl(FtlKind::Bast, &ops)?;
+    }
+
+    #[test]
+    fn fast_is_a_correct_block_device(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        check_ftl(FtlKind::Fast, &ops)?;
+    }
+
+    #[test]
+    fn dftl_is_a_correct_block_device(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        check_ftl(FtlKind::Dftl, &ops)?;
+    }
+
+    /// Write amplification is >= 1 once anything is written, for all FTLs.
+    #[test]
+    fn write_amplification_at_least_one(
+        kind_idx in 0usize..4,
+        ops in prop::collection::vec((0.0f64..1.0, 1u32..4), 5..120),
+    ) {
+        let kind = FtlKind::ALL_EXTENDED[kind_idx];
+        let mut ssd = Ssd::new(SsdConfig::tiny(kind));
+        let logical = ssd.logical_pages();
+        for (frac, pages) in ops {
+            let max_start = logical - pages as u64;
+            let lpn = ((frac * max_start as f64) as u64).min(max_start);
+            ssd.write(Lpn(lpn), pages);
+        }
+        prop_assert!(ssd.stats().write_amplification() >= 1.0 - 1e-12);
+        // Erase accounting is consistent between device views.
+        prop_assert_eq!(ssd.erases_since_reset(), ssd.wear_report().total_erases);
+    }
+
+    /// Preconditioning is deterministic in its seed.
+    #[test]
+    fn preconditioning_is_deterministic(seed in 0u64..100) {
+        use fc_simkit::DetRng;
+        let run = |seed| {
+            let mut ssd = Ssd::new(SsdConfig::tiny(FtlKind::Bast));
+            let mut rng = DetRng::new(seed);
+            ssd.precondition(0.8, 0.4, &mut rng);
+            (ssd.wear_report().total_erases, ssd.ftl_stats().merges())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Service times are positive and monotone in request size for reads.
+    #[test]
+    fn read_cost_monotone_in_size(pages_a in 1u32..8, extra in 1u32..8) {
+        let mut ssd = Ssd::new(SsdConfig::tiny(FtlKind::PageLevel));
+        // Populate so reads hit mapped pages.
+        ssd.write(Lpn(0), 16);
+        let ta = ssd.read(Lpn(0), pages_a);
+        let tb = ssd.read(Lpn(0), pages_a + extra);
+        prop_assert!(tb >= ta);
+    }
+}

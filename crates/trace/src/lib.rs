@@ -1,0 +1,30 @@
+//! # fc-trace
+//!
+//! Workloads for the FlashCoop reproduction:
+//!
+//! * [`record`] — page-granular, timestamped [`record::IoRequest`]s and the
+//!   [`record::Trace`] container.
+//! * [`spc`] — parser for the SPC OLTP trace format (the paper's Fin1/Fin2
+//!   source files, if you have them).
+//! * [`synth`] — synthetic generators calibrated to the paper's Table I
+//!   (Fin1, Fin2, Mix) with Zipf block-level temporal locality and optional
+//!   interleaved sequential streams (Figure 2).
+//! * [`stats`] — recompute the Table I columns from any trace.
+//!
+//! ```
+//! use fc_trace::{SyntheticSpec, TraceStats};
+//!
+//! let trace = SyntheticSpec::fin1(1 << 16).with_requests(1_000).generate(42);
+//! let stats = TraceStats::from_trace(&trace);
+//! assert!(stats.write_pct > 85.0); // Fin1 is write-dominant
+//! ```
+
+pub mod record;
+pub mod spc;
+pub mod stats;
+pub mod synth;
+
+pub use record::{IoRequest, Op, Trace};
+pub use spc::{parse_spc, write_spc, SpcConfig, SpcParseError};
+pub use stats::TraceStats;
+pub use synth::SyntheticSpec;

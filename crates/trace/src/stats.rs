@@ -1,0 +1,171 @@
+//! Trace statistics — the Table I columns, recomputed from any trace.
+//!
+//! Used both to report on synthetic traces (calibration against the paper's
+//! Table I is an integration test) and to characterise user-supplied SPC
+//! files before replay.
+
+use crate::record::{Op, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// Number of requests.
+    pub requests: usize,
+    /// Mean request size in KB (page-quantised; page = 4 KB).
+    pub avg_req_kb: f64,
+    /// Mean request size in pages.
+    pub avg_req_pages: f64,
+    /// Percentage of requests that are writes.
+    pub write_pct: f64,
+    /// Percentage of requests that start exactly where the previous request
+    /// ended (Table I's "Seq. %").
+    pub seq_pct: f64,
+    /// Mean interarrival time in milliseconds.
+    pub avg_interarrival_ms: f64,
+    /// Percentage of requests that are TRIMs.
+    pub trim_pct: f64,
+    /// Distinct pages touched.
+    pub unique_pages: u64,
+    /// Highest page address touched + 1.
+    pub footprint_pages: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics (assumes 4 KB pages for the KB column).
+    pub fn from_trace(trace: &Trace) -> Self {
+        Self::from_trace_with_page(trace, 4096)
+    }
+
+    /// Compute statistics with an explicit page size.
+    pub fn from_trace_with_page(trace: &Trace, page_bytes: u32) -> Self {
+        let n = trace.len();
+        if n == 0 {
+            return TraceStats {
+                name: trace.name.clone(),
+                requests: 0,
+                avg_req_kb: 0.0,
+                avg_req_pages: 0.0,
+                write_pct: 0.0,
+                trim_pct: 0.0,
+                seq_pct: 0.0,
+                avg_interarrival_ms: 0.0,
+                unique_pages: 0,
+                footprint_pages: 0,
+            };
+        }
+        let mut pages_total = 0u64;
+        let mut writes = 0usize;
+        let mut trims = 0usize;
+        let mut seq = 0usize;
+        let mut unique = HashSet::new();
+        for (i, r) in trace.requests.iter().enumerate() {
+            pages_total += r.pages as u64;
+            match r.op {
+                Op::Write => writes += 1,
+                Op::Trim => trims += 1,
+                Op::Read => {}
+            }
+            if i > 0 && r.follows(&trace.requests[i - 1]) {
+                seq += 1;
+            }
+            for p in r.lpn..r.end_lpn() {
+                unique.insert(p);
+            }
+        }
+        let avg_req_pages = pages_total as f64 / n as f64;
+        let interarrival_ms = if n > 1 {
+            trace.duration().as_millis_f64() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        TraceStats {
+            name: trace.name.clone(),
+            requests: n,
+            avg_req_kb: avg_req_pages * page_bytes as f64 / 1024.0,
+            avg_req_pages,
+            write_pct: 100.0 * writes as f64 / n as f64,
+            trim_pct: 100.0 * trims as f64 / n as f64,
+            seq_pct: 100.0 * seq as f64 / n as f64,
+            avg_interarrival_ms: interarrival_ms,
+            unique_pages: unique.len() as u64,
+            footprint_pages: trace.address_span(),
+        }
+    }
+
+    /// One row in the style of the paper's Table I.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<6} {:>12} {:>14.2} {:>9.1} {:>8.2} {:>22.2}",
+            self.name, self.requests, self.avg_req_kb, self.write_pct, self.seq_pct,
+            self.avg_interarrival_ms
+        )
+    }
+
+    /// Header matching [`TraceStats::table1_row`].
+    pub fn table1_header() -> String {
+        format!(
+            "{:<6} {:>12} {:>14} {:>9} {:>8} {:>22}",
+            "Trace", "Requests", "AvgReq(KB)", "Write(%)", "Seq(%)", "AvgInterarrival(ms)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::IoRequest;
+    use fc_simkit::SimTime;
+
+    fn req(at_ms: u64, lpn: u64, pages: u32, op: Op) -> IoRequest {
+        IoRequest {
+            at: SimTime::from_millis(at_ms),
+            lpn,
+            pages,
+            op,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::from_trace(&Trace::new("e"));
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.avg_req_kb, 0.0);
+        assert_eq!(s.footprint_pages, 0);
+    }
+
+    #[test]
+    fn hand_built_trace_statistics() {
+        let mut t = Trace::new("hand");
+        t.push(req(0, 0, 2, Op::Write)); // pages 0,1
+        t.push(req(10, 2, 2, Op::Write)); // sequential, pages 2,3
+        t.push(req(30, 100, 1, Op::Read)); // random
+        t.push(req(60, 0, 1, Op::Write)); // revisit page 0
+        let s = TraceStats::from_trace(&t);
+        assert_eq!(s.requests, 4);
+        assert!((s.avg_req_pages - 1.5).abs() < 1e-12);
+        assert!((s.avg_req_kb - 6.0).abs() < 1e-12);
+        assert!((s.write_pct - 75.0).abs() < 1e-12);
+        // 1 of 3 transitions sequential → 25% of 4 requests.
+        assert!((s.seq_pct - 25.0).abs() < 1e-12);
+        assert!((s.avg_interarrival_ms - 20.0).abs() < 1e-12);
+        assert_eq!(s.unique_pages, 5); // 0,1,2,3,100
+        assert_eq!(s.footprint_pages, 101);
+    }
+
+    #[test]
+    fn table1_row_formats() {
+        let mut t = Trace::new("Fin1");
+        t.push(req(0, 0, 1, Op::Write));
+        let s = TraceStats::from_trace(&t);
+        let row = s.table1_row();
+        assert!(row.starts_with("Fin1"));
+        assert_eq!(
+            TraceStats::table1_header().split_whitespace().count(),
+            row.split_whitespace().count()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for trace generation and parsing.
+
+use fc_simkit::SimDuration;
+use fc_trace::{parse_spc, SpcConfig, SyntheticSpec, TraceStats};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        0.0f64..1.0,          // write_frac
+        0.0f64..0.9,          // seq_frac
+        1.0f64..4.0,          // mean_req_pages
+        1u64..200,            // interarrival ms
+        0.0f64..0.99,         // zipf theta
+        1usize..5,            // streams
+        1usize..6,            // drift epochs
+        512u64..32_768,       // address pages
+    )
+        .prop_map(
+            |(write_frac, seq_frac, mean_req_pages, ia, zipf_theta, streams, drift, pages)| {
+                let mut s = SyntheticSpec::mix(pages);
+                s.write_frac = write_frac;
+                s.seq_frac = seq_frac;
+                s.mean_req_pages = mean_req_pages;
+                s.mean_interarrival = SimDuration::from_millis(ia);
+                s.zipf_theta = zipf_theta;
+                s.interleave_streams = streams;
+                s.drift_epochs = drift;
+                s.requests = 400;
+                s
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any spec yields a well-formed trace: right length, in-bounds
+    /// addresses, monotone timestamps, positive sizes.
+    #[test]
+    fn any_spec_generates_well_formed_traces(spec in spec_strategy(), seed in 0u64..500) {
+        let t = spec.generate(seed);
+        prop_assert_eq!(t.len(), spec.requests);
+        let mut prev = None;
+        for r in &t.requests {
+            prop_assert!(r.pages >= 1);
+            prop_assert!(r.end_lpn() <= spec.address_pages, "{:?}", r);
+            if let Some(p) = prev {
+                prop_assert!(r.at >= p);
+            }
+            prev = Some(r.at);
+        }
+    }
+
+    /// Generation is a pure function of (spec, seed).
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy(), seed in 0u64..500) {
+        let a = spec.generate(seed);
+        let b = spec.generate(seed);
+        prop_assert_eq!(a.requests, b.requests);
+    }
+
+    /// Wrapping a trace into any smaller space keeps every request valid.
+    #[test]
+    fn wrapping_preserves_validity(spec in spec_strategy(), target in 64u64..2_048) {
+        let mut t = spec.generate(7);
+        t.wrap_addresses(target);
+        for r in &t.requests {
+            prop_assert!(r.end_lpn() <= target);
+            prop_assert!(r.pages >= 1);
+        }
+    }
+
+    /// Measured write fraction tracks the spec within sampling error.
+    #[test]
+    fn write_fraction_tracks_spec(wf in 0.05f64..0.95, seed in 0u64..100) {
+        let mut spec = SyntheticSpec::mix(8_192);
+        spec.write_frac = wf;
+        spec.requests = 3_000;
+        let s = TraceStats::from_trace(&spec.generate(seed));
+        prop_assert!((s.write_pct / 100.0 - wf).abs() < 0.05,
+            "measured {} vs spec {}", s.write_pct / 100.0, wf);
+    }
+
+    /// The SPC parser is total on line-structured input: any mix of valid
+    /// records and junk lines either parses or errors with a line number —
+    /// never panics — and valid-only inputs round-trip the record count.
+    #[test]
+    fn spc_parser_total(
+        records in prop::collection::vec(
+            (0u32..3, 0u64..1_000_000, 0u64..65_536, prop::bool::ANY, 0.0f64..1e4),
+            0..40
+        )
+    ) {
+        let text: String = records
+            .iter()
+            .map(|(asu, lba, size, w, ts)| {
+                format!("{asu},{lba},{size},{},{ts:.6}\n", if *w { "w" } else { "r" })
+            })
+            .collect();
+        let cfg = SpcConfig { asu_filter: None, ..SpcConfig::default() };
+        let t = parse_spc("prop", &text, cfg).unwrap();
+        prop_assert_eq!(t.len(), records.len());
+        for r in &t.requests {
+            prop_assert!(r.pages >= 1);
+        }
+    }
+}

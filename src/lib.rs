@@ -1,0 +1,20 @@
+//! # flashcoop-repro
+//!
+//! Umbrella crate for the FlashCoop (ICPP 2010) reproduction workspace. It
+//! re-exports the member crates so the examples and integration tests have a
+//! single import surface:
+//!
+//! * [`fc_simkit`] — deterministic simulation substrate;
+//! * [`fc_ssd`] — NAND flash / FTL / GC simulator;
+//! * [`fc_trace`] — workloads (synthetic Table I generators + SPC parser);
+//! * [`flashcoop`] — the cooperative buffer system itself;
+//! * [`fc_cluster`] — the real threaded pair (wire protocol, TCP, recovery).
+//!
+//! See the workspace `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-code map.
+
+pub use fc_cluster;
+pub use fc_simkit;
+pub use fc_ssd;
+pub use fc_trace;
+pub use flashcoop;

@@ -1,0 +1,206 @@
+//! End-to-end pipeline tests: trace → cooperative server → FTL → NAND.
+//!
+//! These replays run on a reduced geometry (32 MiB device, Table II page and
+//! block shape) so they are fast in debug builds, and assert the paper's
+//! *qualitative* claims — the quantitative tables come from the release-mode
+//! `repro` binary.
+
+use fc_ssd::{FtlConfig, FtlKind, Geometry, SsdConfig, TimingParams};
+use fc_trace::{SyntheticSpec, Trace};
+use flashcoop::{replay, FlashCoopConfig, PolicyKind, Preconditioning, RunReport, Scheme};
+
+/// 32 MiB device with Table II shape.
+fn small_device(ftl: FtlKind) -> SsdConfig {
+    SsdConfig {
+        geometry: Geometry {
+            page_bytes: 4096,
+            pages_per_block: 64,
+            blocks_per_plane: 32,
+            planes_per_die: 4,
+            dies: 1,
+        },
+        timing: TimingParams::table2(),
+        ftl,
+        ftl_config: FtlConfig {
+            log_blocks: 8,
+            spare_fraction: 0.15,
+            gc_high_watermark: 8,
+            gc_low_watermark: 4,
+            wear_aware_alloc: true,
+            cmt_entries: 8192,
+        },
+    }
+}
+
+fn cfg(ftl: FtlKind, policy: PolicyKind) -> FlashCoopConfig {
+    let mut c = FlashCoopConfig::evaluation(ftl, policy);
+    c.ssd = small_device(ftl);
+    c.buffer_pages = 512;
+    c
+}
+
+fn workload(seed: u64) -> Trace {
+    // Footprint must fit the 32 MiB device's logical space (~6.7k pages).
+    let mut spec = SyntheticSpec::fin1(4 * 1024);
+    spec.requests = 4_000;
+    spec.generate(seed)
+}
+
+fn run(ftl: FtlKind, scheme: Scheme, seed: u64) -> RunReport {
+    let policy = match scheme {
+        Scheme::FlashCoop(p) => p,
+        Scheme::Baseline => PolicyKind::Lar,
+    };
+    replay(
+        &workload(seed),
+        &cfg(ftl, policy),
+        scheme,
+        Some(Preconditioning {
+            fill: 0.9,
+            sequential: 0.5,
+        }),
+        seed,
+    )
+}
+
+#[test]
+fn flashcoop_beats_baseline_on_every_ftl() {
+    for ftl in FtlKind::ALL {
+        let lar = run(ftl, Scheme::FlashCoop(PolicyKind::Lar), 1);
+        let base = run(ftl, Scheme::Baseline, 1);
+        assert!(
+            lar.avg_response.as_nanos() * 2 < base.avg_response.as_nanos(),
+            "{ftl}: LAR {} vs Baseline {}",
+            lar.avg_response,
+            base.avg_response
+        );
+        assert!(
+            lar.erases < base.erases,
+            "{ftl}: LAR erases {} vs Baseline {}",
+            lar.erases,
+            base.erases
+        );
+    }
+}
+
+#[test]
+fn lar_produces_fewer_single_page_writes_than_lru_lfu_and_baseline() {
+    let lar = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lar), 2);
+    let lru = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lru), 2);
+    let lfu = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lfu), 2);
+    let base = run(FtlKind::Bast, Scheme::Baseline, 2);
+    assert!(
+        lar.frac_single_page < lru.frac_single_page / 2.0,
+        "LAR {} vs LRU {}",
+        lar.frac_single_page,
+        lru.frac_single_page
+    );
+    assert!(lar.frac_single_page < lfu.frac_single_page / 2.0);
+    assert!(lar.frac_single_page < base.frac_single_page);
+    // And far more large writes (the Figure 8 crossover).
+    assert!(lar.frac_gt8_pages > lru.frac_gt8_pages);
+    assert!(lar.mean_write_pages > 2.0 * lru.mean_write_pages);
+}
+
+#[test]
+fn lar_hit_ratio_tops_the_comparison_policies() {
+    let lar = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lar), 3);
+    let lru = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lru), 3);
+    let lfu = run(FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lfu), 3);
+    assert!(
+        lar.hit_ratio > lru.hit_ratio,
+        "LAR {} vs LRU {}",
+        lar.hit_ratio,
+        lru.hit_ratio
+    );
+    assert!(
+        lar.hit_ratio > lfu.hit_ratio,
+        "LAR {} vs LFU {}",
+        lar.hit_ratio,
+        lfu.hit_ratio
+    );
+}
+
+#[test]
+fn bigger_buffers_raise_hit_ratio() {
+    // Table III's monotonicity, at test scale.
+    let mut prev = -1.0;
+    for pages in [128usize, 256, 512, 1024] {
+        let mut c = cfg(FtlKind::Bast, PolicyKind::Lar);
+        c.buffer_pages = pages;
+        let r = replay(
+            &workload(4),
+            &c,
+            Scheme::FlashCoop(PolicyKind::Lar),
+            None,
+            4,
+        );
+        assert!(
+            r.hit_ratio >= prev,
+            "hit ratio regressed at {pages} pages: {} < {prev}",
+            r.hit_ratio
+        );
+        prev = r.hit_ratio;
+    }
+    assert!(prev > 0.2, "largest buffer should hit ≥ 20%, got {prev}");
+}
+
+#[test]
+fn replay_is_bitwise_deterministic() {
+    let a = run(FtlKind::Fast, Scheme::FlashCoop(PolicyKind::Lar), 5);
+    let b = run(FtlKind::Fast, Scheme::FlashCoop(PolicyKind::Lar), 5);
+    assert_eq!(a.avg_response, b.avg_response);
+    assert_eq!(a.erases, b.erases);
+    assert_eq!(a.hit_ratio, b.hit_ratio);
+    assert_eq!(a.write_length_cdf, b.write_length_cdf);
+}
+
+#[test]
+fn bast_gains_most_from_lar_sequentialisation() {
+    // Section IV.B.4: BAST's erase reduction ratio under LAR exceeds the
+    // page-level FTL's (BAST is the merge-happy one).
+    let reduction = |ftl: FtlKind| {
+        let lar = run(ftl, Scheme::FlashCoop(PolicyKind::Lar), 6);
+        let base = run(ftl, Scheme::Baseline, 6);
+        1.0 - lar.erases as f64 / base.erases.max(1) as f64
+    };
+    let bast = reduction(FtlKind::Bast);
+    let page = reduction(FtlKind::PageLevel);
+    assert!(
+        bast > page * 0.8,
+        "BAST reduction {bast:.2} should be at least comparable to page-level {page:.2}"
+    );
+    assert!(bast > 0.2, "BAST erase reduction too small: {bast:.2}");
+}
+
+#[test]
+fn clustering_ablation_reduces_small_writes() {
+    let mut with = cfg(FtlKind::Bast, PolicyKind::Lar);
+    with.clustering = true;
+    let mut without = cfg(FtlKind::Bast, PolicyKind::Lar);
+    without.clustering = false;
+    let t = workload(7);
+    let r_with = replay(&t, &with, Scheme::FlashCoop(PolicyKind::Lar), None, 7);
+    let r_without = replay(&t, &without, Scheme::FlashCoop(PolicyKind::Lar), None, 7);
+    assert!(
+        r_with.mean_write_pages > r_without.mean_write_pages,
+        "clustering should grow device writes: {} vs {}",
+        r_with.mean_write_pages,
+        r_without.mean_write_pages
+    );
+}
+
+#[test]
+fn replication_ablation_trades_latency_for_network() {
+    let mut with = cfg(FtlKind::PageLevel, PolicyKind::Lar);
+    with.replication = true;
+    let mut without = cfg(FtlKind::PageLevel, PolicyKind::Lar);
+    without.replication = false;
+    let t = workload(8);
+    let r_with = replay(&t, &with, Scheme::FlashCoop(PolicyKind::Lar), None, 8);
+    let r_without = replay(&t, &without, Scheme::FlashCoop(PolicyKind::Lar), None, 8);
+    // Without replication writes complete at DRAM speed (no ack round trip)…
+    assert!(r_without.avg_write_response < r_with.avg_write_response);
+    // …but both remain far below a synchronous flash program.
+    assert!(r_with.avg_write_response.as_micros_f64() < 200.0);
+}
