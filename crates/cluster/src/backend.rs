@@ -26,6 +26,12 @@ pub trait StorageBackend: Send {
 
     /// Number of distinct pages stored.
     fn pages(&self) -> usize;
+
+    /// Version of the stored copy of `lpn`, if present. Used by recovery
+    /// and the chaos suite to compare durability against acked writes.
+    fn version_of(&self, lpn: u64) -> Option<u64> {
+        self.read_page(lpn).map(|(v, _)| v)
+    }
 }
 
 /// In-memory "SSD".
@@ -125,6 +131,8 @@ mod tests {
         b.write_page(5, 1, b"abc");
         assert_eq!(b.read_page(5), Some((1, b"abc".to_vec())));
         assert_eq!(b.read_page(6), None);
+        assert_eq!(b.version_of(5), Some(1));
+        assert_eq!(b.version_of(6), None);
         assert_eq!(b.pages(), 1);
         assert_eq!(b.writes(), 1);
     }

@@ -1,0 +1,704 @@
+//! Deterministic fault injection for transports.
+//!
+//! [`FaultTransport`] wraps any [`Transport`] and misbehaves on purpose:
+//! messages are dropped, delayed, duplicated, reordered, or swallowed by
+//! one-way partitions, all according to a seeded [`FaultPlan`]. Every fault
+//! decision is drawn from a [`DetRng`] keyed only by the plan's seed and the
+//! position of the message in the send sequence, so a given (seed, plan,
+//! message sequence) always produces the *same decision trace* — the chaos
+//! suite asserts this literally, and a failing chaos run can be replayed
+//! from its printed seed.
+//!
+//! Faults apply to outbound traffic of the wrapped endpoint. By default only
+//! the data plane ([`Message::WriteRepl`] / [`Message::Discard`] and their
+//! [`Message::ReplAck`]s) is disturbed; control traffic (heartbeats, the
+//! recovery handshake) passes through untouched so a lossy-but-alive link
+//! does not masquerade as a dead peer. Set [`FaultPlan::all_traffic`] to
+//! disturb everything.
+//!
+//! Time-based effects (added latency, the slow-peer gap) necessarily depend
+//! on wall-clock scheduling; the *decisions* — what is dropped, how long
+//! each delay is, what is duplicated — stay deterministic regardless.
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::Message;
+use fc_simkit::DetRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A seeded schedule of network misbehaviour.
+///
+/// Partition spans and the drop/dup/reorder probabilities are evaluated
+/// against the *eligible-send index*: the count of faultable messages sent
+/// so far. Indexing by send count instead of wall time keeps every decision
+/// reproducible under arbitrary thread scheduling.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Probability an eligible message is silently dropped.
+    pub drop_prob: f64,
+    /// Deterministically drop the first `drop_first` eligible messages
+    /// (before any probabilistic decision). Drives exact retry tests.
+    pub drop_first: u64,
+    /// Probability a delivered message is sent twice.
+    pub dup_prob: f64,
+    /// Fixed latency added to every delivered message.
+    pub base_delay: Duration,
+    /// Additional uniformly-jittered latency in `[0, jitter)`.
+    pub jitter: Duration,
+    /// Probability an eligible message is held back and released only after
+    /// `reorder_window` further eligible sends (bounded reordering).
+    pub reorder_prob: f64,
+    /// How many later sends overtake a held-back message.
+    pub reorder_window: u64,
+    /// One-way partitions as half-open `[start, end)` spans over the
+    /// eligible-send index: messages inside a span vanish. The partition
+    /// "heals" once the send index passes `end`.
+    pub partitions: Vec<(u64, u64)>,
+    /// Slow-peer throttle: minimum spacing between deliveries that go
+    /// through the delivery worker.
+    pub min_gap: Duration,
+    /// When true (the default) only data-plane messages are disturbed;
+    /// heartbeats and the recovery handshake always pass through.
+    pub data_only: bool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            drop_first: 0,
+            dup_prob: 0.0,
+            base_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            reorder_prob: 0.0,
+            reorder_window: 0,
+            partitions: Vec::new(),
+            min_gap: Duration::ZERO,
+            data_only: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A fault-free plan with the given seed (builder starting point).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Drop each eligible message with probability `p`.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Deterministically drop the first `n` eligible messages.
+    pub fn with_drop_first(mut self, n: u64) -> Self {
+        self.drop_first = n;
+        self
+    }
+
+    /// Duplicate each delivered message with probability `p`.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    /// Add `base` latency plus uniform jitter in `[0, jitter)`.
+    pub fn with_delay(mut self, base: Duration, jitter: Duration) -> Self {
+        self.base_delay = base;
+        self.jitter = jitter;
+        self
+    }
+
+    /// Hold back each eligible message with probability `p` until `window`
+    /// further eligible messages have been sent.
+    pub fn with_reorder(mut self, p: f64, window: u64) -> Self {
+        self.reorder_prob = p;
+        self.reorder_window = window;
+        self
+    }
+
+    /// Add a one-way partition over eligible-send indices `[start, end)`.
+    pub fn with_partition(mut self, start: u64, end: u64) -> Self {
+        assert!(start <= end, "partition span must be ordered");
+        self.partitions.push((start, end));
+        self
+    }
+
+    /// Throttle deliveries to at most one per `gap` (slow peer).
+    pub fn with_min_gap(mut self, gap: Duration) -> Self {
+        self.min_gap = gap;
+        self
+    }
+
+    /// Disturb control traffic (heartbeats, recovery) too, not just the
+    /// data plane.
+    pub fn all_traffic(mut self) -> Self {
+        self.data_only = false;
+        self
+    }
+
+    fn partitioned(&self, index: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(start, end)| index >= start && index < end)
+    }
+
+    fn eligible(&self, msg: &Message) -> bool {
+        !self.data_only
+            || matches!(
+                msg,
+                Message::WriteRepl { .. } | Message::Discard { .. } | Message::ReplAck { .. }
+            )
+    }
+
+    /// True when every delivery can bypass the delivery worker (no latency
+    /// or throttling configured), which preserves synchronous FIFO order.
+    fn synchronous(&self) -> bool {
+        self.base_delay.is_zero() && self.jitter.is_zero() && self.min_gap.is_zero()
+    }
+}
+
+/// What the fault layer decided to do with one eligible message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forwarded (possibly late, possibly twice).
+    Deliver {
+        /// Added latency in nanoseconds.
+        delay_nanos: u64,
+        /// A duplicate copy was also sent.
+        dup: bool,
+    },
+    /// Silently dropped.
+    Drop,
+    /// Swallowed by an active partition span.
+    Partitioned,
+    /// Held back for reordering; released after the eligible-send index
+    /// reaches `release_at`.
+    Held {
+        /// Index at which the message is re-injected.
+        release_at: u64,
+    },
+}
+
+/// One entry of the decision trace: what happened to eligible send `index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Eligible-send index the decision applies to.
+    pub index: u64,
+    /// Data-plane sequence number of the message, if it carries one.
+    pub seq: Option<u64>,
+    /// The decision.
+    pub action: FaultAction,
+}
+
+/// Aggregate fault counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages subject to fault decisions.
+    pub eligible: u64,
+    /// Eligible messages forwarded (excluding duplicates).
+    pub delivered: u64,
+    /// Eligible messages dropped (probabilistic + `drop_first`).
+    pub dropped: u64,
+    /// Extra copies sent by duplication.
+    pub duplicated: u64,
+    /// Messages held back for reordering.
+    pub held: u64,
+    /// Messages swallowed by partition spans.
+    pub partitioned: u64,
+    /// Control messages passed through untouched (`data_only` plans).
+    pub passthrough: u64,
+}
+
+struct FaultState {
+    rng: DetRng,
+    /// Count of eligible sends so far (the decision index).
+    index: u64,
+    /// Held-back messages: (release-at index, message).
+    held: Vec<(u64, Message)>,
+    trace: Vec<FaultRecord>,
+    stats: FaultStats,
+    /// Tiebreak counter so equal-due deliveries stay FIFO.
+    next_order: u64,
+}
+
+struct Delivery {
+    due: Instant,
+    order: u64,
+    msg: Message,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.order == other.order
+    }
+}
+impl Eq for Delivery {}
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.order).cmp(&(other.due, other.order))
+    }
+}
+
+struct DeliveryQueue {
+    heap: Mutex<BinaryHeap<Reverse<Delivery>>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A [`Transport`] decorator that injects the faults described by a
+/// [`FaultPlan`] into outbound traffic. Receiving and connectivity are
+/// delegated to the wrapped transport untouched (wrap both endpoints to
+/// disturb both directions).
+pub struct FaultTransport<T: Transport + Sync + 'static> {
+    inner: Arc<T>,
+    plan: FaultPlan,
+    state: Mutex<FaultState>,
+    queue: Arc<DeliveryQueue>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<T: Transport + Sync + 'static> FaultTransport<T> {
+    /// Wrap `inner`, disturbing its outbound messages per `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        let inner = Arc::new(inner);
+        let queue = Arc::new(DeliveryQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker = {
+            let inner = inner.clone();
+            let queue = queue.clone();
+            let min_gap = plan.min_gap;
+            std::thread::Builder::new()
+                .name("fc-fault-delivery".into())
+                .spawn(move || delivery_loop(inner, queue, min_gap))
+                .expect("spawn fault delivery thread")
+        };
+        let rng = DetRng::new(plan.seed);
+        FaultTransport {
+            inner,
+            plan,
+            state: Mutex::new(FaultState {
+                rng,
+                index: 0,
+                held: Vec::new(),
+                trace: Vec::new(),
+                stats: FaultStats::default(),
+                next_order: 0,
+            }),
+            queue,
+            worker: Some(worker),
+        }
+    }
+
+    /// The decision trace so far (one record per eligible send).
+    pub fn fault_trace(&self) -> Vec<FaultRecord> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).trace.clone()
+    }
+
+    /// Aggregate fault counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).stats
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Forward now (synchronously when the plan allows it) or enqueue for
+    /// the delivery worker.
+    fn forward(&self, state: &mut FaultState, msg: Message, delay: Duration) -> Result<(), TransportError> {
+        if delay.is_zero() && self.plan.synchronous() {
+            return self.inner.send(msg);
+        }
+        let order = state.next_order;
+        state.next_order += 1;
+        let mut heap = self.queue.heap.lock().unwrap_or_else(|e| e.into_inner());
+        heap.push(Reverse(Delivery {
+            due: Instant::now() + delay,
+            order,
+            msg,
+        }));
+        drop(heap);
+        self.queue.ready.notify_one();
+        Ok(())
+    }
+
+    /// Draw the added latency for one delivery.
+    fn draw_delay(&self, rng: &mut DetRng) -> Duration {
+        let mut d = self.plan.base_delay;
+        if !self.plan.jitter.is_zero() {
+            let j = self.plan.jitter.as_nanos() as f64 * rng.unit();
+            d += Duration::from_nanos(j as u64);
+        }
+        d
+    }
+
+    /// Release every held-back message whose window has expired.
+    fn release_due(&self, state: &mut FaultState) -> Result<(), TransportError> {
+        let index = state.index;
+        let mut i = 0;
+        while i < state.held.len() {
+            if state.held[i].0 <= index {
+                let (_, msg) = state.held.remove(i);
+                self.forward(state, msg, Duration::ZERO)?;
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
+    fn send(&self, msg: Message) -> Result<(), TransportError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !self.plan.eligible(&msg) {
+            state.stats.passthrough += 1;
+            drop(state);
+            return self.inner.send(msg);
+        }
+
+        let index = state.index;
+        state.index += 1;
+        state.stats.eligible += 1;
+        let seq = match &msg {
+            Message::ReplAck { seq } => Some(*seq),
+            m => m.data_seq(),
+        };
+        let record = |state: &mut FaultState, action: FaultAction| {
+            state.trace.push(FaultRecord { index, seq, action });
+        };
+
+        let result = if self.plan.partitioned(index) {
+            state.stats.partitioned += 1;
+            record(&mut state, FaultAction::Partitioned);
+            Ok(())
+        } else if index < self.plan.drop_first
+            || (self.plan.drop_prob > 0.0 && state.rng.chance(self.plan.drop_prob))
+        {
+            state.stats.dropped += 1;
+            record(&mut state, FaultAction::Drop);
+            Ok(())
+        } else if self.plan.reorder_window > 0
+            && self.plan.reorder_prob > 0.0
+            && state.rng.chance(self.plan.reorder_prob)
+        {
+            let release_at = index + self.plan.reorder_window;
+            state.stats.held += 1;
+            record(&mut state, FaultAction::Held { release_at });
+            state.held.push((release_at, msg));
+            Ok(())
+        } else {
+            let dup = self.plan.dup_prob > 0.0 && state.rng.chance(self.plan.dup_prob);
+            let delay = self.draw_delay(&mut state.rng);
+            let dup_delay = if dup {
+                self.draw_delay(&mut state.rng)
+            } else {
+                Duration::ZERO
+            };
+            state.stats.delivered += 1;
+            if dup {
+                state.stats.duplicated += 1;
+            }
+            record(
+                &mut state,
+                FaultAction::Deliver {
+                    delay_nanos: delay.as_nanos() as u64,
+                    dup,
+                },
+            );
+            let first = self.forward(&mut state, msg.clone(), delay);
+            if dup {
+                let _ = self.forward(&mut state, msg, dup_delay);
+            }
+            first
+        };
+
+        // Held-back messages whose window expired re-enter the stream.
+        let released = self.release_due(&mut state);
+        result.and(released)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn is_connected(&self) -> bool {
+        self.inner.is_connected()
+    }
+}
+
+impl<T: Transport + Sync + 'static> Drop for FaultTransport<T> {
+    fn drop(&mut self) {
+        self.queue.shutdown.store(true, Ordering::SeqCst);
+        self.queue.ready.notify_all();
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Delivery worker: forwards queued messages when they fall due, keeping at
+/// least `min_gap` between consecutive sends (messages still in the queue at
+/// shutdown were "in flight" and are lost, like a real crash).
+fn delivery_loop<T: Transport + Sync>(inner: Arc<T>, queue: Arc<DeliveryQueue>, min_gap: Duration) {
+    let mut last_send: Option<Instant> = None;
+    let mut heap = queue.heap.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if queue.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        let next_due = heap.peek().map(|Reverse(d)| {
+            let throttle = last_send.map(|t| t + min_gap).unwrap_or(now);
+            d.due.max(throttle)
+        });
+        match next_due {
+            Some(due) if due <= now => {
+                let Reverse(d) = heap.pop().expect("peeked entry");
+                drop(heap);
+                let _ = inner.send(d.msg);
+                last_send = Some(Instant::now());
+                heap = queue.heap.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            Some(due) => {
+                let (g, _) = queue
+                    .ready
+                    .wait_timeout(heap, due - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                heap = g;
+            }
+            None => {
+                let (g, _) = queue
+                    .ready
+                    .wait_timeout(heap, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                heap = g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::mem_pair;
+    use bytes::Bytes;
+
+    const SHORT: Duration = Duration::from_millis(300);
+
+    fn write_repl(seq: u64) -> Message {
+        Message::WriteRepl {
+            seq,
+            lpn: seq,
+            version: 1,
+            data: Bytes::from_static(b"x"),
+        }
+    }
+
+    fn drain(t: &impl Transport, window: Duration) -> Vec<Message> {
+        let deadline = Instant::now() + window;
+        let mut got = Vec::new();
+        while Instant::now() < deadline {
+            match t.recv_timeout(Duration::from_millis(20)) {
+                Ok(Some(m)) => got.push(m),
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(1));
+        for s in 1..=5 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].data_seq(), Some(1));
+        assert_eq!(got[4].data_seq(), Some(5));
+        let st = f.fault_stats();
+        assert_eq!(st.delivered, 5);
+        assert_eq!(st.dropped + st.duplicated + st.held + st.partitioned, 0);
+    }
+
+    #[test]
+    fn drop_first_drops_exactly_n() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(1).with_drop_first(3));
+        for s in 1..=5 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(
+            got.iter().map(|m| m.data_seq().unwrap()).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(f.fault_stats().dropped, 3);
+    }
+
+    #[test]
+    fn control_traffic_bypasses_data_only_faults() {
+        let (a, b) = mem_pair();
+        // Drop *everything* eligible; heartbeats must still flow.
+        let f = FaultTransport::new(a, FaultPlan::new(7).with_drop(1.0));
+        f.send(write_repl(1)).unwrap();
+        f.send(Message::Heartbeat {
+            from: 0,
+            at_millis: 1,
+        })
+        .unwrap();
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(
+            got,
+            vec![Message::Heartbeat {
+                from: 0,
+                at_millis: 1
+            }]
+        );
+        assert_eq!(f.fault_stats().passthrough, 1);
+        assert_eq!(f.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplication_sends_two_copies() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(3).with_dup(1.0));
+        f.send(write_repl(9)).unwrap();
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], got[1]);
+        assert_eq!(f.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_holds_within_bounded_window() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(5).with_reorder(0.5, 2));
+        for s in 1..=40 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let got = drain(&b, Duration::from_millis(200));
+        let seqs: Vec<u64> = got.iter().map(|m| m.data_seq().unwrap()).collect();
+        let held = f.fault_stats().held;
+        assert!(held > 0, "plan should have held something");
+        // Bounded reordering: every message arrives, none displaced by more
+        // than the window (+ concurrent helds).
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        for (pos, &s) in seqs.iter().enumerate() {
+            let natural = (s - 1) as i64;
+            assert!(
+                (pos as i64 - natural).abs() <= 2 + held as i64,
+                "seq {s} displaced too far (pos {pos})"
+            );
+        }
+        assert_ne!(seqs, sorted, "seed 5 should reorder at least one pair");
+    }
+
+    #[test]
+    fn partition_swallows_span_then_heals() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(2).with_partition(1, 3));
+        for s in 1..=5 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(
+            got.iter().map(|m| m.data_seq().unwrap()).collect::<Vec<_>>(),
+            vec![1, 4, 5]
+        );
+        assert_eq!(f.fault_stats().partitioned, 2);
+    }
+
+    #[test]
+    fn delayed_delivery_arrives_late_but_arrives() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(
+            a,
+            FaultPlan::new(4).with_delay(Duration::from_millis(50), Duration::ZERO),
+        );
+        let t0 = Instant::now();
+        f.send(write_repl(1)).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        let got = b.recv_timeout(SHORT).unwrap();
+        assert_eq!(got, Some(write_repl(1)));
+        assert!(t0.elapsed() >= Duration::from_millis(45));
+    }
+
+    #[test]
+    fn min_gap_throttles_throughput() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(
+            a,
+            FaultPlan::new(4).with_min_gap(Duration::from_millis(20)),
+        );
+        let t0 = Instant::now();
+        for s in 1..=4 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let got = drain(&b, Duration::from_millis(300));
+        assert_eq!(got.len(), 4);
+        // Three gaps of >= 20ms between four deliveries.
+        assert!(t0.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn same_seed_same_plan_identical_trace() {
+        let run = || {
+            let (a, _b) = mem_pair();
+            let f = FaultTransport::new(
+                a,
+                FaultPlan::new(0xFEED)
+                    .with_drop(0.2)
+                    .with_dup(0.2)
+                    .with_reorder(0.2, 3),
+            );
+            for s in 1..=64 {
+                f.send(write_repl(s)).unwrap();
+            }
+            (f.fault_trace(), f.fault_stats())
+        };
+        let (t1, s1) = run();
+        let (t2, s2) = run();
+        assert_eq!(t1, t2, "decision trace must be reproducible");
+        assert_eq!(s1, s2);
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let run = |seed| {
+            let (a, _b) = mem_pair();
+            let f = FaultTransport::new(a, FaultPlan::new(seed).with_drop(0.5));
+            for s in 1..=64 {
+                f.send(write_repl(s)).unwrap();
+            }
+            f.fault_trace()
+        };
+        assert_ne!(run(1), run(2), "seeds should matter");
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`wire`] — hand-rolled, length-prefixed binary protocol (replication,
 //!   acks, discards, heartbeats, the recovery handshake).
 //! * [`transport`] — in-memory (crossbeam) and TCP (`std::net`) links.
+//! * [`fault`] — deterministic fault injection: [`FaultTransport`] wraps any
+//!   transport and drops/delays/duplicates/reorders/partitions traffic per a
+//!   seeded [`FaultPlan`], recording a reproducible decision trace.
 //! * [`backend`] — where flushed pages land: a plain map or the `fc-ssd`
 //!   simulator (for device statistics).
 //! * [`node`] — a runnable node: same buffer manager and policies as the
@@ -25,11 +28,14 @@
 //! ```
 
 pub mod backend;
+pub mod fault;
 pub mod node;
 pub mod transport;
 pub mod wire;
 
 pub use backend::{MemBackend, SimSsdBackend, StorageBackend};
+pub use fault::{FaultAction, FaultPlan, FaultRecord, FaultStats, FaultTransport};
+pub use flashcoop::{ReplicationStats, RetryPolicy};
 pub use node::{shared_backend, Node, NodeConfig, NodeStats, SharedBackend, WriteOutcome};
 pub use transport::{mem_pair, MemTransport, TcpTransport, Transport, TransportError};
-pub use wire::{decode, encode, Message, WireError};
+pub use wire::{decode, encode, Message, SeqStatus, SeqTracker, WireError};

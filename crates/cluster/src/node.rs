@@ -14,11 +14,13 @@
 
 use crate::backend::StorageBackend;
 use crate::transport::{Transport, TransportError};
-use crate::wire::Message;
+use crate::wire::{Message, SeqStatus, SeqTracker};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use flashcoop::policy::Eviction;
-use flashcoop::{BufferManager, HeartbeatMonitor, PeerEvent, PolicyKind};
+use flashcoop::{
+    BufferManager, HeartbeatMonitor, PeerEvent, PolicyKind, ReplicationStats, RetryPolicy,
+};
 use fc_simkit::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -51,8 +53,15 @@ pub struct NodeConfig {
     pub heartbeat: Duration,
     /// Silence after which the peer is declared failed.
     pub failure_timeout: Duration,
-    /// How long a write waits for its replication ack before degrading.
+    /// How long a write waits for its replication ack before retrying (and,
+    /// with retries exhausted, degrading).
     pub ack_timeout: Duration,
+    /// Bounded retry-with-backoff for the replication ack path. A lossy
+    /// network drops the occasional Replicate or ack; retrying (the receiver
+    /// dedups by sequence number and re-acks) keeps such writes on the
+    /// replicated fast path instead of silently falling back to
+    /// write-through on the first loss.
+    pub retry: RetryPolicy,
 }
 
 impl NodeConfig {
@@ -66,6 +75,7 @@ impl NodeConfig {
             heartbeat: Duration::from_millis(25),
             failure_timeout: Duration::from_millis(200),
             ack_timeout: Duration::from_millis(500),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,6 +109,8 @@ pub struct NodeStats {
     pub deletes: u64,
     /// Remote (peer) pages currently hosted.
     pub remote_pages: u64,
+    /// Fault-tolerance counters (retries, dedup, reorders, destages).
+    pub repl: ReplicationStats,
 }
 
 struct Inner {
@@ -111,6 +123,9 @@ struct Inner {
     backend: SharedBackend,
     /// Pages hosted for the peer: lpn → (version, data).
     remote: HashMap<u64, (u64, Bytes)>,
+    /// Data-plane sequence numbers seen from the peer (dedup/reorder
+    /// detection for retransmitted or duplicated deliveries).
+    peer_seqs: SeqTracker,
     degraded: bool,
     monitor: HeartbeatMonitor,
     pending_acks: HashMap<u64, Sender<()>>,
@@ -121,9 +136,10 @@ struct Inner {
 }
 
 impl Inner {
-    /// Flush an eviction's runs to the backend; returns the flushed LPNs so
-    /// the caller can send a Discard.
-    fn apply_eviction(&mut self, ev: &Eviction) -> Vec<u64> {
+    /// Flush an eviction's runs to the backend; returns the flushed
+    /// `(lpn, version)` pairs so the caller can send a version-bounded
+    /// Discard.
+    fn apply_eviction(&mut self, ev: &Eviction) -> Vec<(u64, u64)> {
         let mut flushed = Vec::new();
         for run in &ev.runs {
             for i in 0..run.pages as u64 {
@@ -132,7 +148,7 @@ impl Inner {
                     let ver = self.versions.get(&lpn).copied().unwrap_or(0);
                     self.backend.lock().write_page(lpn, ver, bytes);
                     self.stats.flushed_pages += 1;
-                    flushed.push(lpn);
+                    flushed.push((lpn, ver));
                 }
             }
         }
@@ -158,6 +174,7 @@ impl Inner {
                     let ver = self.versions.get(&lpn).copied().unwrap_or(0);
                     self.backend.lock().write_page(lpn, ver, bytes);
                     self.stats.flushed_pages += 1;
+                    self.stats.repl.partition_destages += 1;
                 }
             }
         }
@@ -194,6 +211,7 @@ impl Node {
             next_version: 1,
             backend,
             remote: HashMap::new(),
+            peer_seqs: SeqTracker::new(),
             degraded: false,
             monitor,
             pending_acks: HashMap::new(),
@@ -247,14 +265,14 @@ impl Node {
             inner.data.insert(lpn, bytes.clone());
             let ev = inner.buffer.write(lpn, 1);
             let flushed = inner.apply_eviction(&ev);
-            if flushed.contains(&lpn) {
+            if flushed.iter().any(|&(l, _)| l == lpn) {
                 // The new page was evicted (and flushed) synchronously by
                 // its own insertion — it is already durable on the backend,
                 // so replicating it would only leave a stale orphan at the
                 // peer.
                 inner.stats.write_through += 1;
                 drop(inner);
-                let _ = self.transport.send(Message::Discard { lpns: flushed });
+                self.send_discard(flushed);
                 return WriteOutcome::WriteThrough;
             }
             let seq = inner.next_seq;
@@ -265,19 +283,41 @@ impl Node {
         };
 
         if !flushed.is_empty() {
-            let _ = self.transport.send(Message::Discard { lpns: flushed });
+            self.send_discard(flushed);
         }
-        let sent = self.transport.send(Message::WriteRepl {
-            seq,
-            lpn,
-            version,
-            data: bytes.clone(),
-        });
-        let ack_timeout = {
+        let (ack_timeout, retry) = {
             let inner = self.inner.lock();
-            inner.cfg.ack_timeout
+            (inner.cfg.ack_timeout, inner.cfg.retry)
         };
-        let acked = sent.is_ok() && matches!(wait_ack(&ack_rx, ack_timeout), Ok(()));
+        // Bounded retry-with-backoff: resend the *same* sequence number on
+        // every attempt, so the receiver can dedup a retransmission whose
+        // predecessor (or whose ack) was merely late, and re-ack it.
+        let mut acked = false;
+        let mut retries_used: u32 = 0;
+        loop {
+            let sent = self.transport.send(Message::WriteRepl {
+                seq,
+                lpn,
+                version,
+                data: bytes.clone(),
+            });
+            if sent == Err(TransportError::Disconnected) {
+                // A disconnected transport stays disconnected; retrying
+                // cannot help.
+                break;
+            }
+            if wait_ack(&ack_rx, ack_timeout).is_ok() {
+                acked = true;
+                break;
+            }
+            if retries_used >= retry.max_retries() {
+                break;
+            }
+            let backoff = retry.backoff_for(retries_used);
+            retries_used += 1;
+            self.inner.lock().stats.repl.retries += 1;
+            std::thread::sleep(Duration::from_nanos(backoff.as_nanos()));
+        }
 
         let mut inner = self.inner.lock();
         inner.pending_acks.remove(&seq);
@@ -292,6 +332,21 @@ impl Node {
             inner.enter_degraded();
             WriteOutcome::WriteThrough
         }
+    }
+
+    /// Send a seq-stamped, version-bounded Discard (fire-and-forget: a lost
+    /// Discard only leaves stale — version-guarded — copies at the peer).
+    fn send_discard(&self, pages: Vec<(u64, u64)>) {
+        if pages.is_empty() {
+            return;
+        }
+        let seq = {
+            let mut inner = self.inner.lock();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            seq
+        };
+        let _ = self.transport.send(Message::Discard { seq, pages });
     }
 
     /// Read one page: local buffer first, then the backend (caching the
@@ -312,9 +367,7 @@ impl Node {
                 let ev = inner.buffer.insert_clean(lpn, 1);
                 let flushed = inner.apply_eviction(&ev);
                 drop(inner);
-                if !flushed.is_empty() {
-                    let _ = self.transport.send(Message::Discard { lpns: flushed });
-                }
+                self.send_discard(flushed);
                 Some(data)
             }
             None => None,
@@ -324,15 +377,18 @@ impl Node {
     /// Delete one page (a short-lived file dies): the buffered copy, the
     /// peer's replica, and the backend copy all go away without a flush.
     pub fn delete(&self, lpn: u64) {
-        {
+        let version = {
             let mut inner = self.inner.lock();
             inner.buffer.discard(lpn, 1);
             inner.data.remove(&lpn);
-            inner.versions.remove(&lpn);
+            let version = inner.versions.remove(&lpn).unwrap_or(u64::MAX);
             inner.backend.lock().trim_page(lpn);
             inner.stats.deletes += 1;
-        }
-        let _ = self.transport.send(Message::Discard { lpns: vec![lpn] });
+            version
+        };
+        // Every replica of this page carries a version <= the one current at
+        // delete time, so the bound removes them all.
+        self.send_discard(vec![(lpn, version)]);
     }
 
     /// Run the local-failure recovery protocol: fetch the peer's snapshot of
@@ -342,9 +398,10 @@ impl Node {
         let (tx, rx) = bounded(1);
         self.inner.lock().snapshot_waiters.push(tx);
         self.transport.send(Message::RctFetch)?;
-        let entries = rx
-            .recv_timeout(timeout)
-            .map_err(|_| TransportError::Disconnected)?;
+        let entries = rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })?;
         let n = entries.len();
         {
             let inner = self.inner.lock();
@@ -486,6 +543,9 @@ fn pump_loop(
                 // still needs to be honoured; back off a little.
                 std::thread::sleep(cfg.heartbeat);
             }
+            // A timed-out receive is not a verdict on the link; the
+            // heartbeat monitor decides.
+            Err(TransportError::Timeout) => {}
         }
         // Failure detection.
         let mut guard = inner.lock();
@@ -510,9 +570,22 @@ fn handle_message(
         } => {
             {
                 let mut g = inner.lock();
-                let e = g.remote.entry(lpn).or_insert((version, data.clone()));
-                if version >= e.0 {
-                    *e = (version, data);
+                match g.peer_seqs.observe(seq) {
+                    SeqStatus::Duplicate => {
+                        // Retransmission or network duplication: already
+                        // applied, just re-ack below (the first ack may have
+                        // been the casualty).
+                        g.stats.repl.dups_dropped += 1;
+                    }
+                    status => {
+                        if status == SeqStatus::NewOutOfOrder {
+                            g.stats.repl.reorders_healed += 1;
+                        }
+                        let e = g.remote.entry(lpn).or_insert((version, data.clone()));
+                        if version >= e.0 {
+                            *e = (version, data);
+                        }
+                    }
                 }
             }
             let _ = transport.send(Message::ReplAck { seq });
@@ -523,10 +596,24 @@ fn handle_message(
                 let _ = tx.send(());
             }
         }
-        Message::Discard { lpns } => {
+        Message::Discard { seq, pages } => {
             let mut g = inner.lock();
-            for l in lpns {
-                g.remote.remove(&l);
+            match g.peer_seqs.observe(seq) {
+                SeqStatus::Duplicate => {
+                    g.stats.repl.dups_dropped += 1;
+                }
+                status => {
+                    if status == SeqStatus::NewOutOfOrder {
+                        g.stats.repl.reorders_healed += 1;
+                    }
+                    for (lpn, ver) in pages {
+                        // Version-bounded: a reordered Discard must not
+                        // delete a copy newer than the flush it refers to.
+                        if g.remote.get(&lpn).is_some_and(|(v, _)| *v <= ver) {
+                            g.remote.remove(&lpn);
+                        }
+                    }
+                }
             }
         }
         Message::Heartbeat { .. } => {

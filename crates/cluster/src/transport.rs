@@ -18,16 +18,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Transport failures. A disconnected transport stays disconnected.
+/// Transport failures. A disconnected transport stays disconnected; a timed
+/// out operation may be retried.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// The peer is unreachable (socket closed, channel dropped, or severed).
     Disconnected,
+    /// The operation did not complete in time (the link may still be up —
+    /// e.g. a reply lost to a lossy network). Retryable.
+    Timeout,
 }
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("peer transport disconnected")
+        match self {
+            TransportError::Disconnected => f.write_str("peer transport disconnected"),
+            TransportError::Timeout => f.write_str("peer transport operation timed out"),
+        }
     }
 }
 
@@ -44,6 +51,23 @@ pub trait Transport: Send {
 
     /// True if the link is known dead.
     fn is_connected(&self) -> bool;
+}
+
+/// Sharing a transport: a node can own one handle while the caller keeps
+/// another for inspection (e.g. reading a `FaultTransport`'s decision trace
+/// while the node runs).
+impl<T: Transport + Send + Sync + ?Sized> Transport for Arc<T> {
+    fn send(&self, msg: Message) -> Result<(), TransportError> {
+        (**self).send(msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        (**self).recv_timeout(timeout)
+    }
+
+    fn is_connected(&self) -> bool {
+        (**self).is_connected()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -318,7 +342,7 @@ mod tests {
                     disconnected = true;
                     break;
                 }
-                Ok(None) => continue,
+                Err(TransportError::Timeout) | Ok(None) => continue,
                 Ok(Some(m)) => panic!("unexpected message {m:?}"),
             }
         }

@@ -38,8 +38,15 @@ pub enum Message {
     },
     /// The owner flushed these pages to its SSD; the peer drops its copies.
     Discard {
-        /// Flushed pages.
-        lpns: Vec<u64>,
+        /// Sender-local sequence number (shared counter with
+        /// [`Message::WriteRepl`], so the receiver can dedup and detect
+        /// reordering across the whole data plane).
+        seq: u64,
+        /// `(lpn, version)` of each flushed page. The version bounds the
+        /// discard: the peer only drops its copy if it is not newer, so a
+        /// Discard delayed past a fresher replication of the same page
+        /// cannot delete the only surviving copy of an acknowledged write.
+        pages: Vec<(u64, u64)>,
     },
     /// Liveness beat.
     Heartbeat {
@@ -117,11 +124,13 @@ pub fn encode(msg: &Message, out: &mut BytesMut) {
             out.put_u8(TAG_REPL_ACK);
             out.put_u64_le(*seq);
         }
-        Message::Discard { lpns } => {
+        Message::Discard { seq, pages } => {
             out.put_u8(TAG_DISCARD);
-            out.put_u32_le(lpns.len() as u32);
-            for l in lpns {
-                out.put_u64_le(*l);
+            out.put_u64_le(*seq);
+            out.put_u32_le(pages.len() as u32);
+            for (lpn, ver) in pages {
+                out.put_u64_le(*lpn);
+                out.put_u64_le(*ver);
             }
         }
         Message::Heartbeat { from, at_millis } => {
@@ -199,11 +208,14 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
             }
         }
         TAG_DISCARD => {
-            need(body, 4)?;
+            need(body, 8 + 4)?;
+            let seq = body.get_u64_le();
             let n = body.get_u32_le() as usize;
-            need(body, n * 8)?;
-            let lpns = (0..n).map(|_| body.get_u64_le()).collect();
-            Message::Discard { lpns }
+            need(body, n * 16)?;
+            let pages = (0..n)
+                .map(|_| (body.get_u64_le(), body.get_u64_le()))
+                .collect();
+            Message::Discard { seq, pages }
         }
         TAG_HEARTBEAT => {
             need(body, 1 + 8)?;
@@ -234,6 +246,89 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
     Ok(msg)
 }
 
+impl Message {
+    /// Data-plane sequence number of this message, if it carries one.
+    /// `WriteRepl` and `Discard` are the data plane (they mutate the peer's
+    /// remote buffer); everything else is control traffic.
+    pub fn data_seq(&self) -> Option<u64> {
+        match self {
+            Message::WriteRepl { seq, .. } | Message::Discard { seq, .. } => Some(*seq),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Receive-side sequence tracking
+// ---------------------------------------------------------------------------
+
+/// Classification of an incoming sequence number by [`SeqTracker::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqStatus {
+    /// First sighting, in order (above everything seen so far).
+    New,
+    /// First sighting, but a higher sequence number already arrived — the
+    /// network reordered delivery. The message is still safe to apply
+    /// (page versions guard against stale overwrites).
+    NewOutOfOrder,
+    /// Already seen (retransmission or network duplication) — or so far
+    /// behind the high-water mark it must be presumed seen. Skip it.
+    Duplicate,
+}
+
+/// Tracks data-plane sequence numbers on the receive side so duplicated and
+/// reordered deliveries are detected. Exact within a sliding window of
+/// [`SeqTracker::WINDOW`] below the high-water mark; anything older is
+/// conservatively treated as a duplicate (a sender would have retried or
+/// write-through-ed such a message aeons ago).
+#[derive(Debug, Clone, Default)]
+pub struct SeqTracker {
+    highest: u64,
+    seen: std::collections::BTreeSet<u64>,
+}
+
+impl SeqTracker {
+    /// Sliding-window width: sequence numbers more than this far below the
+    /// high-water mark are presumed already seen.
+    pub const WINDOW: u64 = 4096;
+
+    /// Fresh tracker: nothing observed.
+    pub fn new() -> Self {
+        SeqTracker::default()
+    }
+
+    /// Classify `seq` and record it. Sequence numbers start at 1; 0 never
+    /// appears on the wire.
+    pub fn observe(&mut self, seq: u64) -> SeqStatus {
+        let floor = self.highest.saturating_sub(Self::WINDOW);
+        if seq <= floor && self.highest > 0 {
+            return SeqStatus::Duplicate;
+        }
+        if !self.seen.insert(seq) {
+            return SeqStatus::Duplicate;
+        }
+        if seq > self.highest {
+            self.highest = seq;
+            // Prune entries that fell out of the window.
+            let floor = self.highest.saturating_sub(Self::WINDOW);
+            while let Some(&lo) = self.seen.iter().next() {
+                if lo > floor {
+                    break;
+                }
+                self.seen.remove(&lo);
+            }
+            SeqStatus::New
+        } else {
+            SeqStatus::NewOutOfOrder
+        }
+    }
+
+    /// Highest sequence number observed so far (0 = none).
+    pub fn highest(&self) -> u64 {
+        self.highest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,7 +351,8 @@ mod tests {
         });
         round_trip(Message::ReplAck { seq: 42 });
         round_trip(Message::Discard {
-            lpns: vec![1, 2, 3, 1 << 40],
+            seq: 43,
+            pages: vec![(1, 10), (2, 11), (3, 12), (1 << 40, 1 << 50)],
         });
         round_trip(Message::Heartbeat {
             from: 1,
@@ -333,6 +429,71 @@ mod tests {
     }
 
     #[test]
+    fn seq_tracker_in_order_stream() {
+        let mut t = SeqTracker::new();
+        for s in 1..=100u64 {
+            assert_eq!(t.observe(s), SeqStatus::New, "seq {s}");
+        }
+        assert_eq!(t.highest(), 100);
+    }
+
+    #[test]
+    fn seq_tracker_flags_duplicates_and_reorders() {
+        let mut t = SeqTracker::new();
+        assert_eq!(t.observe(1), SeqStatus::New);
+        assert_eq!(t.observe(3), SeqStatus::New);
+        assert_eq!(t.observe(2), SeqStatus::NewOutOfOrder);
+        assert_eq!(t.observe(2), SeqStatus::Duplicate);
+        assert_eq!(t.observe(3), SeqStatus::Duplicate);
+        assert_eq!(t.observe(4), SeqStatus::New);
+        assert_eq!(t.highest(), 4);
+    }
+
+    #[test]
+    fn seq_tracker_presumes_ancient_seqs_seen() {
+        let mut t = SeqTracker::new();
+        let high = SeqTracker::WINDOW + 50;
+        assert_eq!(t.observe(high), SeqStatus::New);
+        // Inside the window: genuinely new, just very late.
+        assert_eq!(t.observe(high - SeqTracker::WINDOW + 1), SeqStatus::NewOutOfOrder);
+        // At or below the floor: presumed duplicate.
+        assert_eq!(t.observe(high - SeqTracker::WINDOW), SeqStatus::Duplicate);
+        assert_eq!(t.observe(1), SeqStatus::Duplicate);
+    }
+
+    #[test]
+    fn data_seq_covers_exactly_the_data_plane() {
+        assert_eq!(
+            Message::WriteRepl {
+                seq: 9,
+                lpn: 1,
+                version: 1,
+                data: Bytes::new()
+            }
+            .data_seq(),
+            Some(9)
+        );
+        assert_eq!(
+            Message::Discard {
+                seq: 4,
+                pages: vec![]
+            }
+            .data_seq(),
+            Some(4)
+        );
+        assert_eq!(Message::ReplAck { seq: 9 }.data_seq(), None);
+        assert_eq!(
+            Message::Heartbeat {
+                from: 0,
+                at_millis: 0
+            }
+            .data_seq(),
+            None
+        );
+        assert_eq!(Message::RctFetch.data_seq(), None);
+    }
+
+    #[test]
     fn empty_page_data_is_fine() {
         round_trip(Message::WriteRepl {
             seq: 0,
@@ -340,7 +501,10 @@ mod tests {
             version: 0,
             data: Bytes::new(),
         });
-        round_trip(Message::Discard { lpns: vec![] });
+        round_trip(Message::Discard {
+            seq: 0,
+            pages: vec![],
+        });
         round_trip(Message::RctSnapshot { entries: vec![] });
     }
 }

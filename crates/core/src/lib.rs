@@ -52,8 +52,8 @@ pub mod tables;
 
 pub use buffer::{BufferManager, BufferStats, ReadSegment};
 pub use cluster::{Cluster, ClusterReport};
-pub use config::{AllocParams, FlashCoopConfig, PolicyKind, Scheme};
-pub use metrics::RunReport;
+pub use config::{AllocParams, FlashCoopConfig, PolicyKind, RetryPolicy, Scheme};
+pub use metrics::{ReplicationStats, RunReport};
 pub use pair::{CoopPair, Injection, PairEvent};
 pub use policy::{Eviction, FlushRun};
 pub use recovery::{HeartbeatMonitor, PeerEvent, PeerState};

@@ -7,6 +7,41 @@ use fc_simkit::SimDuration;
 use fc_ssd::{FtlKind, FtlStats};
 use serde::{Deserialize, Serialize};
 
+/// Fault-tolerance counters for the replication path. Shared between the
+/// threaded cluster node (`fc-cluster`) and any future simulated lossy
+/// link: every counter is a symptom of the network misbehaving and the
+/// protocol absorbing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationStats {
+    /// Replication sends re-attempted after an ack timeout.
+    pub retries: u64,
+    /// Received data-plane messages discarded as duplicates (same sequence
+    /// number seen before — retransmissions or network duplication).
+    pub dups_dropped: u64,
+    /// Received data-plane messages that arrived behind a higher sequence
+    /// number and were applied anyway (reordering absorbed).
+    pub reorders_healed: u64,
+    /// Dirty pages destaged to the backend because the peer was declared
+    /// failed or unreachable (degraded-mode entries).
+    pub partition_destages: u64,
+}
+
+impl ReplicationStats {
+    /// True when the link behaved perfectly: nothing retried, deduplicated,
+    /// reordered, or destaged.
+    pub fn is_clean(&self) -> bool {
+        *self == ReplicationStats::default()
+    }
+
+    /// Sum the counters of `other` into `self` (merging per-node reports).
+    pub fn absorb(&mut self, other: &ReplicationStats) {
+        self.retries += other.retries;
+        self.dups_dropped += other.dups_dropped;
+        self.reorders_healed += other.reorders_healed;
+        self.partition_destages += other.partition_destages;
+    }
+}
+
 /// Results of one trace replay.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -117,6 +152,25 @@ mod tests {
         // Millisecond conversion shows 0.630.
         assert!(row.contains("0.630"));
         assert!(!RunReport::header().is_empty());
+    }
+
+    #[test]
+    fn replication_stats_merge_and_cleanliness() {
+        let mut a = ReplicationStats::default();
+        assert!(a.is_clean());
+        let b = ReplicationStats {
+            retries: 2,
+            dups_dropped: 1,
+            reorders_healed: 3,
+            partition_destages: 4,
+        };
+        a.absorb(&b);
+        a.absorb(&b);
+        assert!(!a.is_clean());
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.dups_dropped, 2);
+        assert_eq!(a.reorders_healed, 6);
+        assert_eq!(a.partition_destages, 8);
     }
 
     #[test]

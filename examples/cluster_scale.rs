@@ -67,13 +67,13 @@ fn main() {
         "{:<8} {:<6} {:>12} {:>14} {:>10} {:>10}",
         "server", "trace", "requests", "avg resp", "erases", "theta%"
     );
-    for s in 0..cluster.servers() {
+    for (s, trace) in traces.iter().enumerate().take(cluster.servers()) {
         let pair = cluster.pair(s / 2);
         let server = cluster.server(s);
         println!(
             "{:<8} {:<6} {:>12} {:>14} {:>10} {:>9.1}",
             format!("{}/{}", s / 2, s % 2),
-            traces[s].name,
+            trace.name,
             server.metrics().response.count(),
             format!("{}", server.metrics().response.mean()),
             server.ssd().erases_since_reset(),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: build, full test suite, lints. Everything is offline
+# (dependencies are path shims under shims/) and seeded — property tests
+# derive per-test seeds deterministically (override with PROPTEST_SEED),
+# and the chaos suite in tests/chaos_replication.rs uses fixed seeds 1..=20,
+# so a red run here is reproducible locally with the same commands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: root package tests"
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test --workspace -q --offline
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

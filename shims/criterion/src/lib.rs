@@ -1,0 +1,142 @@
+//! Offline shim for `criterion 0.5`: runs each registered benchmark a small
+//! number of iterations and prints mean wall-clock time. No statistics, no
+//! HTML reports — just enough to keep the `benches/` targets compiling and
+//! producing comparable numbers offline.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), benchmark bodies are skipped entirely so the test run
+//! stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("group: {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(&id.into(), sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, n, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Close the group (formatting hook in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        println!("bench {id}: skipped (--test mode)");
+        return;
+    }
+    let mut b = Bencher {
+        iters: samples.max(1) as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters > 0 && b.elapsed > Duration::ZERO {
+        let per = b.elapsed / b.iters as u32;
+        println!("bench {id}: {per:?}/iter over {} iters", b.iters);
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevent the optimiser from deleting a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,211 @@
+//! Offline shim for `rand 0.8`: exactly the subset the workspace uses —
+//! `rngs::SmallRng` (xoshiro256++ seeded via SplitMix64), `SeedableRng::
+//! seed_from_u64`, and `Rng::{gen, gen_range}` over the primitive types the
+//! simulators draw. Deterministic across runs and platforms.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a primitive type (uniform over its natural domain;
+    /// `f64`/`f32` are uniform in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64(), || unreachable!())
+    }
+
+    /// Sample uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Derive a value from 64 random bits (`more` supplies further words if
+    /// a wider type ever needs them).
+    fn sample(bits: u64, more: impl FnMut() -> u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(bits: u64, _more: impl FnMut() -> u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample(bits: u64, _more: impl FnMut() -> u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64, _more: impl FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits, exactly the `rand` Standard distribution.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample(bits: u64, _more: impl FnMut() -> u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Uniform sample from the range. Panics on an empty range.
+    fn sample_from(self, rng: &mut impl Rng) -> T;
+}
+
+fn uniform_below(rng: &mut impl Rng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift rejection (Lemire): unbiased and cheap.
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo >= span {
+            return (m >> 64) as u64;
+        }
+        let threshold = span.wrapping_neg() % span;
+        if lo >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut impl Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut impl Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut impl Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let u = f64::sample(rng.next_u64(), || 0);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and plenty for simulation workloads.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = r.gen_range(5u64..=5);
+            assert_eq!(y, 5);
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

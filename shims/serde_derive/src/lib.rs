@@ -1,0 +1,15 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing. The
+//! companion `serde` shim provides blanket impls of the marker traits, so an
+//! empty expansion is all `#[derive(Serialize, Deserialize)]` needs.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
