@@ -62,9 +62,13 @@ fn run() -> Result<(), String> {
             let scheme = flag_value(&args, "--scheme").unwrap_or_else(|| "lar".into());
             let buffer = parse_or(flag_value(&args, "--buffer"), 4096usize)?;
             let seed = parse_or(flag_value(&args, "--seed"), 42u64)?;
-            let out = cli::replay_text(&text, &ftl, &scheme, buffer, seed)
+            let obs = flag_value(&args, "--obs").map(std::path::PathBuf::from);
+            let out = cli::replay_text_obs(&text, &ftl, &scheme, buffer, seed, obs.as_deref())
                 .map_err(|e| e.to_string())?;
             print!("{out}");
+            if let Some(p) = obs {
+                eprintln!("wrote observability stream to {}", p.display());
+            }
             Ok(())
         }
         "--help" | "-h" | "help" => {

@@ -2,10 +2,12 @@
 //! replay I/O traces. The binary (`src/bin/fctrace.rs`) is a thin argument
 //! parser over these functions so everything here is unit-testable.
 
+use fc_obs::Obs;
 use fc_ssd::FtlKind;
 use fc_trace::synth::ShortLivedSpec;
 use fc_trace::{parse_spc, write_spc, SpcConfig, SyntheticSpec, Trace, TraceStats};
-use flashcoop::{replay, FlashCoopConfig, PolicyKind, Preconditioning, Scheme};
+use flashcoop::{replay_with_obs, FlashCoopConfig, PolicyKind, Preconditioning, Scheme};
+use std::path::Path;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -16,6 +18,8 @@ pub enum CliError {
     Parse(String),
     /// Numeric argument failed to parse.
     BadNumber(String),
+    /// Filesystem error (e.g. the `--obs` output file).
+    Io(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -24,6 +28,7 @@ impl std::fmt::Display for CliError {
             CliError::BadName(s) => write!(f, "unknown name: {s}"),
             CliError::Parse(s) => write!(f, "trace parse error: {s}"),
             CliError::BadNumber(s) => write!(f, "bad number: {s}"),
+            CliError::Io(s) => write!(f, "io error: {s}"),
         }
     }
 }
@@ -118,6 +123,20 @@ pub fn replay_text(
     buffer_pages: usize,
     seed: u64,
 ) -> Result<String, CliError> {
+    replay_text_obs(spc_text, ftl, scheme, buffer_pages, seed, None)
+}
+
+/// [`replay_text`] with an optional observability stream: when `obs_path`
+/// is given, every metric snapshot and trace event of the run is written
+/// there as JSON lines (see `fc_obs::validate_jsonl` for the schema).
+pub fn replay_text_obs(
+    spc_text: &str,
+    ftl: &str,
+    scheme: &str,
+    buffer_pages: usize,
+    seed: u64,
+    obs_path: Option<&Path>,
+) -> Result<String, CliError> {
     let ftl = parse_ftl(ftl)?;
     let scheme = parse_scheme(scheme)?;
     let policy = match scheme {
@@ -138,11 +157,22 @@ pub fn replay_text(
     if trace.address_span() > logical {
         trace.wrap_addresses(logical);
     }
-    let report = replay(&trace, &cfg, scheme, Some(Preconditioning::default()), seed);
+    let obs = match obs_path {
+        Some(p) => Some(Obs::jsonl_file(p).map_err(|e| CliError::Io(format!("{}: {e}", p.display())))?),
+        None => None,
+    };
+    let report = replay_with_obs(
+        &trace,
+        &cfg,
+        scheme,
+        Some(Preconditioning::default()),
+        seed,
+        obs.as_ref(),
+    );
     let mut out = String::new();
-    out.push_str(&flashcoop::RunReport::header());
+    out.push_str(&crate::format::report_header());
     out.push('\n');
-    out.push_str(&report.row());
+    out.push_str(&crate::format::report_row(&report));
     out.push('\n');
     Ok(out)
 }
@@ -157,6 +187,7 @@ USAGE:
                   [--pages P] [--out file.spc]
     fctrace replay <file.spc> [--ftl bast|fast|page|dftl]
                    [--scheme lar|lru|lfu|baseline] [--buffer PAGES] [--seed S]
+                   [--obs out.jsonl]
 ";
 
 #[cfg(test)]
@@ -203,6 +234,113 @@ mod tests {
         let out = replay_text(&text, "bast", "lar", 256, 9).unwrap();
         assert!(out.contains("FlashCoop w. LAR"));
         assert!(out.contains("BAST"));
+    }
+
+    #[test]
+    fn obs_jsonl_recomputes_report_values() {
+        // Acceptance: one fc-bench run with `--obs` emits a JSONL stream
+        // from which the report's headline numbers — average and p99
+        // response, erase count, and the destage run-length histogram —
+        // can be recomputed independently.
+        use fc_obs::{parse_jsonl, Value};
+        use fc_trace::SyntheticSpec;
+        use flashcoop::replay_with_obs;
+
+        let dir = std::env::temp_dir().join(format!("fc-bench-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        let cfg = FlashCoopConfig::tiny(FtlKind::Bast, PolicyKind::Lar);
+        let trace = SyntheticSpec::mix(128).with_requests(600).generate(11);
+        let obs = fc_obs::Obs::jsonl_file(&path).unwrap();
+        let report = replay_with_obs(
+            &trace,
+            &cfg,
+            Scheme::FlashCoop(PolicyKind::Lar),
+            None,
+            11,
+            Some(&obs),
+        );
+        obs.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = parse_jsonl(&text).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Response times: every request leaves one core write/read/trim
+        // event carrying resp_ns; the mean and the nearest-rank p99 must
+        // reproduce the report.
+        let mut resp: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.component == "core" && matches!(e.kind.as_ref(), "write" | "read" | "trim")
+            })
+            .map(|e| e.get("resp_ns").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert_eq!(resp.len(), report.requests);
+        let mean = resp.iter().sum::<u64>() / resp.len() as u64;
+        assert!(
+            mean.abs_diff(report.avg_response.as_nanos()) <= 1,
+            "recomputed mean {mean} vs report {}",
+            report.avg_response.as_nanos()
+        );
+        resp.sort_unstable();
+        let rank = ((0.99 * resp.len() as f64).ceil() as usize).clamp(1, resp.len());
+        assert_eq!(resp[rank - 1], report.p99_response.as_nanos());
+
+        // Erase count: the ssd host_write events carry the per-request
+        // erase delta.
+        let erases: u64 = events
+            .iter()
+            .filter(|e| e.component == "ssd" && e.kind == "host_write")
+            .map(|e| e.get("erases").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert_eq!(erases, report.erases);
+
+        // Destage run-length histogram: rebuild it from the per-destage
+        // run_pages arrays; it must agree with the registry's histogram in
+        // the final snapshot (same count/sum/percentiles).
+        let rebuilt = fc_obs::Histogram::new();
+        for e in events.iter().filter(|e| e.kind == "destage") {
+            for &pages in match e.get("run_pages") {
+                Some(Value::U64s(v)) => v.as_slice(),
+                other => panic!("destage without run_pages: {other:?}"),
+            } {
+                rebuilt.record(pages);
+            }
+        }
+        let last_snapshot = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == "snapshot")
+            .expect("run emits snapshots");
+        let snap = |field: &str| {
+            last_snapshot
+                .get(&format!("core.destage.run_pages.{field}"))
+                .and_then(Value::as_u64)
+                .unwrap()
+        };
+        assert!(rebuilt.count() > 0, "run should destage something");
+        assert_eq!(rebuilt.count(), snap("count"));
+        assert_eq!(rebuilt.sum(), snap("sum"));
+        assert_eq!(rebuilt.max(), snap("max"));
+        assert_eq!(rebuilt.p50(), snap("p50"));
+        assert_eq!(rebuilt.p99(), snap("p99"));
+        assert_eq!(rebuilt.p999(), snap("p999"));
+    }
+
+    #[test]
+    fn replay_text_obs_writes_valid_stream() {
+        let dir = std::env::temp_dir().join(format!("fc-bench-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cli.jsonl");
+        let text = synth_text("mix", 4096, 300, 9).unwrap();
+        let out = replay_text_obs(&text, "bast", "lar", 256, 9, Some(&path)).unwrap();
+        assert!(out.contains("FlashCoop w. LAR"));
+        let stream = std::fs::read_to_string(&path).unwrap();
+        let n = fc_obs::validate_jsonl(&stream).unwrap();
+        assert!(n > 300, "expected a dense stream, got {n} events");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

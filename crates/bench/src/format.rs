@@ -1,0 +1,142 @@
+//! Presentation adapters for [`RunReport`].
+//!
+//! The report itself is plain serialisable data (`RunReport::header()/row()`
+//! are deprecated); how it is rendered — the classic aligned table, CSV for
+//! spreadsheets — is a bench-harness concern and lives here. The table
+//! output is byte-identical to what the deprecated methods produced, so
+//! existing scripts that scrape `fctrace replay` keep working.
+
+use flashcoop::RunReport;
+
+/// Column header of the aligned results table (byte-identical to the
+/// deprecated `RunReport::header()`).
+pub fn report_header() -> String {
+    format!(
+        "{:<18} {:<11} {:<5} {:>12} {:>12} {:>8} {:>10} {:>6} {:>8} {:>8}",
+        "Scheme",
+        "FTL",
+        "Trace",
+        "AvgResp(ms)",
+        "p99(ms)",
+        "Hit(%)",
+        "Erases",
+        "WA",
+        "1pg(%)",
+        ">8pg(%)"
+    )
+}
+
+/// One aligned results row (byte-identical to the deprecated
+/// `RunReport::row()`).
+pub fn report_row(r: &RunReport) -> String {
+    format!(
+        "{:<18} {:<11} {:<5} {:>12.3} {:>12.3} {:>8.2} {:>10} {:>6.2} {:>8.2} {:>8.2}",
+        r.scheme.name(),
+        r.ftl.name(),
+        r.trace,
+        r.avg_response.as_millis_f64(),
+        r.p99_response.as_millis_f64(),
+        r.hit_ratio * 100.0,
+        r.erases,
+        r.write_amplification,
+        r.frac_single_page * 100.0,
+        r.frac_gt8_pages * 100.0,
+    )
+}
+
+/// CSV column header matching [`csv_row`].
+pub fn csv_header() -> String {
+    "scheme,ftl,trace,requests,avg_response_ms,p99_response_ms,\
+     avg_write_response_ms,avg_read_response_ms,hit_ratio,erases,\
+     write_amplification,mean_write_pages,frac_single_page,frac_gt8_pages"
+        .to_string()
+}
+
+/// One report as a CSV row. Names containing commas are quoted; numeric
+/// fields are plain decimals so the file loads anywhere.
+pub fn csv_row(r: &RunReport) -> String {
+    fn cell(s: &str) -> String {
+        if s.contains(',') || s.contains('"') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    format!(
+        "{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{:.6},{:.6},{:.6},{:.6}",
+        cell(&r.scheme.name()),
+        cell(r.ftl.name()),
+        cell(&r.trace),
+        r.requests,
+        r.avg_response.as_millis_f64(),
+        r.p99_response.as_millis_f64(),
+        r.avg_write_response.as_millis_f64(),
+        r.avg_read_response.as_millis_f64(),
+        r.hit_ratio,
+        r.erases,
+        r.write_amplification,
+        r.mean_write_pages,
+        r.frac_single_page,
+        r.frac_gt8_pages,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fc_simkit::SimDuration;
+    use fc_ssd::{FtlKind, FtlStats};
+    use flashcoop::{PolicyKind, Scheme};
+
+    fn report() -> RunReport {
+        RunReport {
+            scheme: Scheme::FlashCoop(PolicyKind::Lar),
+            ftl: FtlKind::Bast,
+            trace: "Fin1".into(),
+            requests: 1000,
+            avg_response: SimDuration::from_micros(630),
+            p99_response: SimDuration::from_millis(5),
+            avg_write_response: SimDuration::from_micros(100),
+            avg_read_response: SimDuration::from_micros(900),
+            hit_ratio: 0.78,
+            erases: 8700,
+            write_amplification: 1.4,
+            mean_write_pages: 12.0,
+            frac_single_page: 0.03,
+            frac_gt8_pages: 0.35,
+            write_length_cdf: vec![(1, 0.03), (64, 1.0)],
+            ftl_stats: FtlStats::default(),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn table_output_is_byte_identical_to_deprecated_methods() {
+        let r = report();
+        assert_eq!(report_header(), RunReport::header());
+        assert_eq!(report_row(&r), r.row());
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity_and_values() {
+        let r = report();
+        let header_cols = csv_header().split(',').count();
+        let row = csv_row(&r);
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), header_cols);
+        assert_eq!(cols[0], "FlashCoop w. LAR");
+        assert_eq!(cols[1], "BAST");
+        assert_eq!(cols[2], "Fin1");
+        assert_eq!(cols[3], "1000");
+        let avg_ms: f64 = cols[4].parse().unwrap();
+        assert!((avg_ms - 0.630).abs() < 1e-9);
+        assert_eq!(cols[9], "8700");
+    }
+
+    #[test]
+    fn csv_quotes_awkward_names() {
+        let mut r = report();
+        r.trace = "a,b".into();
+        assert!(csv_row(&r).contains("\"a,b\""));
+    }
+}

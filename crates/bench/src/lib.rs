@@ -23,6 +23,7 @@ pub mod cli;
 pub mod ext;
 pub mod fig1;
 pub mod fig9;
+pub mod format;
 pub mod matrix;
 pub mod params;
 

@@ -22,6 +22,7 @@
 
 use crate::transport::{Transport, TransportError};
 use crate::wire::Message;
+use fc_obs::Obs;
 use fc_simkit::DetRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -221,6 +222,21 @@ pub struct FaultStats {
     pub passthrough: u64,
 }
 
+/// Dumps the fault counters under `cluster.fault.*`.
+impl fc_obs::StatSource for FaultStats {
+    fn emit(&self, reg: &mut fc_obs::Registry) {
+        reg.counter("cluster.fault.eligible").store(self.eligible);
+        reg.counter("cluster.fault.delivered").store(self.delivered);
+        reg.counter("cluster.fault.dropped").store(self.dropped);
+        reg.counter("cluster.fault.duplicated").store(self.duplicated);
+        reg.counter("cluster.fault.held").store(self.held);
+        reg.counter("cluster.fault.partitioned")
+            .store(self.partitioned);
+        reg.counter("cluster.fault.passthrough")
+            .store(self.passthrough);
+    }
+}
+
 struct FaultState {
     rng: DetRng,
     /// Count of eligible sends so far (the decision index).
@@ -272,6 +288,7 @@ pub struct FaultTransport<T: Transport + Sync + 'static> {
     state: Mutex<FaultState>,
     queue: Arc<DeliveryQueue>,
     worker: Option<JoinHandle<()>>,
+    obs: Option<Obs>,
 }
 
 impl<T: Transport + Sync + 'static> FaultTransport<T> {
@@ -306,7 +323,42 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
             }),
             queue,
             worker: Some(worker),
+            obs: None,
         }
+    }
+
+    /// Attach observability before handing the transport to a node: every
+    /// fault decision is mirrored as a wall-stamped `cluster.fault`/
+    /// `decision` event tagged with the plan's seed and the eligible-send
+    /// index — exactly one event per [`FaultRecord`], in trace order.
+    /// To keep a queryable handle while a [`crate::Node`] owns the
+    /// transport, wrap it in an [`Arc`] and spawn the node over a clone.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = Some(obs.clone());
+    }
+
+    /// Mirror one decision into the obs stream.
+    fn emit_decision(&self, index: u64, seq: Option<u64>, action: FaultAction) {
+        let Some(o) = &self.obs else { return };
+        let mut ev = o
+            .wall_event("cluster.fault", "decision")
+            .u64_field("seed", self.plan.seed)
+            .u64_field("index", index);
+        if let Some(s) = seq {
+            ev = ev.u64_field("seq", s);
+        }
+        ev = match action {
+            FaultAction::Deliver { delay_nanos, dup } => ev
+                .str_field("action", "deliver")
+                .u64_field("delay_ns", delay_nanos)
+                .bool_field("dup", dup),
+            FaultAction::Drop => ev.str_field("action", "drop"),
+            FaultAction::Partitioned => ev.str_field("action", "partitioned"),
+            FaultAction::Held { release_at } => ev
+                .str_field("action", "held")
+                .u64_field("release_at", release_at),
+        };
+        o.emit(ev);
     }
 
     /// The decision trace so far (one record per eligible send).
@@ -387,6 +439,7 @@ impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
         };
         let record = |state: &mut FaultState, action: FaultAction| {
             state.trace.push(FaultRecord { index, seq, action });
+            self.emit_decision(index, seq, action);
         };
 
         let result = if self.plan.partitioned(index) {
@@ -687,6 +740,66 @@ mod tests {
         assert_eq!(t1, t2, "decision trace must be reproducible");
         assert_eq!(s1, s2);
         assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn obs_decision_events_match_byte_identical_trace() {
+        // The chaos suite's reproducibility contract extended to the obs
+        // stream: the `cluster.fault` decision events must reconstruct the
+        // FaultRecord trace exactly — same order, same indices, same seqs,
+        // same actions — for a seeded plan exercising every action kind.
+        use fc_obs::Value;
+        let plan = FaultPlan::new(0xFEED)
+            .with_drop(0.2)
+            .with_dup(0.2)
+            .with_reorder(0.2, 3)
+            .with_partition(10, 14);
+        let (a, _b) = mem_pair();
+        let (obs, ring) = Obs::ring(256);
+        let mut f = FaultTransport::new(a, plan.clone());
+        f.attach_obs(&obs);
+        for s in 1..=64 {
+            f.send(write_repl(s)).unwrap();
+        }
+        let trace = f.fault_trace();
+        assert!(!trace.is_empty());
+        let events = ring.events();
+        let decisions: Vec<_> = events
+            .iter()
+            .filter(|e| e.component == "cluster.fault" && e.kind == "decision")
+            .collect();
+        assert_eq!(decisions.len(), trace.len());
+
+        let rebuilt: Vec<FaultRecord> = decisions
+            .iter()
+            .map(|e| {
+                let g = |n: &str| e.get(n).and_then(Value::as_u64);
+                assert_eq!(g("seed"), Some(plan.seed));
+                let action = match e.get("action").and_then(Value::as_str).unwrap() {
+                    "deliver" => FaultAction::Deliver {
+                        delay_nanos: g("delay_ns").unwrap(),
+                        dup: e.get("dup").and_then(Value::as_bool).unwrap(),
+                    },
+                    "drop" => FaultAction::Drop,
+                    "partitioned" => FaultAction::Partitioned,
+                    "held" => FaultAction::Held {
+                        release_at: g("release_at").unwrap(),
+                    },
+                    other => panic!("unknown action {other}"),
+                };
+                FaultRecord {
+                    index: g("index").unwrap(),
+                    seq: g("seq"),
+                    action,
+                }
+            })
+            .collect();
+        assert_eq!(rebuilt, trace, "obs stream must mirror the decision trace");
+        // Every action kind actually occurred, so the mapping is exercised.
+        assert!(trace.iter().any(|r| matches!(r.action, FaultAction::Deliver { .. })));
+        assert!(trace.iter().any(|r| r.action == FaultAction::Drop));
+        assert!(trace.iter().any(|r| r.action == FaultAction::Partitioned));
+        assert!(trace.iter().any(|r| matches!(r.action, FaultAction::Held { .. })));
     }
 
     #[test]

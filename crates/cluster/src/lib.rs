@@ -36,6 +36,8 @@ pub mod wire;
 pub use backend::{MemBackend, SimSsdBackend, StorageBackend};
 pub use fault::{FaultAction, FaultPlan, FaultRecord, FaultStats, FaultTransport};
 pub use flashcoop::{ReplicationStats, RetryPolicy};
-pub use node::{shared_backend, Node, NodeConfig, NodeStats, SharedBackend, WriteOutcome};
+pub use node::{
+    shared_backend, Node, NodeConfig, NodeConfigBuilder, NodeStats, SharedBackend, WriteOutcome,
+};
 pub use transport::{mem_pair, MemTransport, TcpTransport, Transport, TransportError};
 pub use wire::{decode, encode, Message, SeqStatus, SeqTracker, WireError};

@@ -17,6 +17,7 @@ use crate::transport::{Transport, TransportError};
 use crate::wire::{Message, SeqStatus, SeqTracker};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use fc_obs::{Counter, Obs};
 use flashcoop::policy::Eviction;
 use flashcoop::{
     BufferManager, HeartbeatMonitor, PeerEvent, PolicyKind, ReplicationStats, RetryPolicy,
@@ -64,6 +65,23 @@ pub struct NodeConfig {
     pub retry: RetryPolicy,
 }
 
+impl Default for NodeConfig {
+    /// Production-shaped defaults (the paper's block geometry; relaxed
+    /// timers). Tests usually start from [`NodeConfig::test_profile`].
+    fn default() -> Self {
+        NodeConfig {
+            id: 0,
+            policy: PolicyKind::Lar,
+            buffer_pages: 4096,
+            pages_per_block: 64,
+            heartbeat: Duration::from_millis(100),
+            failure_timeout: Duration::from_millis(500),
+            ack_timeout: Duration::from_millis(500),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
 impl NodeConfig {
     /// Fast timings for tests and demos.
     pub fn test_profile(id: u8) -> Self {
@@ -77,6 +95,87 @@ impl NodeConfig {
             ack_timeout: Duration::from_millis(500),
             retry: RetryPolicy::default(),
         }
+    }
+
+    /// Start a builder from the defaults:
+    ///
+    /// ```
+    /// use fc_cluster::NodeConfig;
+    /// use flashcoop::RetryPolicy;
+    ///
+    /// let cfg = NodeConfig::builder()
+    ///     .id(1)
+    ///     .buffer_pages(128)
+    ///     .retry(RetryPolicy::no_retries())
+    ///     .build();
+    /// assert_eq!(cfg.id, 1);
+    /// assert_eq!(cfg.retry.attempts, 1);
+    /// ```
+    pub fn builder() -> NodeConfigBuilder {
+        NodeConfigBuilder {
+            cfg: NodeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`NodeConfig`].
+#[derive(Debug, Clone)]
+pub struct NodeConfigBuilder {
+    cfg: NodeConfig,
+}
+
+impl NodeConfigBuilder {
+    /// Node id (appears in heartbeats).
+    pub fn id(mut self, id: u8) -> Self {
+        self.cfg.id = id;
+        self
+    }
+
+    /// Buffer replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Local buffer capacity in pages.
+    pub fn buffer_pages(mut self, pages: usize) -> Self {
+        self.cfg.buffer_pages = pages;
+        self
+    }
+
+    /// Pages per logical block.
+    pub fn pages_per_block(mut self, ppb: u32) -> Self {
+        self.cfg.pages_per_block = ppb;
+        self
+    }
+
+    /// Heartbeat period.
+    pub fn heartbeat(mut self, period: Duration) -> Self {
+        self.cfg.heartbeat = period;
+        self
+    }
+
+    /// Silence after which the peer is declared failed.
+    pub fn failure_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.failure_timeout = timeout;
+        self
+    }
+
+    /// Replication-ack wait per attempt.
+    pub fn ack_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.ack_timeout = timeout;
+        self
+    }
+
+    /// Bounded retry-with-backoff policy for the replication path.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.cfg.retry = retry;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> NodeConfig {
+        self.cfg
     }
 }
 
@@ -113,6 +212,55 @@ pub struct NodeStats {
     pub repl: ReplicationStats,
 }
 
+impl NodeStats {
+    /// Durability invariant: every counted write finished either replicated
+    /// or written through. Holds under any single [`Node::stats`] snapshot
+    /// (the counters are committed together, under one lock).
+    pub fn writes_balance(&self) -> bool {
+        self.writes == self.replicated_pages + self.write_through
+    }
+}
+
+/// Dumps the node counters under `cluster.node.*` and delegates the
+/// fault-tolerance counters to [`ReplicationStats`]'s own source
+/// (`cluster.replication.*`).
+impl fc_obs::StatSource for NodeStats {
+    fn emit(&self, reg: &mut fc_obs::Registry) {
+        reg.counter("cluster.node.writes").store(self.writes);
+        reg.counter("cluster.node.reads").store(self.reads);
+        reg.counter("cluster.node.read_hits").store(self.read_hits);
+        reg.counter("cluster.node.replicated_pages")
+            .store(self.replicated_pages);
+        reg.counter("cluster.node.write_through")
+            .store(self.write_through);
+        reg.counter("cluster.node.flushed_pages")
+            .store(self.flushed_pages);
+        reg.counter("cluster.node.deletes").store(self.deletes);
+        reg.gauge("cluster.node.remote_pages")
+            .set_u64(self.remote_pages);
+        self.repl.emit(reg);
+    }
+}
+
+/// Cached obs handles for the hot replication path: counters resolved once
+/// at attach time, event emission via the shared [`Obs`] handle.
+#[derive(Debug, Clone)]
+struct NodeObs {
+    obs: Obs,
+    id: u64,
+    replicated: Counter,
+    write_through: Counter,
+    retries: Counter,
+    dedups: Counter,
+}
+
+impl NodeObs {
+    /// Start a wall-stamped `cluster.node` event tagged with the node id.
+    fn ev(&self, kind: &'static str) -> fc_obs::Event {
+        self.obs.wall_event("cluster.node", kind).u64_field("id", self.id)
+    }
+}
+
 struct Inner {
     cfg: NodeConfig,
     buffer: BufferManager,
@@ -133,6 +281,7 @@ struct Inner {
     purge_waiters: Vec<Sender<()>>,
     next_seq: u64,
     stats: NodeStats,
+    obs: Option<NodeObs>,
 }
 
 impl Inner {
@@ -219,6 +368,7 @@ impl Node {
             purge_waiters: Vec::new(),
             next_seq: 1,
             stats: NodeStats::default(),
+            obs: None,
         }));
         let transport: Arc<dyn Transport + Sync> = Arc::new(transport);
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -241,21 +391,35 @@ impl Node {
 
     /// Write one page. Blocks until the page is durable (replicated or
     /// written through).
+    ///
+    /// Stats contract: `writes` is committed together with its outcome
+    /// counter (`replicated_pages` or `write_through`), under the same lock
+    /// acquisition — a concurrent [`Node::stats`] snapshot always satisfies
+    /// [`NodeStats::writes_balance`], never observing a write that is
+    /// counted but not yet resolved.
     pub fn write(&self, lpn: u64, data: &[u8]) -> WriteOutcome {
         let bytes = Bytes::copy_from_slice(data);
-        let (seq, version, ack_rx, flushed) = {
+        let (seq, version, ack_rx, flushed, nobs) = {
             let mut inner = self.inner.lock();
             let version = inner.next_version;
             inner.next_version += 1;
             inner.versions.insert(lpn, version);
-            inner.stats.writes += 1;
 
             if inner.degraded {
                 inner.backend.lock().write_page(lpn, version, &bytes);
                 let ev = inner.buffer.insert_clean(lpn, 1);
                 inner.data.insert(lpn, bytes);
                 inner.apply_eviction(&ev);
+                inner.stats.writes += 1;
                 inner.stats.write_through += 1;
+                if let Some(o) = &inner.obs {
+                    o.write_through.inc();
+                    o.obs.emit(
+                        o.ev("write_through")
+                            .u64_field("lpn", lpn)
+                            .str_field("reason", "degraded"),
+                    );
+                }
                 return WriteOutcome::WriteThrough;
             }
 
@@ -270,7 +434,16 @@ impl Node {
                 // its own insertion — it is already durable on the backend,
                 // so replicating it would only leave a stale orphan at the
                 // peer.
+                inner.stats.writes += 1;
                 inner.stats.write_through += 1;
+                if let Some(o) = &inner.obs {
+                    o.write_through.inc();
+                    o.obs.emit(
+                        o.ev("write_through")
+                            .u64_field("lpn", lpn)
+                            .str_field("reason", "self_evicted"),
+                    );
+                }
                 drop(inner);
                 self.send_discard(flushed);
                 return WriteOutcome::WriteThrough;
@@ -279,7 +452,8 @@ impl Node {
             inner.next_seq += 1;
             let (tx, rx) = bounded(1);
             inner.pending_acks.insert(seq, tx);
-            (seq, version, rx, flushed)
+            let nobs = inner.obs.clone();
+            (seq, version, rx, flushed, nobs)
         };
 
         if !flushed.is_empty() {
@@ -295,6 +469,14 @@ impl Node {
         let mut acked = false;
         let mut retries_used: u32 = 0;
         loop {
+            if let Some(o) = &nobs {
+                o.obs.emit(
+                    o.ev("repl_send")
+                        .u64_field("seq", seq)
+                        .u64_field("lpn", lpn)
+                        .u64_field("attempt", retries_used as u64),
+                );
+            }
             let sent = self.transport.send(Message::WriteRepl {
                 seq,
                 lpn,
@@ -316,13 +498,33 @@ impl Node {
             let backoff = retry.backoff_for(retries_used);
             retries_used += 1;
             self.inner.lock().stats.repl.retries += 1;
+            if let Some(o) = &nobs {
+                o.retries.inc();
+                o.obs.emit(
+                    o.ev("repl_retry")
+                        .u64_field("seq", seq)
+                        .u64_field("lpn", lpn)
+                        .u64_field("attempt", retries_used as u64)
+                        .u64_field("backoff_ns", backoff.as_nanos()),
+                );
+            }
             std::thread::sleep(Duration::from_nanos(backoff.as_nanos()));
         }
 
         let mut inner = self.inner.lock();
         inner.pending_acks.remove(&seq);
+        inner.stats.writes += 1;
         if acked {
             inner.stats.replicated_pages += 1;
+            if let Some(o) = &nobs {
+                o.replicated.inc();
+                o.obs.emit(
+                    o.ev("repl_ack")
+                        .u64_field("seq", seq)
+                        .u64_field("lpn", lpn)
+                        .u64_field("attempts", retries_used as u64 + 1),
+                );
+            }
             WriteOutcome::Replicated
         } else {
             // Peer unreachable: make the page durable ourselves and degrade.
@@ -330,8 +532,44 @@ impl Node {
             inner.buffer.mark_clean(lpn);
             inner.stats.write_through += 1;
             inner.enter_degraded();
+            if let Some(o) = &nobs {
+                o.write_through.inc();
+                o.obs.emit(
+                    o.ev("write_through")
+                        .u64_field("seq", seq)
+                        .u64_field("lpn", lpn)
+                        .str_field("reason", "ack_timeout"),
+                );
+            }
             WriteOutcome::WriteThrough
         }
+    }
+
+    /// Attach observability: registers the node's hot counters
+    /// (`cluster.node.replicated_pages`, `cluster.node.write_through`,
+    /// `cluster.replication.retries`, `cluster.replication.dups_dropped`)
+    /// seeded with the current stats, and starts emitting wall-stamped
+    /// `cluster.node` events (`repl_send` / `repl_ack` / `repl_retry` /
+    /// `repl_dedup` / `write_through`).
+    pub fn attach_obs(&self, obs: &Obs) {
+        let mut inner = self.inner.lock();
+        let reg = obs.registry();
+        let replicated = reg.counter("cluster.node.replicated_pages");
+        replicated.store(inner.stats.replicated_pages);
+        let write_through = reg.counter("cluster.node.write_through");
+        write_through.store(inner.stats.write_through);
+        let retries = reg.counter("cluster.replication.retries");
+        retries.store(inner.stats.repl.retries);
+        let dedups = reg.counter("cluster.replication.dups_dropped");
+        dedups.store(inner.stats.repl.dups_dropped);
+        inner.obs = Some(NodeObs {
+            obs: obs.clone(),
+            id: inner.cfg.id as u64,
+            replicated,
+            write_through,
+            retries,
+            dedups,
+        });
     }
 
     /// Send a seq-stamped, version-bounded Discard (fire-and-forget: a lost
@@ -576,6 +814,15 @@ fn handle_message(
                         // applied, just re-ack below (the first ack may have
                         // been the casualty).
                         g.stats.repl.dups_dropped += 1;
+                        if let Some(o) = &g.obs {
+                            o.dedups.inc();
+                            o.obs.emit(
+                                o.ev("repl_dedup")
+                                    .u64_field("seq", seq)
+                                    .u64_field("lpn", lpn)
+                                    .str_field("msg", "write_repl"),
+                            );
+                        }
                     }
                     status => {
                         if status == SeqStatus::NewOutOfOrder {
@@ -601,6 +848,14 @@ fn handle_message(
             match g.peer_seqs.observe(seq) {
                 SeqStatus::Duplicate => {
                     g.stats.repl.dups_dropped += 1;
+                    if let Some(o) = &g.obs {
+                        o.dedups.inc();
+                        o.obs.emit(
+                            o.ev("repl_dedup")
+                                .u64_field("seq", seq)
+                                .str_field("msg", "discard"),
+                        );
+                    }
                 }
                 status => {
                     if status == SeqStatus::NewOutOfOrder {
@@ -817,6 +1072,94 @@ mod tests {
         std::thread::sleep(Duration::from_millis(400)); // >> failure_timeout
         assert!(!a.is_degraded(), "beats should prevent degradation");
         assert!(!b.is_degraded());
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_while_writes_run() {
+        // Regression: `writes` used to be bumped at the top of Node::write,
+        // with the outcome counter (`replicated_pages`/`write_through`)
+        // only landing after the unlocked retry loop — so a concurrent
+        // stats() call could observe writes > replicated + write_through.
+        let (a, b, _ba, _bb) = pair();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let stop = stop.clone();
+            let a = Arc::new(a);
+            let a2 = a.clone();
+            let h = std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    a2.write(i % 256, b"payload");
+                    i += 1;
+                }
+            });
+            (a, h)
+        };
+        let (a, h) = writer;
+        let deadline = Instant::now() + Duration::from_millis(500);
+        let mut snapshots = 0u32;
+        while Instant::now() < deadline {
+            let s = a.stats();
+            assert!(
+                s.writes_balance(),
+                "inconsistent snapshot: writes={} replicated={} write_through={}",
+                s.writes,
+                s.replicated_pages,
+                s.write_through
+            );
+            snapshots += 1;
+        }
+        stop.store(true, Ordering::SeqCst);
+        h.join().unwrap();
+        assert!(snapshots > 100, "sampler barely ran");
+        let s = a.stats();
+        assert!(s.writes > 0 && s.writes_balance());
+        Arc::try_unwrap(a).ok().expect("writer released node").shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn obs_events_and_counters_mirror_node_stats() {
+        let (a, b, _ba, _bb) = pair();
+        let (obs, ring) = Obs::ring(1024);
+        a.attach_obs(&obs);
+        for i in 0..8u64 {
+            assert_eq!(a.write(i, b"data"), WriteOutcome::Replicated);
+        }
+        let s = a.stats();
+        assert_eq!(s.replicated_pages, 8);
+        // Cached counters track live.
+        assert_eq!(
+            obs.registry().counter("cluster.node.replicated_pages").get(),
+            8
+        );
+        assert_eq!(obs.registry().counter("cluster.node.write_through").get(), 0);
+        let events = ring.events();
+        let sends = events.iter().filter(|e| e.kind == "repl_send").count();
+        let acks = events.iter().filter(|e| e.kind == "repl_ack").count();
+        assert_eq!(acks, 8);
+        assert!(sends >= 8, "every replication has at least one send span");
+        for e in &events {
+            assert_eq!(e.component, "cluster.node");
+            assert_eq!(e.get("id").and_then(fc_obs::Value::as_u64), Some(0));
+            assert!(matches!(e.t, fc_obs::Stamp::Wall(_)));
+        }
+        // StatSource retrofit: a registry dump agrees with the snapshot.
+        use fc_obs::StatSource;
+        let mut reg = fc_obs::Registry::new();
+        s.emit(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("cluster.node.writes"), Some(s.writes));
+        assert_eq!(
+            snap.counter("cluster.node.replicated_pages"),
+            Some(s.replicated_pages)
+        );
+        assert_eq!(
+            snap.counter("cluster.replication.retries"),
+            Some(s.repl.retries)
+        );
         a.shutdown();
         b.shutdown();
     }

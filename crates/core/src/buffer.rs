@@ -22,8 +22,115 @@ use crate::config::PolicyKind;
 use crate::policy::lar::LarDirectory;
 use crate::policy::ranked::{RankMode, RankedDirectory};
 use crate::policy::{runs_from_sorted, Eviction, FlushRun};
+use fc_obs::{Counter, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Buffer construction parameters — the named-field form of what used to be
+/// [`BufferManager::with_options`]'s five positional arguments.
+///
+/// Build one with [`BufferConfig::builder`]:
+///
+/// ```
+/// use flashcoop::buffer::{BufferConfig, BufferManager};
+/// use flashcoop::PolicyKind;
+///
+/// let buf = BufferManager::from_config(
+///     BufferConfig::builder()
+///         .policy(PolicyKind::Lar)
+///         .capacity(64)
+///         .pages_per_block(4)
+///         .build(),
+/// );
+/// assert_eq!(buf.capacity(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Capacity in pages.
+    pub capacity: usize,
+    /// Pages per logical block (LAR's eviction granularity).
+    pub pages_per_block: u32,
+    /// Group small dirty tails into block-sized batches (Section III.B.3).
+    pub clustering: bool,
+    /// LAR second-level sort toward dirtier blocks (Section III.B.2).
+    pub lar_dirty_tiebreak: bool,
+    /// Proactive background-cleaning watermark (dirty fraction); `None` =
+    /// flush only on replacement, the paper's measured configuration.
+    pub dirty_watermark: Option<f64>,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            policy: PolicyKind::Lar,
+            capacity: 4096,
+            pages_per_block: 64,
+            clustering: true,
+            lar_dirty_tiebreak: true,
+            dirty_watermark: None,
+        }
+    }
+}
+
+impl BufferConfig {
+    /// Start a builder from the defaults.
+    pub fn builder() -> BufferConfigBuilder {
+        BufferConfigBuilder {
+            cfg: BufferConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`BufferConfig`].
+#[derive(Debug, Clone)]
+pub struct BufferConfigBuilder {
+    cfg: BufferConfig,
+}
+
+impl BufferConfigBuilder {
+    /// Replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(mut self, pages: usize) -> Self {
+        self.cfg.capacity = pages;
+        self
+    }
+
+    /// Pages per logical block.
+    pub fn pages_per_block(mut self, ppb: u32) -> Self {
+        self.cfg.pages_per_block = ppb;
+        self
+    }
+
+    /// Enable/disable tail clustering.
+    pub fn clustering(mut self, on: bool) -> Self {
+        self.cfg.clustering = on;
+        self
+    }
+
+    /// Enable/disable the LAR dirty-count tie-break.
+    pub fn lar_dirty_tiebreak(mut self, on: bool) -> Self {
+        self.cfg.lar_dirty_tiebreak = on;
+        self
+    }
+
+    /// Background-cleaning high watermark.
+    pub fn dirty_watermark(mut self, high: Option<f64>) -> Self {
+        self.cfg.dirty_watermark = high;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> BufferConfig {
+        self.cfg
+    }
+}
 
 /// Residency metadata for one buffered page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +169,25 @@ impl BufferStats {
     }
 }
 
+/// Dumps the buffer counters under `core.buffer.*`, matching the live
+/// counter names an attached buffer maintains (see
+/// [`BufferManager::attach_obs`]).
+impl fc_obs::StatSource for BufferStats {
+    fn emit(&self, reg: &mut fc_obs::Registry) {
+        reg.counter("core.buffer.page_hits").store(self.page_hits);
+        reg.counter("core.buffer.page_misses").store(self.page_misses);
+        reg.counter("core.buffer.evictions").store(self.evictions);
+        reg.counter("core.buffer.flushed_pages")
+            .store(self.flushed_pages);
+        reg.counter("core.buffer.flushed_dirty")
+            .store(self.flushed_dirty);
+        reg.counter("core.buffer.clean_drops").store(self.clean_drops);
+        reg.counter("core.buffer.clustered_batches")
+            .store(self.clustered_batches);
+        reg.gauge("core.buffer.hit_ratio").set(self.hit_ratio());
+    }
+}
+
 /// One contiguous piece of a read request, classified hit or miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadSegment {
@@ -71,6 +197,15 @@ pub struct ReadSegment {
     pub pages: u32,
     /// True if every page was resident.
     pub hit: bool,
+}
+
+/// Observability handles cached at attach time so the hot paths stay at
+/// relaxed atomic increments (no registry lock per access).
+#[derive(Debug, Clone)]
+struct BufObs {
+    obs: Obs,
+    hits: Counter,
+    misses: Counter,
 }
 
 /// The local buffer of one cooperative server.
@@ -88,6 +223,7 @@ pub struct BufferManager {
     /// Background-cleaning high watermark as a dirty fraction of capacity
     /// (None = clean only on eviction, the paper's measured configuration).
     dirty_watermark: Option<f64>,
+    obs: Option<BufObs>,
 }
 
 impl BufferManager {
@@ -127,6 +263,51 @@ impl BufferManager {
             ranked: RankedDirectory::new(mode),
             stats: BufferStats::default(),
             dirty_watermark: None,
+            obs: None,
+        }
+    }
+
+    /// Build a buffer from a [`BufferConfig`] (the builder-based entry
+    /// point; `new`/`with_options` remain as positional shorthands).
+    pub fn from_config(cfg: BufferConfig) -> Self {
+        let mut b = Self::with_options(
+            cfg.policy,
+            cfg.capacity,
+            cfg.pages_per_block,
+            cfg.clustering,
+            cfg.lar_dirty_tiebreak,
+        );
+        b.set_dirty_watermark(cfg.dirty_watermark);
+        b
+    }
+
+    /// Wire this buffer into an observability handle: hit/miss counters
+    /// (`core.buffer.page_hits`/`page_misses`, seeded with the current
+    /// totals) plus `evict_block`/`evict_page` trace events carrying the
+    /// replacement decision (LAR popularity/dirtiness scores).
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let hits = obs.registry().counter("core.buffer.page_hits");
+        hits.store(self.stats.page_hits);
+        let misses = obs.registry().counter("core.buffer.page_misses");
+        misses.store(self.stats.page_misses);
+        self.obs = Some(BufObs {
+            obs: obs.clone(),
+            hits,
+            misses,
+        });
+    }
+
+    #[inline]
+    fn obs_hit(&self) {
+        if let Some(o) = &self.obs {
+            o.hits.inc();
+        }
+    }
+
+    #[inline]
+    fn obs_miss(&self) {
+        if let Some(o) = &self.obs {
+            o.misses.inc();
         }
     }
 
@@ -202,11 +383,13 @@ impl BufferManager {
             let hit = self.pages.contains_key(&p);
             if hit {
                 self.stats.page_hits += 1;
+                self.obs_hit();
                 if matches!(self.policy, PolicyKind::Lru | PolicyKind::Lfu) {
                     self.ranked.touch(p);
                 }
             } else {
                 self.stats.page_misses += 1;
+                self.obs_miss();
             }
             match segments.last_mut() {
                 Some(seg) if seg.hit == hit && seg.lpn + seg.pages as u64 == p => {
@@ -415,8 +598,10 @@ impl BufferManager {
             let hit = self.pages.contains_key(&p);
             if hit {
                 self.stats.page_hits += 1;
+                self.obs_hit();
             } else {
                 self.stats.page_misses += 1;
+                self.obs_miss();
             }
             self.insert_page(p, dirty);
         }
@@ -564,6 +749,9 @@ impl BufferManager {
 
     /// Flush (or drop, when clean) every resident page of `lbn`.
     fn flush_block(&mut self, lbn: u64, ev: &mut Eviction) -> bool {
+        // LAR's decision scores, captured before directory mutation so the
+        // eviction trace event reflects what the policy actually compared.
+        let decision = self.lar.get(lbn).copied();
         let base = lbn * self.ppb as u64;
         let mut resident: Vec<(u64, bool)> = Vec::new();
         for off in 0..self.ppb as u64 {
@@ -581,28 +769,45 @@ impl BufferManager {
         // while clean pages outside the dirty span are dropped for free.
         let first_dirty = resident.iter().position(|&(_, d)| d);
         let last_dirty = resident.iter().rposition(|&(_, d)| d);
-        match (first_dirty, last_dirty) {
+        let mut flushed_now = 0u64;
+        let dropped_now: u64 = match (first_dirty, last_dirty) {
             (Some(lo), Some(hi)) => {
                 let span = &resident[lo..=hi];
                 let runs = runs_from_sorted(span);
                 for r in &runs {
                     self.stats.flushed_pages += r.pages as u64;
                     self.stats.flushed_dirty += r.dirty as u64;
+                    flushed_now += r.pages as u64;
                 }
                 ev.runs.extend(runs);
                 let dropped = resident.len() - span.len();
                 ev.clean_dropped += dropped as u32;
                 self.stats.clean_drops += dropped as u64;
+                dropped as u64
             }
             _ => {
                 ev.clean_dropped += resident.len() as u32;
                 self.stats.clean_drops += resident.len() as u64;
+                resident.len() as u64
             }
-        }
+        };
         for (lpn, _) in resident {
             self.remove_page(lpn);
         }
         self.lar.remove(lbn);
+        if let Some(o) = &self.obs {
+            let d = decision.unwrap_or_default();
+            o.obs.emit(
+                o.obs
+                    .event("core.buffer", "evict_block")
+                    .u64_field("lbn", lbn)
+                    .u64_field("popularity", d.popularity)
+                    .u64_field("dirty", d.dirty as u64)
+                    .u64_field("resident", d.resident as u64)
+                    .u64_field("flushed_pages", flushed_now)
+                    .u64_field("clean_dropped", dropped_now),
+            );
+        }
         true
     }
 
@@ -621,6 +826,15 @@ impl BufferManager {
             self.remove_page(victim);
             ev.clean_dropped += 1;
             self.stats.clean_drops += 1;
+            if let Some(o) = &self.obs {
+                o.obs.emit(
+                    o.obs
+                        .event("core.buffer", "evict_page")
+                        .u64_field("lpn", victim)
+                        .bool_field("dirty", false)
+                        .u64_field("flushed_pages", 0),
+                );
+            }
             return true;
         }
         // Combine with contiguous dirty neighbours inside the same logical
@@ -655,6 +869,15 @@ impl BufferManager {
             } else {
                 self.mark_clean(p);
             }
+        }
+        if let Some(o) = &self.obs {
+            o.obs.emit(
+                o.obs
+                    .event("core.buffer", "evict_page")
+                    .u64_field("lpn", victim)
+                    .bool_field("dirty", true)
+                    .u64_field("flushed_pages", pages as u64),
+            );
         }
         true
     }
@@ -926,6 +1149,78 @@ mod tests {
         b.write(0, 1);
         assert_eq!(b.lookup(0), Some(true));
         assert_eq!(b.dirty(), 1);
+    }
+
+    #[test]
+    fn config_builder_round_trips_every_knob() {
+        let cfg = BufferConfig::builder()
+            .policy(PolicyKind::Lfu)
+            .capacity(32)
+            .pages_per_block(8)
+            .clustering(false)
+            .lar_dirty_tiebreak(false)
+            .dirty_watermark(Some(0.4))
+            .build();
+        assert_eq!(cfg.policy, PolicyKind::Lfu);
+        assert_eq!(cfg.capacity, 32);
+        assert_eq!(cfg.pages_per_block, 8);
+        assert!(!cfg.clustering && !cfg.lar_dirty_tiebreak);
+        assert_eq!(cfg.dirty_watermark, Some(0.4));
+        let b = BufferManager::from_config(cfg);
+        assert_eq!(b.policy(), PolicyKind::Lfu);
+        assert_eq!(b.capacity(), 32);
+        // Defaults match the positional constructor's conventions.
+        let d = BufferConfig::default();
+        assert_eq!(d.policy, PolicyKind::Lar);
+        assert!(d.clustering && d.lar_dirty_tiebreak);
+        assert_eq!(d.dirty_watermark, None);
+    }
+
+    #[test]
+    fn obs_counters_and_eviction_events_mirror_stats() {
+        let (obs, ring) = fc_obs::Obs::ring(256);
+        let mut b = buf(PolicyKind::Lar, 8);
+        b.attach_obs(&obs);
+        b.write(0, 4);
+        b.read(0, 2); // 2 hits
+        b.write(4, 4);
+        b.write(8, 1); // overflow → block eviction
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counter("core.buffer.page_hits"),
+            Some(b.stats().page_hits)
+        );
+        assert_eq!(
+            snap.counter("core.buffer.page_misses"),
+            Some(b.stats().page_misses)
+        );
+        let evicts: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "evict_block")
+            .collect();
+        assert_eq!(evicts.len(), 1, "one LAR block eviction");
+        let e = &evicts[0];
+        assert_eq!(e.get("lbn").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(e.get("popularity").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(e.get("dirty").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(e.get("flushed_pages").and_then(|v| v.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn obs_page_eviction_events_for_ranked_policies() {
+        let (obs, ring) = fc_obs::Obs::ring(64);
+        let mut b = buf(PolicyKind::Lru, 4);
+        b.attach_obs(&obs);
+        b.insert_clean(0, 4);
+        b.insert_clean(10, 1); // evicts clean page 0
+        let evicts: Vec<_> = ring
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == "evict_page")
+            .collect();
+        assert!(!evicts.is_empty());
+        assert_eq!(evicts[0].get("dirty").and_then(|v| v.as_bool()), Some(false));
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod server;
 pub mod sim;
 pub mod tables;
 
-pub use buffer::{BufferManager, BufferStats, ReadSegment};
+pub use buffer::{BufferConfig, BufferConfigBuilder, BufferManager, BufferStats, ReadSegment};
 pub use cluster::{Cluster, ClusterReport};
 pub use config::{AllocParams, FlashCoopConfig, PolicyKind, RetryPolicy, Scheme};
 pub use metrics::{ReplicationStats, RunReport};
@@ -58,5 +58,5 @@ pub use pair::{CoopPair, Injection, PairEvent};
 pub use policy::{Eviction, FlushRun};
 pub use recovery::{HeartbeatMonitor, PeerEvent, PeerState};
 pub use server::{CoopServer, ServerMetrics, UtilSample};
-pub use sim::{replay, Preconditioning};
+pub use sim::{replay, replay_with_obs, Preconditioning};
 pub use tables::{Rct, RemoteStore};

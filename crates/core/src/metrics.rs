@@ -26,6 +26,19 @@ pub struct ReplicationStats {
     pub partition_destages: u64,
 }
 
+/// Dumps the fault-tolerance counters under `cluster.replication.*`.
+impl fc_obs::StatSource for ReplicationStats {
+    fn emit(&self, reg: &mut fc_obs::Registry) {
+        reg.counter("cluster.replication.retries").store(self.retries);
+        reg.counter("cluster.replication.dups_dropped")
+            .store(self.dups_dropped);
+        reg.counter("cluster.replication.reorders_healed")
+            .store(self.reorders_healed);
+        reg.counter("cluster.replication.partition_destages")
+            .store(self.partition_destages);
+    }
+}
+
 impl ReplicationStats {
     /// True when the link behaved perfectly: nothing retried, deduplicated,
     /// reordered, or destaged.
@@ -81,6 +94,11 @@ pub struct RunReport {
 
 impl RunReport {
     /// Header for [`RunReport::row`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use fc-bench's table adapter (fc_bench format module); the \
+                report is plain serialisable data"
+    )]
     pub fn header() -> String {
         format!(
             "{:<18} {:<11} {:<5} {:>12} {:>12} {:>8} {:>10} {:>6} {:>8} {:>8}",
@@ -98,6 +116,11 @@ impl RunReport {
     }
 
     /// One results row.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use fc-bench's table adapter (fc_bench format module); the \
+                report is plain serialisable data"
+    )]
     pub fn row(&self) -> String {
         format!(
             "{:<18} {:<11} {:<5} {:>12.3} {:>12.3} {:>8.2} {:>10} {:>6.2} {:>8.2} {:>8.2}",
@@ -142,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn row_and_header_align() {
         let r = report();
         let row = r.row();

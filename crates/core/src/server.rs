@@ -18,10 +18,11 @@
 //! tests: `committed` models what is on the SSD (the flash simulator stores
 //! no user data), and `versions` is the oracle of acknowledged writes.
 
-use crate::buffer::BufferManager;
+use crate::buffer::{BufferConfig, BufferManager};
 use crate::config::{FlashCoopConfig, Scheme};
 use crate::policy::Eviction;
 use crate::tables::{Rct, RemoteStore};
+use fc_obs::{Histogram, Obs};
 use fc_simkit::resource::Timeline;
 use fc_simkit::stats::LatencyStats;
 use fc_simkit::{SimDuration, SimTime};
@@ -47,6 +48,30 @@ pub struct ServerMetrics {
     pub reads: u64,
     /// TRIM requests handled.
     pub trims: u64,
+    /// Length in pages of every destage run issued to the SSD (the
+    /// sequentiality the buffer reshaped random writes into). When an
+    /// observability handle is attached this is the registry's
+    /// `core.destage.run_pages` histogram, shared by handle.
+    pub destage_run_pages: Histogram,
+}
+
+/// Dumps the server's request counters and latency distributions under
+/// `core.*` into an observability registry.
+impl fc_obs::StatSource for ServerMetrics {
+    fn emit(&self, reg: &mut fc_obs::Registry) {
+        reg.counter("core.writes").store(self.writes);
+        reg.counter("core.reads").store(self.reads);
+        reg.counter("core.trims").store(self.trims);
+        reg.counter("core.replicated_pages")
+            .store(self.replicated_pages);
+        reg.counter("core.remote_rejections")
+            .store(self.remote_rejections);
+        self.response.emit_with_prefix("core.response", reg);
+        self.write_response
+            .emit_with_prefix("core.write_response", reg);
+        self.read_response
+            .emit_with_prefix("core.read_response", reg);
+    }
 }
 
 /// Resource-utilisation snapshot for the dynamic allocation monitor
@@ -86,20 +111,23 @@ pub struct CoopServer {
     /// Remote-failure mode: replication off, writes go write-through.
     degraded: bool,
     cpu_busy: SimDuration,
+    obs: Option<Obs>,
 }
 
 impl CoopServer {
     /// Build a server. `scheme` selects Baseline or FlashCoop behaviour; for
     /// Baseline the buffer exists but is bypassed.
     pub fn new(cfg: FlashCoopConfig, scheme: Scheme) -> Self {
-        let mut buffer = BufferManager::with_options(
-            cfg.policy,
-            cfg.buffer_pages,
-            cfg.pages_per_block(),
-            cfg.clustering,
-            cfg.lar_dirty_tiebreak,
+        let buffer = BufferManager::from_config(
+            BufferConfig::builder()
+                .policy(cfg.policy)
+                .capacity(cfg.buffer_pages)
+                .pages_per_block(cfg.pages_per_block())
+                .clustering(cfg.clustering)
+                .lar_dirty_tiebreak(cfg.lar_dirty_tiebreak)
+                .dirty_watermark(cfg.dirty_watermark)
+                .build(),
         );
-        buffer.set_dirty_watermark(cfg.dirty_watermark);
         let ssd = Ssd::new(cfg.ssd);
         CoopServer {
             buffer,
@@ -116,7 +144,25 @@ impl CoopServer {
             cpu_busy: SimDuration::ZERO,
             cfg,
             scheme,
+            obs: None,
         }
+    }
+
+    /// Wire the whole server into an observability handle: the buffer's
+    /// hit/miss counters and eviction events, the SSD's program/erase/GC
+    /// stream, per-request `write`/`read`/`trim` response events, `destage`
+    /// events, and the `core.destage.run_pages` run-length histogram.
+    ///
+    /// Attach *after* preconditioning so aging traffic stays out of the
+    /// stream. The handle's sim clock is advanced by each request handler.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.buffer.attach_obs(obs);
+        self.ssd.attach_obs(obs);
+        // Share the registry's histogram handle so destage recording feeds
+        // snapshots directly (pre-attach recordings are folded in once:
+        // a fresh server has none, so this is a plain handle swap).
+        self.metrics.destage_run_pages = obs.registry().histogram("core.destage.run_pages");
+        self.obs = Some(obs.clone());
     }
 
     /// The scheme this server runs.
@@ -204,6 +250,9 @@ impl CoopServer {
         pages: u32,
         mut remote: Option<&mut RemoteStore>,
     ) -> SimDuration {
+        if let Some(o) = &self.obs {
+            o.set_sim_now(now.as_nanos());
+        }
         let version = self.next_version;
         self.next_version += 1;
         for i in 0..pages as u64 {
@@ -286,6 +335,14 @@ impl CoopServer {
         };
         self.metrics.response.push(resp);
         self.metrics.write_response.push(resp);
+        if let Some(o) = &self.obs {
+            o.emit(
+                o.event("core", "write")
+                    .u64_field("lpn", lpn)
+                    .u64_field("pages", pages as u64)
+                    .u64_field("resp_ns", resp.as_nanos()),
+            );
+        }
         resp
     }
 
@@ -297,6 +354,9 @@ impl CoopServer {
         pages: u32,
         mut remote: Option<&mut RemoteStore>,
     ) -> SimDuration {
+        if let Some(o) = &self.obs {
+            o.set_sim_now(now.as_nanos());
+        }
         self.metrics.reads += 1;
         self.cpu_busy += self.cfg.cpu_per_request;
         let resp = match self.scheme {
@@ -329,6 +389,14 @@ impl CoopServer {
         };
         self.metrics.response.push(resp);
         self.metrics.read_response.push(resp);
+        if let Some(o) = &self.obs {
+            o.emit(
+                o.event("core", "read")
+                    .u64_field("lpn", lpn)
+                    .u64_field("pages", pages as u64)
+                    .u64_field("resp_ns", resp.as_nanos()),
+            );
+        }
         resp
     }
 
@@ -352,8 +420,21 @@ impl CoopServer {
             return;
         }
         let runs: Vec<(Lpn, u32)> = ev.runs.iter().map(|r| (Lpn(r.lpn), r.pages)).collect();
+        for r in &ev.runs {
+            self.metrics.destage_run_pages.record(r.pages as u64);
+        }
         let service = self.ssd.write_batch(&runs);
         self.ssd_bg.acquire_background(now, service);
+        if let Some(o) = &self.obs {
+            let lengths: Vec<u64> = ev.runs.iter().map(|r| r.pages as u64).collect();
+            o.emit(
+                o.event("core", "destage")
+                    .u64_field("runs", lengths.len() as u64)
+                    .u64_field("pages", lengths.iter().sum())
+                    .u64s_field("run_pages", lengths)
+                    .u64_field("service_ns", service.as_nanos()),
+            );
+        }
         for r in &ev.runs {
             for i in 0..r.pages as u64 {
                 let p = r.lpn + i;
@@ -380,6 +461,9 @@ impl CoopServer {
         pages: u32,
         mut remote: Option<&mut RemoteStore>,
     ) -> SimDuration {
+        if let Some(o) = &self.obs {
+            o.set_sim_now(now.as_nanos());
+        }
         self.metrics.trims += 1;
         self.cpu_busy += self.cfg.cpu_per_request;
         match self.scheme {
@@ -404,6 +488,14 @@ impl CoopServer {
             .latency_since(now)
             .max(self.cfg.dram_page_access);
         self.metrics.response.push(resp);
+        if let Some(o) = &self.obs {
+            o.emit(
+                o.event("core", "trim")
+                    .u64_field("lpn", lpn)
+                    .u64_field("pages", pages as u64)
+                    .u64_field("resp_ns", resp.as_nanos()),
+            );
+        }
         resp
     }
 
@@ -722,6 +814,42 @@ mod tests {
         s.handle_trim(SimTime::from_millis(1), 0, 2, None);
         assert_eq!(s.ssd().stats().trims, 1);
         assert!(s.unrecoverable_pages(None).is_empty());
+    }
+
+    #[test]
+    fn obs_request_events_cover_every_response_sample() {
+        let (obs, ring) = fc_obs::Obs::ring(4096);
+        let mut s = server(lar());
+        s.attach_obs(&obs);
+        let mut remote = RemoteStore::new(1024);
+        let mut now = SimTime::ZERO;
+        for blk in 0..6u64 {
+            s.handle_write(now, blk * 4, 4, Some(&mut remote));
+            now += SimDuration::from_millis(1);
+        }
+        s.handle_read(now, 0, 2, Some(&mut remote));
+        s.handle_trim(now, 20, 1, Some(&mut remote));
+        let events = ring.events();
+        let resp: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.component == "core" && matches!(e.kind.as_ref(), "write" | "read" | "trim")
+            })
+            .map(|e| e.get("resp_ns").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(resp.len() as u64, s.metrics().response.count());
+        // The stream reproduces the mean response time exactly.
+        let mean = resp.iter().sum::<u64>() as f64 / resp.len() as f64;
+        let reported = s.metrics_mut().response.mean().as_nanos() as f64;
+        assert!((mean - reported).abs() <= 1.0, "{mean} vs {reported}");
+        // Destage events carry the same run lengths the histogram recorded.
+        let destage_pages: u64 = events
+            .iter()
+            .filter(|e| e.kind == "destage")
+            .map(|e| e.get("pages").unwrap().as_u64().unwrap())
+            .sum();
+        assert!(destage_pages > 0, "writes overflowed the tiny buffer");
+        assert_eq!(destage_pages, s.metrics().destage_run_pages.sum());
     }
 
     #[test]

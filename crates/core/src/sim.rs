@@ -17,6 +17,7 @@ use crate::config::{FlashCoopConfig, Scheme};
 use crate::metrics::RunReport;
 use crate::server::CoopServer;
 use crate::tables::RemoteStore;
+use fc_obs::{Obs, SnapshotScheduler};
 use fc_simkit::DetRng;
 use fc_trace::{Op, Trace};
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,26 @@ pub fn replay(
     precondition: Option<Preconditioning>,
     seed: u64,
 ) -> RunReport {
+    replay_with_obs(trace, cfg, scheme, precondition, seed, None)
+}
+
+/// [`replay`] with an optional observability handle.
+///
+/// When `obs` is given the run is fully instrumented: the server attaches
+/// *after* preconditioning (aging traffic stays out of the stream), every
+/// request advances the handle's sim clock, a [`SnapshotScheduler`] turns
+/// the registry into periodic `snapshot` events (16 over the trace span),
+/// and the stream is bracketed by `run_start`/`run_end` events — `run_end`
+/// carries the headline [`RunReport`] numbers for cross-checking a replayed
+/// JSONL stream against the report.
+pub fn replay_with_obs(
+    trace: &Trace,
+    cfg: &FlashCoopConfig,
+    scheme: Scheme,
+    precondition: Option<Preconditioning>,
+    seed: u64,
+    obs: Option<&Obs>,
+) -> RunReport {
     let mut server = CoopServer::new(cfg.clone(), scheme);
     if let Some(p) = precondition {
         let mut rng = DetRng::new(seed);
@@ -66,9 +87,32 @@ pub fn replay(
         server.ssd().logical_pages()
     );
 
+    let span_ns = trace
+        .requests
+        .last()
+        .map(|r| r.at.as_nanos())
+        .unwrap_or(0);
+    let mut scheduler = obs.map(|o| {
+        server.attach_obs(o);
+        o.set_sim_now(0);
+        o.emit(
+            o.event("core", "run_start")
+                .str_field("scheme", scheme.name())
+                .str_field("ftl", cfg.ssd.ftl.name().to_string())
+                .str_field("trace", trace.name.clone())
+                .u64_field("requests", trace.len() as u64)
+                .u64_field("seed", seed),
+        );
+        // 16 registry snapshots across the trace span (at least one period).
+        SnapshotScheduler::new((span_ns / 16).max(1))
+    });
+
     // Symmetric pair: the peer donates a store as large as our buffer.
     let mut remote = RemoteStore::new(cfg.buffer_pages);
     for req in &trace.requests {
+        if let (Some(s), Some(o)) = (scheduler.as_mut(), obs) {
+            s.poll(req.at.as_nanos(), o);
+        }
         match req.op {
             Op::Write => {
                 server.handle_write(req.at, req.lpn, req.pages, Some(&mut remote));
@@ -81,7 +125,21 @@ pub fn replay(
             }
         }
     }
-    report_for(&mut server, trace, scheme)
+    let report = report_for(&mut server, trace, scheme);
+    if let (Some(mut s), Some(o)) = (scheduler, obs) {
+        s.finish(span_ns, o);
+        o.emit(
+            o.event("core", "run_end")
+                .u64_field("requests", report.requests as u64)
+                .u64_field("erases", report.erases)
+                .u64_field("avg_response_ns", report.avg_response.as_nanos())
+                .u64_field("p99_response_ns", report.p99_response.as_nanos())
+                .f64_field("hit_ratio", report.hit_ratio)
+                .f64_field("write_amplification", report.write_amplification),
+        );
+        o.flush();
+    }
+    report
 }
 
 /// Assemble the report from a replayed server.
@@ -190,6 +248,60 @@ mod tests {
         assert_eq!(a.avg_response, b.avg_response);
         assert_eq!(a.erases, b.erases);
         assert_eq!(a.hit_ratio, b.hit_ratio);
+    }
+
+    #[test]
+    fn obs_stream_recomputes_report_headlines() {
+        let cfg = tiny_cfg(PolicyKind::Lar);
+        let server = CoopServer::new(cfg.clone(), Scheme::Baseline);
+        let pages = server.ssd().logical_pages();
+        let trace = small_trace(pages, 300, 6);
+        let (obs, ring) = fc_obs::Obs::ring(16_384);
+        let pre = Some(Preconditioning { fill: 0.8, sequential: 0.5 });
+        let r = replay_with_obs(
+            &trace,
+            &cfg,
+            Scheme::FlashCoop(PolicyKind::Lar),
+            pre,
+            7,
+            Some(&obs),
+        );
+        let events = ring.events();
+        // Bracketing events present; the stream is schema-valid JSONL.
+        assert_eq!(events.first().unwrap().kind, "run_start");
+        assert_eq!(events.last().unwrap().kind, "run_end");
+        let jsonl: String = events
+            .iter()
+            .map(|e| e.to_json() + "\n")
+            .collect();
+        assert_eq!(fc_obs::validate_jsonl(&jsonl).unwrap(), events.len());
+        // Periodic snapshots fired.
+        assert!(events.iter().filter(|e| e.kind == "snapshot").count() >= 2);
+        // Recompute the mean response from per-request events.
+        let resp: Vec<u64> = events
+            .iter()
+            .filter(|e| {
+                e.component == "core" && matches!(e.kind.as_ref(), "write" | "read" | "trim")
+            })
+            .map(|e| e.get("resp_ns").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(resp.len(), r.requests);
+        let mean = resp.iter().sum::<u64>() / resp.len() as u64;
+        assert!(mean.abs_diff(r.avg_response.as_nanos()) <= 1);
+        // Recompute measured erases from per-write device events
+        // (preconditioning happened before attach, so the stream contains
+        // exactly the measured-phase erases).
+        let erases: u64 = events
+            .iter()
+            .filter(|e| e.kind == "host_write")
+            .map(|e| e.get("erases").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(erases, r.erases);
+        // The attached run reports the same numbers as a plain replay.
+        let plain = replay(&trace, &cfg, Scheme::FlashCoop(PolicyKind::Lar), pre, 7);
+        assert_eq!(plain.avg_response, r.avg_response);
+        assert_eq!(plain.erases, r.erases);
+        assert_eq!(plain.hit_ratio, r.hit_ratio);
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Structured trace events.
+//!
+//! One [`Event`] is one line of the observability stream: a timestamp (sim
+//! or wall clock, nanoseconds), the component that emitted it, an event
+//! kind, and a flat list of typed fields. The JSONL encoding is stable and
+//! validated by [`crate::schema`]:
+//!
+//! ```json
+//! {"t":{"sim":1500},"component":"ssd","kind":"host_write","fields":{"lpn":8,"pages":4}}
+//! ```
+
+use crate::json::{self, Json};
+use std::borrow::Cow;
+
+/// Event timestamp in nanoseconds, on either the simulated or the wall
+/// clock. Simulation layers stamp [`Stamp::Sim`]; the threaded cluster
+/// (which has no sim clock) stamps [`Stamp::Wall`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stamp {
+    /// Simulated time, nanoseconds since replay start.
+    Sim(u64),
+    /// Wall-clock time, nanoseconds (process-relative or epoch-relative;
+    /// only ordering within one stream is meaningful).
+    Wall(u64),
+}
+
+impl Stamp {
+    /// The raw nanosecond value, whichever clock it is on.
+    pub fn nanos(&self) -> u64 {
+        match self {
+            Stamp::Sim(n) | Stamp::Wall(n) => *n,
+        }
+    }
+}
+
+/// A typed field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    /// Small fixed vectors, e.g. per-plane erase counts.
+    U64s(Vec<u64>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64s(&self) -> Option<&[u64]> {
+        match self {
+            Value::U64s(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Field and component names: `'static` on the hot path, owned when built
+/// from parsed JSON or registry snapshots.
+pub type Name = Cow<'static, str>;
+
+/// One structured trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    pub t: Stamp,
+    pub component: Name,
+    pub kind: Name,
+    pub fields: Vec<(Name, Value)>,
+}
+
+impl Event {
+    /// New event with an explicit stamp.
+    pub fn new(t: Stamp, component: impl Into<Name>, kind: impl Into<Name>) -> Self {
+        Self {
+            t,
+            component: component.into(),
+            kind: kind.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// New sim-clock event.
+    pub fn sim(t_nanos: u64, component: impl Into<Name>, kind: impl Into<Name>) -> Self {
+        Self::new(Stamp::Sim(t_nanos), component, kind)
+    }
+
+    /// New wall-clock event.
+    pub fn wall(t_nanos: u64, component: impl Into<Name>, kind: impl Into<Name>) -> Self {
+        Self::new(Stamp::Wall(t_nanos), component, kind)
+    }
+
+    /// Append a field (builder style).
+    pub fn field(mut self, name: impl Into<Name>, value: Value) -> Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    pub fn u64_field(self, name: impl Into<Name>, v: u64) -> Self {
+        self.field(name, Value::U64(v))
+    }
+
+    pub fn f64_field(self, name: impl Into<Name>, v: f64) -> Self {
+        self.field(name, Value::F64(v))
+    }
+
+    pub fn str_field(self, name: impl Into<Name>, v: impl Into<String>) -> Self {
+        self.field(name, Value::Str(v.into()))
+    }
+
+    pub fn bool_field(self, name: impl Into<Name>, v: bool) -> Self {
+        self.field(name, Value::Bool(v))
+    }
+
+    pub fn u64s_field(self, name: impl Into<Name>, v: Vec<u64>) -> Self {
+        self.field(name, Value::U64s(v))
+    }
+
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Encode as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"t\":{\"");
+        let (clock, nanos) = match self.t {
+            Stamp::Sim(n) => ("sim", n),
+            Stamp::Wall(n) => ("wall", n),
+        };
+        out.push_str(clock);
+        out.push_str("\":");
+        out.push_str(&nanos.to_string());
+        out.push_str("},\"component\":");
+        json::write_str(&mut out, &self.component);
+        out.push_str(",\"kind\":");
+        json::write_str(&mut out, &self.kind);
+        out.push_str(",\"fields\":{");
+        for (i, (name, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => json::write_f64(&mut out, *v),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Str(s) => json::write_str(&mut out, s),
+                Value::U64s(vs) => {
+                    out.push('[');
+                    for (j, v) in vs.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&v.to_string());
+                    }
+                    out.push(']');
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Decode one JSON line produced by [`Event::to_json`]. This enforces
+    /// the event schema: unknown top-level keys, malformed stamps, and
+    /// unsupported field value types are all errors.
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let doc = json::parse(line).map_err(|e| e.to_string())?;
+        let Json::Obj(top) = &doc else {
+            return Err("event must be a JSON object".into());
+        };
+        for (k, _) in top {
+            if !matches!(k.as_str(), "t" | "component" | "kind" | "fields") {
+                return Err(format!("unknown top-level key {k:?}"));
+            }
+        }
+        let t = match doc.get("t") {
+            Some(Json::Obj(pairs)) if pairs.len() == 1 => {
+                let (clock, v) = &pairs[0];
+                let nanos = v
+                    .as_u64()
+                    .ok_or_else(|| "stamp must be a non-negative integer".to_string())?;
+                match clock.as_str() {
+                    "sim" => Stamp::Sim(nanos),
+                    "wall" => Stamp::Wall(nanos),
+                    other => return Err(format!("unknown clock {other:?}")),
+                }
+            }
+            _ => return Err("\"t\" must be an object with exactly one of sim/wall".into()),
+        };
+        let component = doc
+            .get("component")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| "\"component\" must be a non-empty string".to_string())?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| "\"kind\" must be a non-empty string".to_string())?;
+        let Some(Json::Obj(raw_fields)) = doc.get("fields") else {
+            return Err("\"fields\" must be an object".into());
+        };
+        let mut fields = Vec::with_capacity(raw_fields.len());
+        for (name, value) in raw_fields {
+            let v = match value {
+                Json::U64(v) => Value::U64(*v),
+                Json::I64(v) => Value::I64(*v),
+                Json::F64(v) => Value::F64(*v),
+                Json::Bool(b) => Value::Bool(*b),
+                Json::Str(s) => Value::Str(s.clone()),
+                Json::Arr(items) => {
+                    let mut vs = Vec::with_capacity(items.len());
+                    for item in items {
+                        vs.push(item.as_u64().ok_or_else(|| {
+                            format!("field {name:?}: arrays may only hold non-negative integers")
+                        })?);
+                    }
+                    Value::U64s(vs)
+                }
+                Json::Null | Json::Obj(_) => {
+                    return Err(format!("field {name:?} has an unsupported value type"));
+                }
+            };
+            fields.push((Name::from(name.clone()), v));
+        }
+        Ok(Event {
+            t,
+            component: Name::from(component.to_string()),
+            kind: Name::from(kind.to_string()),
+            fields,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let ev = Event::sim(1500, "ssd", "host_write")
+            .u64_field("lpn", 8)
+            .u64_field("seq", u64::MAX)
+            .f64_field("wa", 1.25)
+            .bool_field("gc", true)
+            .str_field("note", "tricky \"quote\"\n")
+            .u64s_field("plane_erases", vec![0, 2, 1]);
+        let line = ev.to_json();
+        let back = Event::from_json(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn wall_stamp_round_trips() {
+        let ev = Event::wall(42, "cluster", "repl_send");
+        let back = Event::from_json(&ev.to_json()).unwrap();
+        assert_eq!(back.t, Stamp::Wall(42));
+        assert_eq!(back.t.nanos(), 42);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        // Not an object.
+        assert!(Event::from_json("[1,2]").is_err());
+        // Missing kind.
+        assert!(Event::from_json(r#"{"t":{"sim":1},"component":"x","fields":{}}"#).is_err());
+        // Empty component.
+        assert!(
+            Event::from_json(r#"{"t":{"sim":1},"component":"","kind":"k","fields":{}}"#).is_err()
+        );
+        // Unknown clock.
+        assert!(
+            Event::from_json(r#"{"t":{"tai":1},"component":"x","kind":"k","fields":{}}"#).is_err()
+        );
+        // Two clocks.
+        assert!(Event::from_json(
+            r#"{"t":{"sim":1,"wall":2},"component":"x","kind":"k","fields":{}}"#
+        )
+        .is_err());
+        // Negative stamp.
+        assert!(
+            Event::from_json(r#"{"t":{"sim":-1},"component":"x","kind":"k","fields":{}}"#).is_err()
+        );
+        // Unknown top-level key.
+        assert!(Event::from_json(
+            r#"{"t":{"sim":1},"component":"x","kind":"k","fields":{},"extra":1}"#
+        )
+        .is_err());
+        // Nested object field value.
+        assert!(Event::from_json(
+            r#"{"t":{"sim":1},"component":"x","kind":"k","fields":{"a":{"b":1}}}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let ev = Event::sim(0, "c", "k").u64_field("a", 1).f64_field("b", 0.5);
+        assert_eq!(ev.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(ev.get("b").and_then(Value::as_f64), Some(0.5));
+        assert!(ev.get("missing").is_none());
+    }
+}

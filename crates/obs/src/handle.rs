@@ -1,0 +1,161 @@
+//! The [`Obs`] handle: one cloneable object carrying the registry, the
+//! event sink, and the current simulated time.
+//!
+//! Components store an `Option<Obs>` (or cache metric handles from its
+//! registry) and treat `None` as "observability off". Cloning is an `Arc`
+//! bump, so the same handle threads cheaply through every layer of a run.
+
+use crate::event::{Event, Name, Stamp};
+use crate::registry::{Registry, Snapshot};
+use crate::sink::{EventSink, JsonLinesSink, NullSink, RingBuffer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct ObsInner {
+    registry: Registry,
+    sink: Mutex<Box<dyn EventSink>>,
+    /// Current simulated time in nanoseconds. The replay driver stores the
+    /// request timestamp here so layers with no clock of their own (the SSD
+    /// model, the buffer) can stamp events without threading `now` through
+    /// every call.
+    sim_now: AtomicU64,
+}
+
+/// Cloneable handle to one observability domain.
+#[derive(Clone)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.inner.registry.len())
+            .field("sim_now", &self.sim_now())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// New handle writing events into `sink`.
+    pub fn new(sink: Box<dyn EventSink>) -> Self {
+        Self {
+            inner: Arc::new(ObsInner {
+                registry: Registry::new(),
+                sink: Mutex::new(sink),
+                sim_now: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Handle that keeps metrics but discards events.
+    pub fn null() -> Self {
+        Self::new(Box::new(NullSink))
+    }
+
+    /// Handle backed by an in-memory ring of the last `capacity` events;
+    /// also returns the readable buffer.
+    pub fn ring(capacity: usize) -> (Self, RingBuffer) {
+        let ring = RingBuffer::new(capacity);
+        (Self::new(Box::new(ring.sink())), ring)
+    }
+
+    /// Handle streaming JSONL into a freshly created file at `path`.
+    pub fn jsonl_file(path: &std::path::Path) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(JsonLinesSink::create(path)?)))
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Update the simulated clock (nanoseconds).
+    #[inline]
+    pub fn set_sim_now(&self, nanos: u64) {
+        self.inner.sim_now.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Current simulated clock (nanoseconds).
+    #[inline]
+    pub fn sim_now(&self) -> u64 {
+        self.inner.sim_now.load(Ordering::Relaxed)
+    }
+
+    /// Start an event stamped with the current simulated clock. Finish it
+    /// with field builders and pass it to [`Obs::emit`].
+    pub fn event(&self, component: impl Into<Name>, kind: impl Into<Name>) -> Event {
+        Event::sim(self.sim_now(), component, kind)
+    }
+
+    /// Start an event stamped with the current wall clock (see
+    /// [`Obs::wall_now`]).
+    pub fn wall_event(&self, component: impl Into<Name>, kind: impl Into<Name>) -> Event {
+        Event::wall(Self::wall_now(), component, kind)
+    }
+
+    /// Wall-clock nanoseconds since the Unix epoch (0 if the system clock
+    /// is before the epoch).
+    pub fn wall_now() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+
+    /// Send one event to the sink.
+    pub fn emit(&self, ev: Event) {
+        self.inner.sink.lock().unwrap().accept(&ev);
+    }
+
+    /// Snapshot the registry and emit it as a `snapshot` event at `t`.
+    pub fn emit_snapshot(&self, t: Stamp) -> Snapshot {
+        let snap = self.inner.registry.snapshot();
+        self.emit(snap.to_event(t));
+        snap
+    }
+
+    /// Flush the sink (e.g. before reading a JSONL file back).
+    pub fn flush(&self) {
+        self.inner.sink.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    #[test]
+    fn sim_clock_stamps_events() {
+        let (obs, ring) = Obs::ring(16);
+        obs.set_sim_now(777);
+        obs.emit(obs.event("core", "hit").u64_field("lpn", 3));
+        let evs = ring.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t, Stamp::Sim(777));
+        assert_eq!(evs[0].get("lpn").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn clones_share_registry_and_sink() {
+        let (obs, ring) = Obs::ring(16);
+        let clone = obs.clone();
+        let c = clone.registry().counter("n");
+        c.inc();
+        assert_eq!(obs.registry().counter("n").get(), 1);
+        clone.emit(clone.event("a", "b"));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_event_reaches_sink() {
+        let (obs, ring) = Obs::ring(4);
+        obs.registry().counter("k").add(2);
+        let snap = obs.emit_snapshot(Stamp::Sim(5));
+        assert_eq!(snap.counter("k"), Some(2));
+        let evs = ring.events();
+        assert_eq!(evs[0].kind, "snapshot");
+        assert_eq!(evs[0].t, Stamp::Sim(5));
+    }
+}

@@ -1,0 +1,95 @@
+//! Event-stream schema validation.
+//!
+//! The JSONL schema is deliberately small and stable:
+//!
+//! ```json
+//! {"t":{"sim":<u64>}|{"wall":<u64>},
+//!  "component":"<non-empty>",
+//!  "kind":"<non-empty>",
+//!  "fields":{"<name>": <number|string|bool|[u64,...]>, ...}}
+//! ```
+//!
+//! [`Event::from_json`] enforces all of this per line; this module wraps it
+//! for whole streams and is what `examples/quickstart.rs --obs` (and CI)
+//! uses to validate emitted files.
+
+use crate::event::Event;
+
+/// A schema violation at a specific line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validate a whole JSONL stream; returns the number of events on success.
+/// Empty lines are rejected — a truncated write should not pass silently.
+pub fn validate_jsonl(text: &str) -> Result<usize, SchemaError> {
+    let events = parse_jsonl(text)?;
+    Ok(events.len())
+}
+
+/// Parse and validate a whole JSONL stream into events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, SchemaError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            return Err(SchemaError {
+                line: i + 1,
+                message: "blank line in event stream".into(),
+            });
+        }
+        let ev = Event::from_json(line).map_err(|message| SchemaError {
+            line: i + 1,
+            message,
+        })?;
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn accepts_a_valid_stream() {
+        let (obs, ring) = Obs::ring(8);
+        obs.set_sim_now(10);
+        obs.emit(obs.event("ssd", "host_write").u64_field("pages", 4));
+        obs.emit(obs.wall_event("cluster", "repl_send").bool_field("dup", false));
+        let text = ring
+            .events()
+            .iter()
+            .map(|e| e.to_json() + "\n")
+            .collect::<String>();
+        assert_eq!(validate_jsonl(&text), Ok(2));
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reports_offending_line_number() {
+        let good = Event::sim(1, "a", "b").to_json();
+        let text = format!("{good}\nnot json\n");
+        let err = validate_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_blank_lines() {
+        let good = Event::sim(1, "a", "b").to_json();
+        let text = format!("{good}\n\n{good}\n");
+        let err = validate_jsonl(&text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("blank"));
+    }
+}

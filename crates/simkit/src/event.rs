@@ -9,6 +9,7 @@
 //! boxed closures — so simulations remain easy to snapshot, test and replay.
 
 use crate::time::SimTime;
+use fc_obs::Gauge;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -64,6 +65,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
+    /// Optional observability hook: mirrors `len()` after every mutation.
+    depth_gauge: Option<Gauge>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -79,6 +82,22 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            depth_gauge: None,
+        }
+    }
+
+    /// Mirror the queue depth into `gauge` (typically
+    /// `registry.gauge("simkit.event_queue.depth")`) after every push, pop
+    /// and clear.
+    pub fn attach_depth_gauge(&mut self, gauge: Gauge) {
+        gauge.set_u64(self.heap.len() as u64);
+        self.depth_gauge = Some(gauge);
+    }
+
+    #[inline]
+    fn sync_depth(&self) {
+        if let Some(g) = &self.depth_gauge {
+            g.set_u64(self.heap.len() as u64);
         }
     }
 
@@ -107,6 +126,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, payload });
+        self.sync_depth();
     }
 
     /// Schedule `payload` `delay` after the current clock.
@@ -120,6 +140,7 @@ impl<E> EventQueue<E> {
         let ev = self.heap.pop()?;
         debug_assert!(ev.at >= self.now, "event queue time went backwards");
         self.now = ev.at;
+        self.sync_depth();
         Some((ev.at, ev.payload))
     }
 
@@ -133,6 +154,7 @@ impl<E> EventQueue<E> {
         self.heap.clear();
         self.now = SimTime::ZERO;
         self.next_seq = 0;
+        self.sync_depth();
     }
 }
 
@@ -192,6 +214,23 @@ mod tests {
         q.pop();
         q.push_after(SimDuration::from_nanos(5), "next");
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(105)));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_len() {
+        let reg = fc_obs::Registry::new();
+        let gauge = reg.gauge("simkit.event_queue.depth");
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), ());
+        q.attach_depth_gauge(gauge.clone());
+        assert_eq!(gauge.get(), 1.0, "attach syncs the current depth");
+        q.push(SimTime::from_nanos(2), ());
+        q.push(SimTime::from_nanos(3), ());
+        assert_eq!(gauge.get(), 3.0);
+        q.pop();
+        assert_eq!(gauge.get(), 2.0);
+        q.clear();
+        assert_eq!(gauge.get(), 0.0);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! first, because a fresh SSD hides GC costs entirely ("especially for aged
 //! SSD", Section III.A).
 
+use crate::cost::CostBreakdown;
 use crate::ftl::{build_ftl, Ftl, FtlConfig, FtlKind, FtlStats};
 use crate::geometry::{Geometry, Lpn};
 use crate::stats::SsdStats;
 use crate::timing::TimingParams;
 use crate::wear::WearReport;
+use fc_obs::{Counter, Gauge, Obs};
 use fc_simkit::{DetRng, SimDuration};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +58,18 @@ impl Default for SsdConfig {
     }
 }
 
+/// Cached observability handles — registered once at attach time so the
+/// per-request path is relaxed atomics plus one event emission.
+struct ObsHooks {
+    obs: Obs,
+    host_writes: Counter,
+    host_reads: Counter,
+    programs: Counter,
+    flash_reads: Counter,
+    erases: Counter,
+    write_amp: Gauge,
+}
+
 /// A simulated SSD.
 pub struct Ssd {
     ftl: Box<dyn Ftl + Send>,
@@ -65,6 +79,7 @@ pub struct Ssd {
     /// experiment measurements.
     erases_at_reset: u64,
     programs_at_reset: u64,
+    obs: Option<ObsHooks>,
 }
 
 impl Ssd {
@@ -76,6 +91,56 @@ impl Ssd {
             stats: SsdStats::new(),
             erases_at_reset: 0,
             programs_at_reset: 0,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability domain: device counters and the write-amp
+    /// gauge register under `ssd.*`, and every host operation emits a
+    /// trace event stamped with the handle's sim clock. Attach *after*
+    /// [`Ssd::precondition`] so aging traffic stays out of the stream.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let reg = obs.registry();
+        self.obs = Some(ObsHooks {
+            host_writes: reg.counter("ssd.host_write_requests"),
+            host_reads: reg.counter("ssd.host_read_requests"),
+            programs: reg.counter("ssd.flash_page_programs"),
+            flash_reads: reg.counter("ssd.flash_page_reads"),
+            erases: reg.counter("ssd.block_erases"),
+            write_amp: reg.gauge("ssd.write_amp"),
+            obs: obs.clone(),
+        });
+    }
+
+    /// Shared event emission for host writes (single and batched). The
+    /// per-plane breakdown rides on a separate `gc` event only when the
+    /// operation actually triggered erases, keeping the common case to one
+    /// line.
+    fn obs_write(&self, lpn: Lpn, pages: u32, cost: &CostBreakdown, service: SimDuration) {
+        let Some(h) = &self.obs else { return };
+        h.host_writes.inc();
+        h.programs.add(cost.total_programs());
+        h.flash_reads.add(cost.total_reads());
+        h.erases.add(cost.total_erases());
+        h.write_amp.set(self.stats.write_amplification());
+        h.obs.emit(
+            h.obs
+                .event("ssd", "host_write")
+                .u64_field("lpn", lpn.0)
+                .u64_field("pages", pages as u64)
+                .u64_field("service_ns", service.as_nanos())
+                .u64_field("programs", cost.total_programs())
+                .u64_field("erases", cost.total_erases()),
+        );
+        if cost.total_erases() > 0 {
+            h.obs.emit(
+                h.obs
+                    .event("ssd", "gc")
+                    .u64_field("trigger_lpn", lpn.0)
+                    .u64s_field("plane_erases", cost.plane_erases.clone())
+                    .u64s_field("plane_programs", cost.plane_programs.clone())
+                    .u64s_field("plane_reads", cost.plane_reads.clone()),
+            );
         }
     }
 
@@ -105,6 +170,7 @@ impl Ssd {
         let cost = self.ftl.write(lpn, pages);
         let d = cost.service_time(&self.timing);
         self.stats.record_write(pages, &cost, d);
+        self.obs_write(lpn, pages, &cost, d);
         d
     }
 
@@ -129,6 +195,7 @@ impl Ssd {
         // flushes "into a block size write", and that grouped write is what
         // the device-level write-length distribution observes.
         self.stats.record_write(total_pages, &cost, d);
+        self.obs_write(runs[0].0, total_pages, &cost, d);
         d
     }
 
@@ -137,6 +204,17 @@ impl Ssd {
         let cost = self.ftl.read(lpn, pages);
         let d = cost.service_time(&self.timing);
         self.stats.record_read(pages, &cost, d);
+        if let Some(h) = &self.obs {
+            h.host_reads.inc();
+            h.flash_reads.add(cost.total_reads());
+            h.obs.emit(
+                h.obs
+                    .event("ssd", "host_read")
+                    .u64_field("lpn", lpn.0)
+                    .u64_field("pages", pages as u64)
+                    .u64_field("service_ns", d.as_nanos()),
+            );
+        }
         d
     }
 
@@ -147,6 +225,14 @@ impl Ssd {
         let d = cost.service_time(&self.timing);
         self.stats.trims += 1;
         self.stats.trimmed_pages += pages as u64;
+        if let Some(h) = &self.obs {
+            h.obs.emit(
+                h.obs
+                    .event("ssd", "trim")
+                    .u64_field("lpn", lpn.0)
+                    .u64_field("pages", pages as u64),
+            );
+        }
         d
     }
 
@@ -385,6 +471,49 @@ mod tests {
                 d.wear_report().max
             );
         }
+    }
+
+    #[test]
+    fn obs_stream_mirrors_device_stats() {
+        use fc_obs::{Obs, Value};
+        use fc_simkit::DetRng;
+        let mut d = tiny(FtlKind::PageLevel);
+        let mut rng = DetRng::new(9);
+        d.precondition(0.9, 0.5, &mut rng);
+        let (obs, ring) = Obs::ring(100_000);
+        d.attach_obs(&obs);
+        let logical = d.logical_pages();
+        for i in 0..(logical * 3) {
+            obs.set_sim_now(i * 1_000);
+            d.write(Lpn(rng.below(logical)), 1);
+        }
+        d.read(Lpn(0), 2);
+        let events = ring.events();
+        let writes: Vec<_> = events.iter().filter(|e| e.kind == "host_write").collect();
+        assert_eq!(writes.len() as u64, d.stats().host_write_requests);
+        // Per-event erase counts sum to the device's reset-relative total.
+        let erases: u64 = writes
+            .iter()
+            .filter_map(|e| e.get("erases").and_then(Value::as_u64))
+            .sum();
+        assert_eq!(erases, d.erases_since_reset());
+        assert!(erases > 0, "churn must trigger GC");
+        // Each GC event carries a per-plane erase breakdown that adds up.
+        let gc_plane_erases: u64 = events
+            .iter()
+            .filter(|e| e.kind == "gc")
+            .filter_map(|e| e.get("plane_erases").and_then(Value::as_u64s))
+            .map(|planes| planes.iter().sum::<u64>())
+            .sum();
+        assert_eq!(gc_plane_erases, erases);
+        // Live counters match too.
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("ssd.block_erases"), Some(erases));
+        assert_eq!(
+            snap.counter("ssd.host_read_requests"),
+            Some(d.stats().host_read_requests)
+        );
+        assert!(snap.gauge("ssd.write_amp").unwrap() > 1.0);
     }
 
     #[test]

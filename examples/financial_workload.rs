@@ -9,6 +9,7 @@
 //! cargo run --release --example financial_workload
 //! ```
 
+use fc_bench::format::{report_header, report_row};
 use fc_ssd::FtlKind;
 use fc_trace::{SyntheticSpec, TraceStats};
 use flashcoop::{replay, FlashCoopConfig, Preconditioning, RunReport, Scheme};
@@ -30,7 +31,7 @@ fn main() {
     }
     println!();
 
-    println!("{}", RunReport::header());
+    println!("{}", report_header());
     for trace in &traces {
         for scheme in Scheme::ALL {
             let policy = match scheme {
@@ -49,7 +50,7 @@ fn main() {
                 }),
                 seed,
             );
-            println!("{}", report.row());
+            println!("{}", report_row(&report));
         }
         println!();
     }

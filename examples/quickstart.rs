@@ -5,17 +5,35 @@
 //!
 //! ```text
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --obs run.jsonl
 //! ```
+//!
+//! With `--obs` every trace event and a final metric snapshot are streamed
+//! to the given file as JSON lines; the example re-reads the file and
+//! validates it against the fc-obs event schema before exiting.
 
+use fc_obs::{Obs, Stamp};
 use fc_simkit::{SimDuration, SimTime};
 use fc_ssd::FtlKind;
 use flashcoop::{CoopServer, FlashCoopConfig, PolicyKind, RemoteStore, Scheme};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let obs_path = args
+        .iter()
+        .position(|a| a == "--obs")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
     // A small evaluation-grade config: BAST FTL, LAR replacement.
     let mut cfg = FlashCoopConfig::evaluation(FtlKind::Bast, PolicyKind::Lar);
     cfg.buffer_pages = 512;
     let mut server = CoopServer::new(cfg.clone(), Scheme::FlashCoop(PolicyKind::Lar));
+    let obs = obs_path.as_ref().map(|p| {
+        let o = Obs::jsonl_file(p).expect("create --obs file");
+        server.attach_obs(&o);
+        o
+    });
     // The peer donates a remote buffer as large as our local one.
     let mut remote = RemoteStore::new(cfg.buffer_pages);
 
@@ -71,4 +89,17 @@ fn main() {
         "  every acknowledged page recoverable: {}",
         server.unrecoverable_pages(Some(&remote)).is_empty()
     );
+
+    if let (Some(o), Some(path)) = (&obs, &obs_path) {
+        o.emit_snapshot(Stamp::Sim(now.as_nanos()));
+        o.flush();
+        let text = std::fs::read_to_string(path).expect("read back --obs file");
+        match fc_obs::validate_jsonl(&text) {
+            Ok(n) => println!("  obs: {n} events written to {}, schema OK", path.display()),
+            Err(e) => {
+                eprintln!("obs stream invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

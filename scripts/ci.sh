@@ -19,4 +19,14 @@ cargo test --workspace -q --offline
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> obs smoke: quickstart --obs emits schema-valid JSONL"
+obs_out="$(mktemp -d)/quickstart.jsonl"
+cargo run --release --offline --example quickstart -- --obs "$obs_out" \
+  | grep -q "schema OK"
+test -s "$obs_out"
+rm -rf "$(dirname "$obs_out")"
+
 echo "CI OK"
