@@ -1,8 +1,9 @@
 //! Deterministic fault injection for transports.
 //!
 //! [`FaultTransport`] wraps any [`Transport`] and misbehaves on purpose:
-//! messages are dropped, delayed, duplicated, reordered, or swallowed by
-//! one-way partitions, all according to a seeded [`FaultPlan`]. Every fault
+//! messages are dropped, delayed, duplicated, reordered, payload-corrupted,
+//! or swallowed by one-way partitions (index-span or timed), all according
+//! to a seeded [`FaultPlan`]. Every fault
 //! decision is drawn from a [`DetRng`] keyed only by the plan's seed and the
 //! position of the message in the send sequence, so a given (seed, plan,
 //! message sequence) always produces the *same decision trace* — the chaos
@@ -61,6 +62,18 @@ pub struct FaultPlan {
     /// eligible-send index: messages inside a span vanish. The partition
     /// "heals" once the send index passes `end`.
     pub partitions: Vec<(u64, u64)>,
+    /// One-way partitions as half-open `[start, end)` wall-clock windows
+    /// measured from the transport's creation. Unlike index spans these
+    /// model a real timed outage, so they swallow *all* traffic — control
+    /// messages included, regardless of `data_only` — which is what lets
+    /// heartbeat-based failure detection actually fire in chaos tests.
+    /// Window membership depends on wall-clock scheduling; the rest of the
+    /// decision trace stays deterministic.
+    pub timed_partitions: Vec<(Duration, Duration)>,
+    /// Probability a delivered data-carrying message has one payload byte
+    /// flipped in flight (the embedded payload CRC goes stale, so the
+    /// receiver detects it).
+    pub corrupt_prob: f64,
     /// Slow-peer throttle: minimum spacing between deliveries that go
     /// through the delivery worker.
     pub min_gap: Duration,
@@ -81,6 +94,8 @@ impl Default for FaultPlan {
             reorder_prob: 0.0,
             reorder_window: 0,
             partitions: Vec::new(),
+            timed_partitions: Vec::new(),
+            corrupt_prob: 0.0,
             min_gap: Duration::ZERO,
             data_only: true,
         }
@@ -136,6 +151,21 @@ impl FaultPlan {
         self
     }
 
+    /// Add a one-way partition lasting `len`, starting `start` after the
+    /// transport is created. Timed partitions swallow *all* traffic (control
+    /// included), so the peer's heartbeat monitor sees real silence.
+    pub fn with_partition_for(mut self, start: Duration, len: Duration) -> Self {
+        self.timed_partitions.push((start, start + len));
+        self
+    }
+
+    /// Flip one payload byte of each delivered data-carrying message with
+    /// probability `p` (wire corruption; the payload CRC catches it).
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
     /// Throttle deliveries to at most one per `gap` (slow peer).
     pub fn with_min_gap(mut self, gap: Duration) -> Self {
         self.min_gap = gap;
@@ -155,11 +185,22 @@ impl FaultPlan {
             .any(|&(start, end)| index >= start && index < end)
     }
 
+    fn timed_partitioned(&self, elapsed: Duration) -> bool {
+        self.timed_partitions
+            .iter()
+            .any(|&(start, end)| elapsed >= start && elapsed < end)
+    }
+
     fn eligible(&self, msg: &Message) -> bool {
         !self.data_only
             || matches!(
                 msg,
-                Message::WriteRepl { .. } | Message::Discard { .. } | Message::ReplAck { .. }
+                Message::WriteRepl { .. }
+                    | Message::Discard { .. }
+                    | Message::ReplAck { .. }
+                    | Message::ReplNack { .. }
+                    | Message::ResyncBatch { .. }
+                    | Message::ResyncAck { .. }
             )
     }
 
@@ -173,12 +214,14 @@ impl FaultPlan {
 /// What the fault layer decided to do with one eligible message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
-    /// Forwarded (possibly late, possibly twice).
+    /// Forwarded (possibly late, possibly twice, possibly damaged).
     Deliver {
         /// Added latency in nanoseconds.
         delay_nanos: u64,
-        /// A duplicate copy was also sent.
+        /// A duplicate copy was also sent (the duplicate is always clean).
         dup: bool,
+        /// One payload byte of the primary copy was flipped in flight.
+        corrupt: bool,
     },
     /// Silently dropped.
     Drop,
@@ -190,6 +233,17 @@ pub enum FaultAction {
         /// Index at which the message is re-injected.
         release_at: u64,
     },
+}
+
+/// The sequence number recorded in the decision trace: data-plane seq, or
+/// the echoed seq of an ack/nack.
+fn fault_seq(msg: &Message) -> Option<u64> {
+    match msg {
+        Message::ReplAck { seq, .. }
+        | Message::ReplNack { seq, .. }
+        | Message::ResyncAck { seq } => Some(*seq),
+        m => m.data_seq(),
+    }
 }
 
 /// One entry of the decision trace: what happened to eligible send `index`.
@@ -216,8 +270,10 @@ pub struct FaultStats {
     pub duplicated: u64,
     /// Messages held back for reordering.
     pub held: u64,
-    /// Messages swallowed by partition spans.
+    /// Messages swallowed by partition spans (index-based and timed).
     pub partitioned: u64,
+    /// Delivered messages whose payload was corrupted in flight.
+    pub corrupted: u64,
     /// Control messages passed through untouched (`data_only` plans).
     pub passthrough: u64,
 }
@@ -232,6 +288,7 @@ impl fc_obs::StatSource for FaultStats {
         reg.counter("cluster.fault.held").store(self.held);
         reg.counter("cluster.fault.partitioned")
             .store(self.partitioned);
+        reg.counter("cluster.fault.corrupted").store(self.corrupted);
         reg.counter("cluster.fault.passthrough")
             .store(self.passthrough);
     }
@@ -289,6 +346,8 @@ pub struct FaultTransport<T: Transport + Sync + 'static> {
     queue: Arc<DeliveryQueue>,
     worker: Option<JoinHandle<()>>,
     obs: Option<Obs>,
+    /// Reference point for [`FaultPlan::timed_partitions`].
+    epoch: Instant,
 }
 
 impl<T: Transport + Sync + 'static> FaultTransport<T> {
@@ -324,6 +383,7 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
             queue,
             worker: Some(worker),
             obs: None,
+            epoch: Instant::now(),
         }
     }
 
@@ -348,10 +408,15 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
             ev = ev.u64_field("seq", s);
         }
         ev = match action {
-            FaultAction::Deliver { delay_nanos, dup } => ev
+            FaultAction::Deliver {
+                delay_nanos,
+                dup,
+                corrupt,
+            } => ev
                 .str_field("action", "deliver")
                 .u64_field("delay_ns", delay_nanos)
-                .bool_field("dup", dup),
+                .bool_field("dup", dup)
+                .bool_field("corrupt", corrupt),
             FaultAction::Drop => ev.str_field("action", "drop"),
             FaultAction::Partitioned => ev.str_field("action", "partitioned"),
             FaultAction::Held { release_at } => ev
@@ -405,6 +470,53 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
         d
     }
 
+    /// Flip one payload byte of a data-carrying message (the embedded
+    /// payload CRC is left stale on purpose — that is the corruption the
+    /// receiver detects). Returns `None` when the message carries no
+    /// corruptible payload.
+    fn corrupt_copy(msg: &Message, rng: &mut fc_simkit::DetRng) -> Option<Message> {
+        fn flip(data: &bytes::Bytes, rng: &mut fc_simkit::DetRng) -> bytes::Bytes {
+            let mut v = data.to_vec();
+            let i = rng.below(v.len() as u64) as usize;
+            v[i] ^= 0xFF;
+            bytes::Bytes::from(v)
+        }
+        match msg {
+            Message::WriteRepl {
+                seq,
+                lpn,
+                version,
+                crc,
+                data,
+            } if !data.is_empty() => Some(Message::WriteRepl {
+                seq: *seq,
+                lpn: *lpn,
+                version: *version,
+                crc: *crc,
+                data: flip(data, rng),
+            }),
+            Message::ResyncBatch { seq, entries }
+                if entries.iter().any(|(_, _, _, d)| !d.is_empty()) =>
+            {
+                let candidates: Vec<usize> = entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, _, d))| !d.is_empty())
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick = candidates[rng.below(candidates.len() as u64) as usize];
+                let mut entries = entries.clone();
+                let (lpn, ver, crc, data) = &entries[pick];
+                entries[pick] = (*lpn, *ver, *crc, flip(data, rng));
+                Some(Message::ResyncBatch {
+                    seq: *seq,
+                    entries,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Release every held-back message whose window has expired.
     fn release_due(&self, state: &mut FaultState) -> Result<(), TransportError> {
         let index = state.index;
@@ -424,6 +536,28 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
 impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
     fn send(&self, msg: Message) -> Result<(), TransportError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Timed partitions model a real outage: they swallow everything,
+        // control traffic included, regardless of `data_only`. Eligible
+        // messages still consume an index and a trace entry so the decision
+        // trace stays aligned with the eligible-send sequence.
+        if self.plan.timed_partitioned(self.epoch.elapsed()) {
+            state.stats.partitioned += 1;
+            if self.plan.eligible(&msg) {
+                let index = state.index;
+                state.index += 1;
+                state.stats.eligible += 1;
+                let seq = fault_seq(&msg);
+                state.trace.push(FaultRecord {
+                    index,
+                    seq,
+                    action: FaultAction::Partitioned,
+                });
+                self.emit_decision(index, seq, FaultAction::Partitioned);
+            }
+            return Ok(());
+        }
+
         if !self.plan.eligible(&msg) {
             state.stats.passthrough += 1;
             drop(state);
@@ -433,10 +567,7 @@ impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
         let index = state.index;
         state.index += 1;
         state.stats.eligible += 1;
-        let seq = match &msg {
-            Message::ReplAck { seq } => Some(*seq),
-            m => m.data_seq(),
-        };
+        let seq = fault_seq(&msg);
         let record = |state: &mut FaultState, action: FaultAction| {
             state.trace.push(FaultRecord { index, seq, action });
             self.emit_decision(index, seq, action);
@@ -469,18 +600,33 @@ impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
             } else {
                 Duration::ZERO
             };
+            // Corruption damages the primary copy only; a duplicate (like a
+            // retransmission) is an independent transmission and goes clean.
+            let damaged = if self.plan.corrupt_prob > 0.0
+                && state.rng.chance(self.plan.corrupt_prob)
+            {
+                Self::corrupt_copy(&msg, &mut state.rng)
+            } else {
+                None
+            };
+            let corrupt = damaged.is_some();
             state.stats.delivered += 1;
             if dup {
                 state.stats.duplicated += 1;
+            }
+            if corrupt {
+                state.stats.corrupted += 1;
             }
             record(
                 &mut state,
                 FaultAction::Deliver {
                     delay_nanos: delay.as_nanos() as u64,
                     dup,
+                    corrupt,
                 },
             );
-            let first = self.forward(&mut state, msg.clone(), delay);
+            let primary = damaged.unwrap_or_else(|| msg.clone());
+            let first = self.forward(&mut state, primary, delay);
             if dup {
                 let _ = self.forward(&mut state, msg, dup_delay);
             }
@@ -561,12 +707,7 @@ mod tests {
     const SHORT: Duration = Duration::from_millis(300);
 
     fn write_repl(seq: u64) -> Message {
-        Message::WriteRepl {
-            seq,
-            lpn: seq,
-            version: 1,
-            data: Bytes::from_static(b"x"),
-        }
+        Message::write_repl(seq, seq, 1, Bytes::from_static(b"xyzw"))
     }
 
     fn drain(t: &impl Transport, window: Duration) -> Vec<Message> {
@@ -622,6 +763,7 @@ mod tests {
         f.send(Message::Heartbeat {
             from: 0,
             at_millis: 1,
+            credits: 0,
         })
         .unwrap();
         let got = drain(&b, Duration::from_millis(100));
@@ -629,7 +771,8 @@ mod tests {
             got,
             vec![Message::Heartbeat {
                 from: 0,
-                at_millis: 1
+                at_millis: 1,
+                credits: 0,
             }]
         );
         assert_eq!(f.fault_stats().passthrough, 1);
@@ -779,6 +922,7 @@ mod tests {
                     "deliver" => FaultAction::Deliver {
                         delay_nanos: g("delay_ns").unwrap(),
                         dup: e.get("dup").and_then(Value::as_bool).unwrap(),
+                        corrupt: e.get("corrupt").and_then(Value::as_bool).unwrap(),
                     },
                     "drop" => FaultAction::Drop,
                     "partitioned" => FaultAction::Partitioned,
@@ -813,5 +957,93 @@ mod tests {
             f.fault_trace()
         };
         assert_ne!(run(1), run(2), "seeds should matter");
+    }
+
+    #[test]
+    fn corruption_damages_exactly_the_traced_copies() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(a, FaultPlan::new(11).with_corrupt(0.5));
+        let n = 64;
+        for s in 1..=n {
+            f.send(write_repl(s)).unwrap();
+        }
+        let corrupted: u64 = f
+            .fault_trace()
+            .iter()
+            .filter(|r| matches!(r.action, FaultAction::Deliver { corrupt: true, .. }))
+            .count() as u64;
+        assert!(corrupted > 0, "p=0.5 over 64 sends must corrupt something");
+        assert!(corrupted < n, "and must leave something clean");
+        assert_eq!(f.fault_stats().corrupted, corrupted);
+        // Every delivered message either verifies or is one of the damaged ones.
+        let got = drain(&b, Duration::from_millis(200));
+        assert_eq!(got.len() as u64, n);
+        let bad = got.iter().filter(|m| !m.payload_ok()).count() as u64;
+        assert_eq!(bad, corrupted, "stale payload CRC must expose each flip");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let run = || {
+            let (a, b) = mem_pair();
+            let f = FaultTransport::new(a, FaultPlan::new(5).with_corrupt(0.3));
+            for s in 1..=32 {
+                f.send(write_repl(s)).unwrap();
+            }
+            (f.fault_trace(), drain(&b, Duration::from_millis(200)))
+        };
+        assert_eq!(run(), run(), "same seed, same flips, same bytes");
+    }
+
+    #[test]
+    fn duplicate_copy_stays_clean_when_primary_is_corrupted() {
+        let (a, b) = mem_pair();
+        // Force both dup and corrupt on every send.
+        let f = FaultTransport::new(a, FaultPlan::new(3).with_dup(1.0).with_corrupt(1.0));
+        f.send(write_repl(7)).unwrap();
+        let got = drain(&b, Duration::from_millis(200));
+        assert_eq!(got.len(), 2, "primary + duplicate");
+        let clean = got.iter().filter(|m| m.payload_ok()).count();
+        let bad = got.len() - clean;
+        assert_eq!((clean, bad), (1, 1), "exactly one copy is damaged");
+    }
+
+    #[test]
+    fn timed_partition_swallows_all_traffic_then_heals() {
+        let (a, b) = mem_pair();
+        let f = FaultTransport::new(
+            a,
+            FaultPlan::new(1).with_partition_for(Duration::ZERO, Duration::from_millis(80)),
+        );
+        // Inside the window: both data and control vanish.
+        f.send(write_repl(1)).unwrap();
+        f.send(Message::Heartbeat {
+            from: 0,
+            at_millis: 1,
+            credits: 0,
+        })
+        .unwrap();
+        assert!(drain(&b, Duration::from_millis(40)).is_empty());
+        assert_eq!(f.fault_stats().partitioned, 2);
+        // After the window closes the link heals.
+        std::thread::sleep(Duration::from_millis(100));
+        f.send(write_repl(2)).unwrap();
+        let got = drain(&b, Duration::from_millis(100));
+        assert_eq!(got, vec![write_repl(2)]);
+    }
+
+    #[test]
+    fn corrupt_zero_prob_keeps_legacy_traces_identical() {
+        let run = |plan: FaultPlan| {
+            let (a, _b) = mem_pair();
+            let f = FaultTransport::new(a, plan);
+            for s in 1..=64 {
+                f.send(write_repl(s)).unwrap();
+            }
+            f.fault_trace()
+        };
+        let legacy = run(FaultPlan::new(9).with_drop(0.2).with_dup(0.2));
+        let gated = run(FaultPlan::new(9).with_drop(0.2).with_dup(0.2).with_corrupt(0.0));
+        assert_eq!(legacy, gated, "p=0 must not consume RNG draws");
     }
 }

@@ -12,8 +12,10 @@
 //! * [`backend`] — where flushed pages land: a plain map or the `fc-ssd`
 //!   simulator (for device statistics).
 //! * [`node`] — a runnable node: same buffer manager and policies as the
-//!   simulation, plus real threads, heartbeats, degraded mode, and the
-//!   Section III.D recovery protocol.
+//!   simulation, plus real threads, heartbeats, the pair-lifecycle state
+//!   machine (takeover destage, incremental resync/rejoin), end-to-end
+//!   CRC-32 integrity with NACK/resend and scrub repair, credit-based
+//!   backpressure, and the Section III.D recovery protocol.
 //!
 //! ```
 //! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig, WriteOutcome};
@@ -35,9 +37,15 @@ pub mod wire;
 
 pub use backend::{MemBackend, SimSsdBackend, StorageBackend};
 pub use fault::{FaultAction, FaultPlan, FaultRecord, FaultStats, FaultTransport};
-pub use flashcoop::{ReplicationStats, RetryPolicy};
+pub use flashcoop::{
+    LifecycleTransition, PairLifecycle, PairState, ReplicationStats, RetryPolicy,
+};
 pub use node::{
     shared_backend, Node, NodeConfig, NodeConfigBuilder, NodeStats, SharedBackend, WriteOutcome,
+    PEER_NS,
 };
 pub use transport::{mem_pair, MemTransport, TcpTransport, Transport, TransportError};
-pub use wire::{decode, encode, Message, SeqStatus, SeqTracker, WireError};
+pub use wire::{
+    crc32, decode, encode, resync_entry, Message, NackReason, ResyncEntry, SeqStatus, SeqTracker,
+    WireError,
+};

@@ -301,28 +301,14 @@ mod tests {
         let server = TcpTransport::accept(&listener).unwrap();
         let client = client.join().unwrap();
 
-        client
-            .send(Message::WriteRepl {
-                seq: 1,
-                lpn: 99,
-                version: 5,
-                data: Bytes::from_static(b"hello-flash"),
-            })
-            .unwrap();
+        let msg = Message::write_repl(1, 99, 5, Bytes::from_static(b"hello-flash"));
+        client.send(msg.clone()).unwrap();
         let got = server.recv_timeout(Duration::from_secs(2)).unwrap();
-        assert_eq!(
-            got,
-            Some(Message::WriteRepl {
-                seq: 1,
-                lpn: 99,
-                version: 5,
-                data: Bytes::from_static(b"hello-flash"),
-            })
-        );
-        server.send(Message::ReplAck { seq: 1 }).unwrap();
+        assert_eq!(got, Some(msg));
+        server.send(Message::ReplAck { seq: 1, credits: 7 }).unwrap();
         assert_eq!(
             client.recv_timeout(Duration::from_secs(2)).unwrap(),
-            Some(Message::ReplAck { seq: 1 })
+            Some(Message::ReplAck { seq: 1, credits: 7 })
         );
     }
 
@@ -360,12 +346,7 @@ mod tests {
         let page = Bytes::from(vec![0xAB; 4096]);
         for seq in 0..64u64 {
             client
-                .send(Message::WriteRepl {
-                    seq,
-                    lpn: seq,
-                    version: 1,
-                    data: page.clone(),
-                })
+                .send(Message::write_repl(seq, seq, 1, page.clone()))
                 .unwrap();
         }
         for seq in 0..64u64 {

@@ -4,18 +4,111 @@
 //! serialisation dependency. Every frame is
 //!
 //! ```text
-//! [u32 LE: payload length][u8: message tag][payload…]
+//! [u32 LE: payload length][u32 LE: CRC-32 of payload][u8: message tag][payload…]
 //! ```
 //!
-//! The message set implements Figure 3's arrows: write replication and acks,
-//! discards after local flushes, heartbeats (Section III.D), and the
-//! recovery handshake (RCT fetch → snapshot → purge).
+//! The frame checksum rejects link-level corruption: any single flipped byte
+//! lands in the length, the CRC, or the CRC-covered body, so a tampered
+//! frame decodes to an error (or stays incomplete) — never to a *different*
+//! valid message. Data-carrying messages additionally embed a payload CRC
+//! computed at construction ([`Message::write_repl`], [`resync_entry`]) and
+//! checked end-to-end with [`Message::payload_ok`]; that second layer
+//! survives transports that pass `Message` values without re-framing (the
+//! in-memory channel pair and the fault injector's corruption hook).
+//!
+//! The message set implements Figure 3's arrows: write replication with
+//! acks, NACKs and credit grants, discards after local flushes, heartbeats
+//! (Section III.D), the recovery handshake (RCT fetch → snapshot → purge),
+//! the incremental resync stream (batch → ack), and single-page fetches for
+//! scrub repair.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Maximum frame payload accepted by the decoder (16 MiB): protects against
 /// corrupted length prefixes.
 pub const MAX_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, dependency-free
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `data` — the checksum used for both frame integrity and
+/// per-page payload integrity.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Why a replication message was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// Payload checksum mismatch — the bytes were damaged in flight; the
+    /// sender should resend.
+    Corrupt,
+    /// The remote buffer is out of credits (full); the sender should write
+    /// through locally instead of queueing.
+    NoCredit,
+}
+
+impl NackReason {
+    fn to_u8(self) -> u8 {
+        match self {
+            NackReason::Corrupt => 0,
+            NackReason::NoCredit => 1,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(NackReason::Corrupt),
+            1 => Ok(NackReason::NoCredit),
+            other => Err(WireError::BadTag(other)),
+        }
+    }
+
+    /// Static label used in obs events.
+    pub fn name(self) -> &'static str {
+        match self {
+            NackReason::Corrupt => "corrupt",
+            NackReason::NoCredit => "no_credit",
+        }
+    }
+}
+
+/// One page of a [`Message::ResyncBatch`]: `(lpn, version, payload crc,
+/// data)`. Build with [`resync_entry`] so the CRC is always consistent.
+pub type ResyncEntry = (u64, u64, u32, Bytes);
+
+/// Build a [`ResyncEntry`] with its payload CRC computed.
+pub fn resync_entry(lpn: u64, version: u64, data: Bytes) -> ResyncEntry {
+    let crc = crc32(&data);
+    (lpn, version, crc, data)
+}
 
 /// Protocol messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +121,9 @@ pub enum Message {
         lpn: u64,
         /// Page version (monotone per owner).
         version: u64,
+        /// CRC-32 of `data`, computed at construction. Carried end-to-end so
+        /// corruption is caught even on transports that skip re-framing.
+        crc: u32,
         /// Page contents.
         data: Bytes,
     },
@@ -35,6 +131,17 @@ pub enum Message {
     ReplAck {
         /// The `seq` of the acknowledged [`Message::WriteRepl`].
         seq: u64,
+        /// Remote-buffer credits (free page slots) the receiver still
+        /// advertises after applying the write — the backpressure signal.
+        credits: u32,
+    },
+    /// Refuse a replication message ([`Message::WriteRepl`] or
+    /// [`Message::ResyncBatch`]).
+    ReplNack {
+        /// The refused message's sequence number.
+        seq: u64,
+        /// Why it was refused.
+        reason: NackReason,
     },
     /// The owner flushed these pages to its SSD; the peer drops its copies.
     Discard {
@@ -54,6 +161,10 @@ pub enum Message {
         from: u8,
         /// Sender's monotonic clock, milliseconds.
         at_millis: u64,
+        /// Remote-buffer credits the sender currently advertises, so an
+        /// out-of-credit peer learns about freed space even with no
+        /// replication traffic flowing.
+        credits: u32,
     },
     /// Rebooted owner asks for everything the peer holds for it.
     RctFetch,
@@ -66,6 +177,38 @@ pub enum Message {
     Purge,
     /// Acknowledge a [`Message::Purge`].
     PurgeAck,
+    /// One batch of the catch-up stream a rejoining pair member sends: pages
+    /// written while the pair was apart, in ascending LPN order.
+    ResyncBatch {
+        /// Data-plane sequence number (shared counter with
+        /// [`Message::WriteRepl`] for receive-side dedup).
+        seq: u64,
+        /// The pages, each carrying its payload CRC.
+        entries: Vec<ResyncEntry>,
+    },
+    /// Acknowledge a [`Message::ResyncBatch`].
+    ResyncAck {
+        /// The `seq` of the acknowledged batch.
+        seq: u64,
+    },
+    /// Ask the peer for its replica of one page (scrub repair).
+    PageFetch {
+        /// Logical page wanted.
+        lpn: u64,
+    },
+    /// Reply to [`Message::PageFetch`].
+    PageData {
+        /// Logical page.
+        lpn: u64,
+        /// Replica version held (0 when `found` is false).
+        version: u64,
+        /// CRC-32 of `data`.
+        crc: u32,
+        /// Whether the peer held a replica at all.
+        found: bool,
+        /// Replica contents (empty when `found` is false).
+        data: Bytes,
+    },
 }
 
 /// Decoder errors.
@@ -77,6 +220,13 @@ pub enum WireError {
     BadTag(u8),
     /// Payload ended before the message was complete.
     Truncated,
+    /// Frame checksum mismatch: the bytes were damaged in flight.
+    Checksum {
+        /// CRC the frame header claimed.
+        expected: u32,
+        /// CRC of the bytes actually received.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -85,6 +235,9 @@ impl std::fmt::Display for WireError {
             WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::Truncated => write!(f, "truncated frame"),
+            WireError::Checksum { expected, found } => {
+                write!(f, "frame checksum mismatch: header {expected:#10x}, body {found:#10x}")
+            }
         }
     }
 }
@@ -99,30 +252,44 @@ const TAG_RCT_FETCH: u8 = 5;
 const TAG_RCT_SNAPSHOT: u8 = 6;
 const TAG_PURGE: u8 = 7;
 const TAG_PURGE_ACK: u8 = 8;
+const TAG_REPL_NACK: u8 = 9;
+const TAG_RESYNC_BATCH: u8 = 10;
+const TAG_RESYNC_ACK: u8 = 11;
+const TAG_PAGE_FETCH: u8 = 12;
+const TAG_PAGE_DATA: u8 = 13;
 
 /// Append one framed message to `out`.
 pub fn encode(msg: &Message, out: &mut BytesMut) {
-    // Reserve the length slot, fill after writing the body.
+    // Reserve the length and checksum slots, fill after writing the body.
     let len_pos = out.len();
-    out.put_u32_le(0);
+    out.put_u32_le(0); // length
+    out.put_u32_le(0); // CRC-32 of the body
     let body_start = out.len();
     match msg {
         Message::WriteRepl {
             seq,
             lpn,
             version,
+            crc,
             data,
         } => {
             out.put_u8(TAG_WRITE_REPL);
             out.put_u64_le(*seq);
             out.put_u64_le(*lpn);
             out.put_u64_le(*version);
+            out.put_u32_le(*crc);
             out.put_u32_le(data.len() as u32);
             out.put_slice(data);
         }
-        Message::ReplAck { seq } => {
+        Message::ReplAck { seq, credits } => {
             out.put_u8(TAG_REPL_ACK);
             out.put_u64_le(*seq);
+            out.put_u32_le(*credits);
+        }
+        Message::ReplNack { seq, reason } => {
+            out.put_u8(TAG_REPL_NACK);
+            out.put_u64_le(*seq);
+            out.put_u8(reason.to_u8());
         }
         Message::Discard { seq, pages } => {
             out.put_u8(TAG_DISCARD);
@@ -133,10 +300,15 @@ pub fn encode(msg: &Message, out: &mut BytesMut) {
                 out.put_u64_le(*ver);
             }
         }
-        Message::Heartbeat { from, at_millis } => {
+        Message::Heartbeat {
+            from,
+            at_millis,
+            credits,
+        } => {
             out.put_u8(TAG_HEARTBEAT);
             out.put_u8(*from);
             out.put_u64_le(*at_millis);
+            out.put_u32_le(*credits);
         }
         Message::RctFetch => out.put_u8(TAG_RCT_FETCH),
         Message::RctSnapshot { entries } => {
@@ -151,26 +323,68 @@ pub fn encode(msg: &Message, out: &mut BytesMut) {
         }
         Message::Purge => out.put_u8(TAG_PURGE),
         Message::PurgeAck => out.put_u8(TAG_PURGE_ACK),
+        Message::ResyncBatch { seq, entries } => {
+            out.put_u8(TAG_RESYNC_BATCH);
+            out.put_u64_le(*seq);
+            out.put_u32_le(entries.len() as u32);
+            for (lpn, ver, crc, data) in entries {
+                out.put_u64_le(*lpn);
+                out.put_u64_le(*ver);
+                out.put_u32_le(*crc);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+        Message::ResyncAck { seq } => {
+            out.put_u8(TAG_RESYNC_ACK);
+            out.put_u64_le(*seq);
+        }
+        Message::PageFetch { lpn } => {
+            out.put_u8(TAG_PAGE_FETCH);
+            out.put_u64_le(*lpn);
+        }
+        Message::PageData {
+            lpn,
+            version,
+            crc,
+            found,
+            data,
+        } => {
+            out.put_u8(TAG_PAGE_DATA);
+            out.put_u64_le(*lpn);
+            out.put_u64_le(*version);
+            out.put_u32_le(*crc);
+            out.put_u8(u8::from(*found));
+            out.put_u32_le(data.len() as u32);
+            out.put_slice(data);
+        }
     }
     let body_len = (out.len() - body_start) as u32;
+    let body_crc = crc32(&out[body_start..]);
     out[len_pos..len_pos + 4].copy_from_slice(&body_len.to_le_bytes());
+    out[len_pos + 4..len_pos + 8].copy_from_slice(&body_crc.to_le_bytes());
 }
 
 /// Try to decode one framed message from the front of `buf`. Returns
 /// `Ok(None)` when more bytes are needed; consumed bytes are removed.
 pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
-    if buf.len() < 4 {
+    if buf.len() < 8 {
         return Ok(None);
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if len > MAX_FRAME {
         return Err(WireError::FrameTooLarge(len));
     }
-    if buf.len() < 4 + len {
+    if buf.len() < 8 + len {
         return Ok(None);
     }
-    buf.advance(4);
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    buf.advance(8);
     let mut body = buf.split_to(len).freeze();
+    let found = crc32(&body);
+    if found != expected {
+        return Err(WireError::Checksum { expected, found });
+    }
     let msg = parse_body(&mut body)?;
     Ok(Some(msg))
 }
@@ -187,10 +401,11 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
     let tag = body.get_u8();
     let msg = match tag {
         TAG_WRITE_REPL => {
-            need(body, 8 + 8 + 8 + 4)?;
+            need(body, 8 + 8 + 8 + 4 + 4)?;
             let seq = body.get_u64_le();
             let lpn = body.get_u64_le();
             let version = body.get_u64_le();
+            let crc = body.get_u32_le();
             let dl = body.get_u32_le() as usize;
             need(body, dl)?;
             let data = body.split_to(dl);
@@ -198,13 +413,22 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
                 seq,
                 lpn,
                 version,
+                crc,
                 data,
             }
         }
         TAG_REPL_ACK => {
-            need(body, 8)?;
+            need(body, 8 + 4)?;
             Message::ReplAck {
                 seq: body.get_u64_le(),
+                credits: body.get_u32_le(),
+            }
+        }
+        TAG_REPL_NACK => {
+            need(body, 8 + 1)?;
+            Message::ReplNack {
+                seq: body.get_u64_le(),
+                reason: NackReason::from_u8(body.get_u8())?,
             }
         }
         TAG_DISCARD => {
@@ -218,10 +442,11 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
             Message::Discard { seq, pages }
         }
         TAG_HEARTBEAT => {
-            need(body, 1 + 8)?;
+            need(body, 1 + 8 + 4)?;
             Message::Heartbeat {
                 from: body.get_u8(),
                 at_millis: body.get_u64_le(),
+                credits: body.get_u32_le(),
             }
         }
         TAG_RCT_FETCH => Message::RctFetch,
@@ -241,18 +466,117 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
         }
         TAG_PURGE => Message::Purge,
         TAG_PURGE_ACK => Message::PurgeAck,
+        TAG_RESYNC_BATCH => {
+            need(body, 8 + 4)?;
+            let seq = body.get_u64_le();
+            let n = body.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                need(body, 8 + 8 + 4 + 4)?;
+                let lpn = body.get_u64_le();
+                let ver = body.get_u64_le();
+                let crc = body.get_u32_le();
+                let dl = body.get_u32_le() as usize;
+                need(body, dl)?;
+                entries.push((lpn, ver, crc, body.split_to(dl)));
+            }
+            Message::ResyncBatch { seq, entries }
+        }
+        TAG_RESYNC_ACK => {
+            need(body, 8)?;
+            Message::ResyncAck {
+                seq: body.get_u64_le(),
+            }
+        }
+        TAG_PAGE_FETCH => {
+            need(body, 8)?;
+            Message::PageFetch {
+                lpn: body.get_u64_le(),
+            }
+        }
+        TAG_PAGE_DATA => {
+            need(body, 8 + 8 + 4 + 1 + 4)?;
+            let lpn = body.get_u64_le();
+            let version = body.get_u64_le();
+            let crc = body.get_u32_le();
+            let found = body.get_u8() != 0;
+            let dl = body.get_u32_le() as usize;
+            need(body, dl)?;
+            Message::PageData {
+                lpn,
+                version,
+                crc,
+                found,
+                data: body.split_to(dl),
+            }
+        }
         other => return Err(WireError::BadTag(other)),
     };
     Ok(msg)
 }
 
 impl Message {
+    /// Build a [`Message::WriteRepl`] with its payload CRC computed.
+    pub fn write_repl(seq: u64, lpn: u64, version: u64, data: Bytes) -> Message {
+        let crc = crc32(&data);
+        Message::WriteRepl {
+            seq,
+            lpn,
+            version,
+            crc,
+            data,
+        }
+    }
+
+    /// Build a [`Message::PageData`] reply, computing the payload CRC. Pass
+    /// `None` for a miss.
+    pub fn page_data(lpn: u64, hit: Option<(u64, Bytes)>) -> Message {
+        match hit {
+            Some((version, data)) => {
+                let crc = crc32(&data);
+                Message::PageData {
+                    lpn,
+                    version,
+                    crc,
+                    found: true,
+                    data,
+                }
+            }
+            None => Message::PageData {
+                lpn,
+                version: 0,
+                crc: crc32(&[]),
+                found: false,
+                data: Bytes::new(),
+            },
+        }
+    }
+
+    /// Verify the embedded payload CRC of a data-carrying message. Control
+    /// messages trivially pass. The receive path calls this *before*
+    /// recording the sequence number, so a damaged message can be NACKed
+    /// and its retransmission still applied.
+    pub fn payload_ok(&self) -> bool {
+        match self {
+            Message::WriteRepl { crc, data, .. } => crc32(data) == *crc,
+            Message::ResyncBatch { entries, .. } => {
+                entries.iter().all(|(_, _, crc, data)| crc32(data) == *crc)
+            }
+            Message::PageData {
+                crc, data, found, ..
+            } => !found || crc32(data) == *crc,
+            _ => true,
+        }
+    }
+
     /// Data-plane sequence number of this message, if it carries one.
-    /// `WriteRepl` and `Discard` are the data plane (they mutate the peer's
-    /// remote buffer); everything else is control traffic.
+    /// `WriteRepl`, `Discard` and `ResyncBatch` are the data plane (they
+    /// mutate the peer's remote buffer); everything else is control traffic.
     pub fn data_seq(&self) -> Option<u64> {
         match self {
-            Message::WriteRepl { seq, .. } | Message::Discard { seq, .. } => Some(*seq),
+            Message::WriteRepl { seq, .. }
+            | Message::Discard { seq, .. }
+            | Message::ResyncBatch { seq, .. } => Some(*seq),
             _ => None,
         }
     }
@@ -343,13 +667,21 @@ mod tests {
 
     #[test]
     fn all_messages_round_trip() {
-        round_trip(Message::WriteRepl {
+        round_trip(Message::write_repl(
+            42,
+            7,
+            3,
+            Bytes::from_static(b"page-contents"),
+        ));
+        round_trip(Message::ReplAck { seq: 42, credits: 17 });
+        round_trip(Message::ReplNack {
             seq: 42,
-            lpn: 7,
-            version: 3,
-            data: Bytes::from_static(b"page-contents"),
+            reason: NackReason::Corrupt,
         });
-        round_trip(Message::ReplAck { seq: 42 });
+        round_trip(Message::ReplNack {
+            seq: 43,
+            reason: NackReason::NoCredit,
+        });
         round_trip(Message::Discard {
             seq: 43,
             pages: vec![(1, 10), (2, 11), (3, 12), (1 << 40, 1 << 50)],
@@ -357,6 +689,7 @@ mod tests {
         round_trip(Message::Heartbeat {
             from: 1,
             at_millis: 123_456,
+            credits: 64,
         });
         round_trip(Message::RctFetch);
         round_trip(Message::RctSnapshot {
@@ -367,12 +700,33 @@ mod tests {
         });
         round_trip(Message::Purge);
         round_trip(Message::PurgeAck);
+        round_trip(Message::ResyncBatch {
+            seq: 77,
+            entries: vec![
+                resync_entry(1, 9, Bytes::from_static(b"solo-write")),
+                resync_entry(2, 10, Bytes::new()),
+            ],
+        });
+        round_trip(Message::ResyncAck { seq: 77 });
+        round_trip(Message::PageFetch { lpn: 12 });
+        round_trip(Message::page_data(
+            12,
+            Some((5, Bytes::from_static(b"replica"))),
+        ));
+        round_trip(Message::page_data(13, None));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
     fn partial_frames_wait_for_more_bytes() {
         let mut full = BytesMut::new();
-        encode(&Message::ReplAck { seq: 9 }, &mut full);
+        encode(&Message::ReplAck { seq: 9, credits: 3 }, &mut full);
         // Feed one byte at a time; decode must return None until complete.
         let mut acc = BytesMut::new();
         let total = full.len();
@@ -382,7 +736,7 @@ mod tests {
             if i + 1 < total {
                 assert!(r.is_none(), "premature decode at byte {i}");
             } else {
-                assert_eq!(r, Some(Message::ReplAck { seq: 9 }));
+                assert_eq!(r, Some(Message::ReplAck { seq: 9, credits: 3 }));
             }
         }
     }
@@ -403,6 +757,7 @@ mod tests {
     fn oversized_frame_is_rejected() {
         let mut buf = BytesMut::new();
         buf.put_u32_le((MAX_FRAME + 1) as u32);
+        buf.put_u32_le(0); // checksum slot
         buf.put_u8(TAG_PURGE);
         assert_eq!(
             decode(&mut buf),
@@ -413,19 +768,74 @@ mod tests {
     #[test]
     fn bad_tag_is_rejected() {
         let mut buf = BytesMut::new();
+        let body = [99u8];
         buf.put_u32_le(1);
-        buf.put_u8(99);
+        buf.put_u32_le(crc32(&body));
+        buf.put_slice(&body);
         assert_eq!(decode(&mut buf), Err(WireError::BadTag(99)));
     }
 
     #[test]
     fn truncated_body_is_rejected() {
-        // A frame claiming to be a ReplAck but with a 2-byte body.
+        // A frame claiming to be a ReplAck but with a 3-byte body; the frame
+        // checksum is valid, so the failure is the body parse.
         let mut buf = BytesMut::new();
-        buf.put_u32_le(3);
-        buf.put_u8(TAG_REPL_ACK);
-        buf.put_u16_le(7);
+        let mut body = BytesMut::new();
+        body.put_u8(TAG_REPL_ACK);
+        body.put_u16_le(7);
+        buf.put_u32_le(body.len() as u32);
+        buf.put_u32_le(crc32(&body));
+        buf.put_slice(&body);
         assert_eq!(decode(&mut buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_checksum_mismatch_is_rejected() {
+        let mut buf = BytesMut::new();
+        encode(&Message::write_repl(1, 2, 3, Bytes::from_static(b"abcd")), &mut buf);
+        // Flip one payload byte; the frame checksum no longer matches.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        assert!(matches!(
+            decode(&mut buf),
+            Err(WireError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn payload_crc_travels_with_the_message() {
+        let msg = Message::write_repl(1, 2, 3, Bytes::from_static(b"payload"));
+        assert!(msg.payload_ok());
+        // Tamper with the data while keeping the stored CRC: payload_ok
+        // must notice (this models a transport that hands over Message
+        // values without re-framing).
+        if let Message::WriteRepl {
+            seq, lpn, version, crc, ..
+        } = msg
+        {
+            let tampered = Message::WriteRepl {
+                seq,
+                lpn,
+                version,
+                crc,
+                data: Bytes::from_static(b"pAyload"),
+            };
+            assert!(!tampered.payload_ok());
+        }
+        // Batches verify every entry.
+        let good = Message::ResyncBatch {
+            seq: 5,
+            entries: vec![resync_entry(1, 1, Bytes::from_static(b"x"))],
+        };
+        assert!(good.payload_ok());
+        let bad = Message::ResyncBatch {
+            seq: 5,
+            entries: vec![(1, 1, 0xDEAD_BEEF, Bytes::from_static(b"x"))],
+        };
+        assert!(!bad.payload_ok());
+        // Control traffic trivially passes.
+        assert!(Message::Purge.payload_ok());
+        assert!(Message::ReplAck { seq: 1, credits: 0 }.payload_ok());
     }
 
     #[test]
@@ -463,16 +873,7 @@ mod tests {
 
     #[test]
     fn data_seq_covers_exactly_the_data_plane() {
-        assert_eq!(
-            Message::WriteRepl {
-                seq: 9,
-                lpn: 1,
-                version: 1,
-                data: Bytes::new()
-            }
-            .data_seq(),
-            Some(9)
-        );
+        assert_eq!(Message::write_repl(9, 1, 1, Bytes::new()).data_seq(), Some(9));
         assert_eq!(
             Message::Discard {
                 seq: 4,
@@ -481,30 +882,48 @@ mod tests {
             .data_seq(),
             Some(4)
         );
-        assert_eq!(Message::ReplAck { seq: 9 }.data_seq(), None);
+        assert_eq!(
+            Message::ResyncBatch {
+                seq: 6,
+                entries: vec![]
+            }
+            .data_seq(),
+            Some(6)
+        );
+        assert_eq!(Message::ReplAck { seq: 9, credits: 0 }.data_seq(), None);
+        assert_eq!(Message::ResyncAck { seq: 9 }.data_seq(), None);
+        assert_eq!(
+            Message::ReplNack {
+                seq: 9,
+                reason: NackReason::Corrupt
+            }
+            .data_seq(),
+            None
+        );
         assert_eq!(
             Message::Heartbeat {
                 from: 0,
-                at_millis: 0
+                at_millis: 0,
+                credits: 0,
             }
             .data_seq(),
             None
         );
         assert_eq!(Message::RctFetch.data_seq(), None);
+        assert_eq!(Message::PageFetch { lpn: 0 }.data_seq(), None);
     }
 
     #[test]
     fn empty_page_data_is_fine() {
-        round_trip(Message::WriteRepl {
-            seq: 0,
-            lpn: 0,
-            version: 0,
-            data: Bytes::new(),
-        });
+        round_trip(Message::write_repl(0, 0, 0, Bytes::new()));
         round_trip(Message::Discard {
             seq: 0,
             pages: vec![],
         });
         round_trip(Message::RctSnapshot { entries: vec![] });
+        round_trip(Message::ResyncBatch {
+            seq: 0,
+            entries: vec![],
+        });
     }
 }

@@ -6,30 +6,59 @@
 //! tracking classifies any delivery schedule correctly.
 
 use bytes::{Bytes, BytesMut};
-use fc_cluster::{decode, encode, Message, SeqStatus, SeqTracker};
+use fc_cluster::{decode, encode, resync_entry, Message, NackReason, SeqStatus, SeqTracker};
 use proptest::prelude::*;
 
 fn message_strategy() -> impl Strategy<Value = Message> {
     let data = prop::collection::vec(any::<u8>(), 0..256).prop_map(Bytes::from);
     prop_oneof![
         (any::<u64>(), any::<u64>(), any::<u64>(), data.clone()).prop_map(
-            |(seq, lpn, version, data)| Message::WriteRepl { seq, lpn, version, data }
+            |(seq, lpn, version, data)| Message::write_repl(seq, lpn, version, data)
         ),
-        any::<u64>().prop_map(|seq| Message::ReplAck { seq }),
+        (any::<u64>(), any::<u32>())
+            .prop_map(|(seq, credits)| Message::ReplAck { seq, credits }),
+        (any::<u64>(), prop::bool::ANY).prop_map(|(seq, corrupt)| Message::ReplNack {
+            seq,
+            reason: if corrupt {
+                NackReason::Corrupt
+            } else {
+                NackReason::NoCredit
+            },
+        }),
         (
             any::<u64>(),
             prop::collection::vec((any::<u64>(), any::<u64>()), 0..64)
         )
             .prop_map(|(seq, pages)| Message::Discard { seq, pages }),
-        (any::<u8>(), any::<u64>()).prop_map(|(from, at_millis)| Message::Heartbeat {
-            from,
-            at_millis
+        (any::<u8>(), any::<u64>(), any::<u32>()).prop_map(|(from, at_millis, credits)| {
+            Message::Heartbeat {
+                from,
+                at_millis,
+                credits,
+            }
         }),
         Just(Message::RctFetch),
-        prop::collection::vec((any::<u64>(), any::<u64>(), data), 0..16)
+        prop::collection::vec((any::<u64>(), any::<u64>(), data.clone()), 0..16)
             .prop_map(|entries| Message::RctSnapshot { entries }),
         Just(Message::Purge),
         Just(Message::PurgeAck),
+        (
+            any::<u64>(),
+            prop::collection::vec((any::<u64>(), any::<u64>(), data.clone()), 0..16)
+        )
+            .prop_map(|(seq, raw)| Message::ResyncBatch {
+                seq,
+                entries: raw
+                    .into_iter()
+                    .map(|(l, v, d)| resync_entry(l, v, d))
+                    .collect(),
+            }),
+        any::<u64>().prop_map(|seq| Message::ResyncAck { seq }),
+        any::<u64>().prop_map(|lpn| Message::PageFetch { lpn }),
+        (any::<u64>(), any::<u64>(), data).prop_map(|(lpn, version, data)| {
+            Message::page_data(lpn, Some((version, data)))
+        }),
+        any::<u64>().prop_map(|lpn| Message::page_data(lpn, None)),
     ]
 }
 
@@ -68,6 +97,28 @@ proptest! {
             }
         }
         prop_assert_eq!(decoded, msgs);
+    }
+
+    /// End-to-end integrity: flipping ANY single byte of an encoded frame
+    /// must prevent it from decoding as a valid message. Either the frame
+    /// CRC rejects it, or (for a flip in the length prefix that enlarges the
+    /// frame) the decoder keeps waiting for bytes that never come — but a
+    /// damaged frame is never delivered.
+    #[test]
+    fn any_single_flipped_byte_is_rejected(
+        msg in message_strategy(),
+        pos_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let mut wire = BytesMut::new();
+        encode(&msg, &mut wire);
+        // Every frame is at least 9 bytes (len + crc + tag), so the modulo
+        // is well-defined and covers every byte position.
+        let pos = (pos_seed % wire.len() as u64) as usize;
+        wire[pos] ^= flip;
+        if let Ok(Some(m)) = decode(&mut wire) {
+            prop_assert!(false, "damaged frame decoded as {m:?}");
+        }
     }
 
     /// The decoder never panics on garbage; it either waits for more bytes,

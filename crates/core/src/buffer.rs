@@ -578,6 +578,16 @@ impl BufferManager {
         self.ranked = RankedDirectory::new(mode);
     }
 
+    /// All resident pages in ascending LPN order. The resync path streams
+    /// this when the catch-up journal overflowed: a full-buffer resync walks
+    /// the working set sequentially, the same access shape the takeover
+    /// destage uses.
+    pub fn resident_pages(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pages.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// All dirty pages currently resident (recovery inspection).
     pub fn dirty_pages(&self) -> Vec<u64> {
         let mut v: Vec<u64> = self
@@ -1230,5 +1240,16 @@ mod tests {
         b.write(2, 1);
         b.insert_clean(5, 1);
         assert_eq!(b.dirty_pages(), vec![2, 9]);
+    }
+
+    #[test]
+    fn resident_pages_lists_all_sorted() {
+        let mut b = buf(PolicyKind::Lar, 16);
+        b.write(9, 1);
+        b.write(2, 1);
+        b.insert_clean(5, 1);
+        assert_eq!(b.resident_pages(), vec![2, 5, 9]);
+        b.discard(5, 1);
+        assert_eq!(b.resident_pages(), vec![2, 9]);
     }
 }

@@ -56,7 +56,9 @@ pub use config::{AllocParams, FlashCoopConfig, PolicyKind, RetryPolicy, Scheme};
 pub use metrics::{ReplicationStats, RunReport};
 pub use pair::{CoopPair, Injection, PairEvent};
 pub use policy::{Eviction, FlushRun};
-pub use recovery::{HeartbeatMonitor, PeerEvent, PeerState};
+pub use recovery::{
+    HeartbeatMonitor, LifecycleTransition, PairLifecycle, PairState, PeerEvent, PeerState,
+};
 pub use server::{CoopServer, ServerMetrics, UtilSample};
 pub use sim::{replay, replay_with_obs, Preconditioning};
 pub use tables::{Rct, RemoteStore};

@@ -24,6 +24,32 @@ pub struct ReplicationStats {
     /// Dirty pages destaged to the backend because the peer was declared
     /// failed or unreachable (degraded-mode entries).
     pub partition_destages: u64,
+    /// Peer-owned replica pages sequentially destaged to the local backend
+    /// when taking over for a failed peer (the paper's takeover path).
+    pub takeover_destages: u64,
+    /// Catch-up batches streamed to a returning peer and acknowledged.
+    pub resync_batches: u64,
+    /// Pages carried by those acknowledged batches.
+    pub resync_pages: u64,
+    /// Resyncs that had to fall back to streaming the full resident buffer
+    /// because the catch-up journal overflowed while solo.
+    pub full_resyncs: u64,
+    /// Payload-checksum failures detected on receive (wire corruption) or
+    /// by a local scrub.
+    pub corruptions_detected: u64,
+    /// Corruptions healed — a NACKed send that was resent and acked, or a
+    /// local page repaired from the peer replica.
+    pub corruptions_repaired: u64,
+    /// Local pages repaired from the peer replica by scrub runs.
+    pub scrub_repairs: u64,
+    /// Writes that went through locally because the peer advertised no
+    /// remote-buffer credits (sender-side backpressure).
+    pub credit_stalls: u64,
+    /// Replication messages refused because the remote buffer was full
+    /// (receiver-side backpressure).
+    pub credit_rejections: u64,
+    /// Pair-lifecycle state transitions taken.
+    pub lifecycle_transitions: u64,
 }
 
 /// Dumps the fault-tolerance counters under `cluster.replication.*`.
@@ -36,6 +62,26 @@ impl fc_obs::StatSource for ReplicationStats {
             .store(self.reorders_healed);
         reg.counter("cluster.replication.partition_destages")
             .store(self.partition_destages);
+        reg.counter("cluster.replication.takeover_destages")
+            .store(self.takeover_destages);
+        reg.counter("cluster.replication.resync_batches")
+            .store(self.resync_batches);
+        reg.counter("cluster.replication.resync_pages")
+            .store(self.resync_pages);
+        reg.counter("cluster.replication.full_resyncs")
+            .store(self.full_resyncs);
+        reg.counter("cluster.replication.corruptions_detected")
+            .store(self.corruptions_detected);
+        reg.counter("cluster.replication.corruptions_repaired")
+            .store(self.corruptions_repaired);
+        reg.counter("cluster.replication.scrub_repairs")
+            .store(self.scrub_repairs);
+        reg.counter("cluster.replication.credit_stalls")
+            .store(self.credit_stalls);
+        reg.counter("cluster.replication.credit_rejections")
+            .store(self.credit_rejections);
+        reg.counter("cluster.replication.lifecycle_transitions")
+            .store(self.lifecycle_transitions);
     }
 }
 
@@ -52,6 +98,16 @@ impl ReplicationStats {
         self.dups_dropped += other.dups_dropped;
         self.reorders_healed += other.reorders_healed;
         self.partition_destages += other.partition_destages;
+        self.takeover_destages += other.takeover_destages;
+        self.resync_batches += other.resync_batches;
+        self.resync_pages += other.resync_pages;
+        self.full_resyncs += other.full_resyncs;
+        self.corruptions_detected += other.corruptions_detected;
+        self.corruptions_repaired += other.corruptions_repaired;
+        self.scrub_repairs += other.scrub_repairs;
+        self.credit_stalls += other.credit_stalls;
+        self.credit_rejections += other.credit_rejections;
+        self.lifecycle_transitions += other.lifecycle_transitions;
     }
 }
 
@@ -187,6 +243,16 @@ mod tests {
             dups_dropped: 1,
             reorders_healed: 3,
             partition_destages: 4,
+            takeover_destages: 5,
+            resync_batches: 6,
+            resync_pages: 7,
+            full_resyncs: 8,
+            corruptions_detected: 9,
+            corruptions_repaired: 10,
+            scrub_repairs: 11,
+            credit_stalls: 12,
+            credit_rejections: 13,
+            lifecycle_transitions: 14,
         };
         a.absorb(&b);
         a.absorb(&b);
@@ -195,6 +261,16 @@ mod tests {
         assert_eq!(a.dups_dropped, 2);
         assert_eq!(a.reorders_healed, 6);
         assert_eq!(a.partition_destages, 8);
+        assert_eq!(a.takeover_destages, 10);
+        assert_eq!(a.resync_batches, 12);
+        assert_eq!(a.resync_pages, 14);
+        assert_eq!(a.full_resyncs, 16);
+        assert_eq!(a.corruptions_detected, 18);
+        assert_eq!(a.corruptions_repaired, 20);
+        assert_eq!(a.scrub_repairs, 22);
+        assert_eq!(a.credit_stalls, 24);
+        assert_eq!(a.credit_rejections, 26);
+        assert_eq!(a.lifecycle_transitions, 28);
     }
 
     #[test]

@@ -213,22 +213,36 @@ impl CoopPair {
             let at = self.next_beat;
             for i in 0..2 {
                 if self.alive[i] {
-                    if let Some(PeerEvent::Recovered) = self.hb[i].on_beat(at) {
-                        // Peer of `i` reconciles (its replicas at `i` are
-                        // gone) and resumes replication.
-                        self.servers[1 - i].reconcile_after_peer_recovery(at);
+                    match self.hb[i].on_beat(at) {
+                        Some(PeerEvent::Recovered) => {
+                            // Peer of `i` reconciles (its replicas at `i` are
+                            // gone) and resumes replication.
+                            self.servers[1 - i].reconcile_after_peer_recovery(at);
+                        }
+                        // An on-time beat clears any suspicion the watcher
+                        // held about `i`.
+                        _ => {
+                            if self.alive[1 - i] {
+                                self.servers[1 - i].on_peer_healthy();
+                            }
+                        }
                     }
                 }
             }
             self.next_beat = at + self.hb[0].interval();
         }
-        // Poll monitors: a Failed event puts the *watcher* into degraded mode.
+        // Poll monitors: a Failed event puts the *watcher* into solo
+        // (degraded) mode; a Suspected event only marks its lifecycle.
         for i in 0..2 {
-            if let Some(PeerEvent::Failed) = self.hb[i].poll(now) {
-                let watcher = 1 - i;
-                if self.alive[watcher] {
+            let watcher = 1 - i;
+            match self.hb[i].poll(now) {
+                Some(PeerEvent::Failed) if self.alive[watcher] => {
                     self.servers[watcher].enter_degraded(now);
                 }
+                Some(PeerEvent::Suspected) if self.alive[watcher] => {
+                    self.servers[watcher].on_peer_suspected();
+                }
+                _ => {}
             }
         }
         // Dynamic allocation period.
@@ -392,6 +406,32 @@ mod tests {
         pair2.replay([&t0, &t1], &inj2);
         assert!(!pair2.server(1).is_degraded(), "peer must resume replication");
         assert!(pair2.unrecoverable().is_empty());
+    }
+
+    #[test]
+    fn survivor_lifecycle_loops_back_to_paired() {
+        use crate::recovery::PairState;
+        let pages = device_pages();
+        let mut pair = CoopPair::new(cfg(), cfg(), false);
+        let t0 = trace(pages, 400, 0.9, 5, "a");
+        let t1 = trace(pages, 400, 0.9, 6, "b");
+        let quarter = t1.requests[100].at;
+        let recover_at = quarter + SimDuration::from_secs(20);
+        let inj = [
+            Injection { at: quarter, event: PairEvent::Crash(0) },
+            Injection { at: recover_at, event: PairEvent::Recover(0) },
+        ];
+        pair.replay([&t0, &t1], &inj);
+        // The survivor walked Solo and back: final state is Paired and the
+        // loop took at least Paired→Solo→Resyncing→Paired (3 edges; the
+        // monitor usually adds a Suspect edge before failure is declared).
+        assert_eq!(pair.server(1).lifecycle_state(), PairState::Paired);
+        assert!(
+            pair.server(1).lifecycle_transitions() >= 3,
+            "expected a full solo loop, saw {} transitions",
+            pair.server(1).lifecycle_transitions()
+        );
+        assert!(pair.unrecoverable().is_empty());
     }
 
     #[test]

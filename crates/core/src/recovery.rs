@@ -112,6 +112,196 @@ impl HeartbeatMonitor {
     }
 }
 
+/// Where a node stands relative to its cooperative partner.
+///
+/// The lifecycle replaces the old one-way `degraded: bool`: instead of a
+/// latch that only trips, it is a loop — `Paired → Suspect → Solo →
+/// Resyncing → Paired` — so a node that loses its peer takes over the
+/// peer's pages, serves solo, and re-enters the pair when the peer returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairState {
+    /// Replication is live; acked writes are redundant on the peer.
+    Paired,
+    /// The peer's beat is overdue. Replication continues optimistically but
+    /// the node is one timeout away from going solo.
+    Suspect,
+    /// The peer is gone (declared failed, link severed, or acks exhausted).
+    /// Writes go through to the local SSD and into the catch-up journal.
+    Solo,
+    /// The peer is back and the journal is streaming over; writes still go
+    /// through locally until the cut-over barrier drains the journal.
+    Resyncing,
+}
+
+impl PairState {
+    /// Lower-case label used in obs events.
+    pub fn name(self) -> &'static str {
+        match self {
+            PairState::Paired => "paired",
+            PairState::Suspect => "suspect",
+            PairState::Solo => "solo",
+            PairState::Resyncing => "resyncing",
+        }
+    }
+
+    /// True when writes must bypass replication (write-through locally).
+    pub fn is_degraded(self) -> bool {
+        matches!(self, PairState::Solo | PairState::Resyncing)
+    }
+}
+
+/// One edge of the lifecycle graph, reported so callers can mirror it into
+/// their observability stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LifecycleTransition {
+    /// State left.
+    pub from: PairState,
+    /// State entered.
+    pub to: PairState,
+    /// Static label naming the trigger (e.g. `"peer_failed"`).
+    pub cause: &'static str,
+}
+
+/// The pair-lifecycle state machine, shared by the simulated pair
+/// ([`crate::CoopServer`]) and the threaded cluster node (`fc-cluster`).
+///
+/// Transitions are total functions: an event that is illegal in the current
+/// state returns `None` and changes nothing, which makes the machine robust
+/// against racing signal sources (monitor poll vs. data-plane timeouts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairLifecycle {
+    state: PairState,
+    transitions: u64,
+}
+
+impl Default for PairLifecycle {
+    fn default() -> Self {
+        PairLifecycle::new()
+    }
+}
+
+impl PairLifecycle {
+    /// A fresh lifecycle starts `Paired` (matching a freshly spawned pair).
+    pub fn new() -> Self {
+        PairLifecycle {
+            state: PairState::Paired,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> PairState {
+        self.state
+    }
+
+    /// Transitions taken so far (each emitted edge counts once).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// True when writes must bypass replication.
+    pub fn is_degraded(&self) -> bool {
+        self.state.is_degraded()
+    }
+
+    fn go(&mut self, to: PairState, cause: &'static str) -> Option<LifecycleTransition> {
+        if self.state == to {
+            return None;
+        }
+        let tr = LifecycleTransition {
+            from: self.state,
+            to,
+            cause,
+        };
+        self.state = to;
+        self.transitions += 1;
+        Some(tr)
+    }
+
+    /// Feed a [`HeartbeatMonitor`] event into the machine.
+    pub fn on_peer_event(&mut self, ev: PeerEvent) -> Option<LifecycleTransition> {
+        match (ev, self.state) {
+            (PeerEvent::Suspected, PairState::Paired) => {
+                self.go(PairState::Suspect, "peer_suspected")
+            }
+            (PeerEvent::Failed, PairState::Paired)
+            | (PeerEvent::Failed, PairState::Suspect)
+            | (PeerEvent::Failed, PairState::Resyncing) => self.go(PairState::Solo, "peer_failed"),
+            (PeerEvent::Recovered, PairState::Solo) => {
+                self.go(PairState::Resyncing, "peer_recovered")
+            }
+            _ => None,
+        }
+    }
+
+    /// A beat arrived while merely suspicious: clear the suspicion.
+    /// (From `Solo`, only a `Recovered` event or an explicit
+    /// [`PairLifecycle::begin_resync`] rejoins — a beat alone is not enough,
+    /// because solo entry may have been caused by data-plane failures the
+    /// heartbeat path cannot see.)
+    pub fn on_peer_healthy(&mut self) -> Option<LifecycleTransition> {
+        if self.state == PairState::Suspect {
+            self.go(PairState::Paired, "peer_healthy")
+        } else {
+            None
+        }
+    }
+
+    /// Drop to `Solo` from any state — used for data-plane causes the
+    /// monitor cannot see (ack timeout exhausted, transport disconnected)
+    /// and for aborting a resync whose peer died again.
+    pub fn force_solo(&mut self, cause: &'static str) -> Option<LifecycleTransition> {
+        self.go(PairState::Solo, cause)
+    }
+
+    /// Start streaming the catch-up journal (`Solo → Resyncing`).
+    pub fn begin_resync(&mut self, cause: &'static str) -> Option<LifecycleTransition> {
+        if self.state == PairState::Solo {
+            self.go(PairState::Resyncing, cause)
+        } else {
+            None
+        }
+    }
+
+    /// Cut-over barrier passed: the journal is drained and acknowledged
+    /// (`Resyncing → Paired`).
+    pub fn resync_complete(&mut self) -> Option<LifecycleTransition> {
+        if self.state == PairState::Resyncing {
+            self.go(PairState::Paired, "resync_complete")
+        } else {
+            None
+        }
+    }
+
+    /// The resync stream died (`Resyncing → Solo`).
+    pub fn resync_failed(&mut self, cause: &'static str) -> Option<LifecycleTransition> {
+        if self.state == PairState::Resyncing {
+            self.go(PairState::Solo, cause)
+        } else {
+            None
+        }
+    }
+
+    /// Walk back to `Paired` through whatever states remain, returning every
+    /// edge taken. The simulated pair uses this where resync is modelled as
+    /// instantaneous (the flush already happened synchronously); the
+    /// threaded node instead drives `begin_resync`/`resync_complete`
+    /// batch-by-batch.
+    pub fn rejoin(&mut self, cause: &'static str) -> Vec<LifecycleTransition> {
+        let mut edges = Vec::new();
+        if let Some(tr) = self.on_peer_healthy() {
+            edges.push(tr);
+        }
+        if let Some(tr) = self.begin_resync(cause) {
+            edges.push(tr);
+        }
+        if let Some(tr) = self.resync_complete() {
+            edges.push(tr);
+        }
+        edges
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +462,99 @@ mod tests {
         assert_eq!(m.poll(AT(499)), Some(PeerEvent::Suspected));
         assert_eq!(m.poll(AT(500)), Some(PeerEvent::Failed));
         assert_eq!(m.on_beat(AT(500)), Some(PeerEvent::Recovered));
+    }
+
+    // ---- PairLifecycle -------------------------------------------------
+
+    #[test]
+    fn lifecycle_full_loop() {
+        let mut l = PairLifecycle::new();
+        assert_eq!(l.state(), PairState::Paired);
+        assert!(!l.is_degraded());
+
+        let tr = l.on_peer_event(PeerEvent::Suspected).unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Paired, PairState::Suspect));
+        assert!(!l.is_degraded());
+
+        let tr = l.on_peer_event(PeerEvent::Failed).unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Suspect, PairState::Solo));
+        assert!(l.is_degraded());
+
+        let tr = l.on_peer_event(PeerEvent::Recovered).unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Solo, PairState::Resyncing));
+        assert!(l.is_degraded(), "writes stay write-through during resync");
+
+        let tr = l.resync_complete().unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Resyncing, PairState::Paired));
+        assert!(!l.is_degraded());
+        assert_eq!(l.transitions(), 4);
+    }
+
+    #[test]
+    fn lifecycle_suspicion_clears_on_healthy_beat() {
+        let mut l = PairLifecycle::new();
+        l.on_peer_event(PeerEvent::Suspected);
+        let tr = l.on_peer_healthy().unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Suspect, PairState::Paired));
+        // A healthy beat alone never rescues Solo — only Recovered/resync.
+        l.force_solo("ack_timeout");
+        assert_eq!(l.on_peer_healthy(), None);
+        assert_eq!(l.state(), PairState::Solo);
+    }
+
+    #[test]
+    fn lifecycle_illegal_events_are_inert() {
+        let mut l = PairLifecycle::new();
+        // Recovered without ever failing: nothing happens.
+        assert_eq!(l.on_peer_event(PeerEvent::Recovered), None);
+        assert_eq!(l.resync_complete(), None);
+        assert_eq!(l.begin_resync("x"), None);
+        assert_eq!(l.state(), PairState::Paired);
+        assert_eq!(l.transitions(), 0);
+        // Suspected while already Solo: stays Solo.
+        l.force_solo("disconnected");
+        assert_eq!(l.on_peer_event(PeerEvent::Suspected), None);
+        assert_eq!(l.state(), PairState::Solo);
+    }
+
+    #[test]
+    fn lifecycle_peer_dies_again_mid_resync() {
+        let mut l = PairLifecycle::new();
+        l.force_solo("peer_failed");
+        l.begin_resync("peer_recovered");
+        let tr = l.on_peer_event(PeerEvent::Failed).unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Resyncing, PairState::Solo));
+        // And the stream-level failure path reports the same edge.
+        l.begin_resync("peer_recovered");
+        let tr = l.resync_failed("resync_ack_timeout").unwrap();
+        assert_eq!((tr.from, tr.to), (PairState::Resyncing, PairState::Solo));
+        assert_eq!(tr.cause, "resync_ack_timeout");
+    }
+
+    #[test]
+    fn lifecycle_force_solo_is_idempotent() {
+        let mut l = PairLifecycle::new();
+        assert!(l.force_solo("a").is_some());
+        assert!(l.force_solo("b").is_none());
+        assert_eq!(l.transitions(), 1);
+    }
+
+    #[test]
+    fn lifecycle_rejoin_returns_every_edge() {
+        let mut l = PairLifecycle::new();
+        assert!(l.rejoin("noop").is_empty());
+
+        l.force_solo("peer_failed");
+        let edges = l.rejoin("reconcile");
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].to, PairState::Resyncing);
+        assert_eq!(edges[1].to, PairState::Paired);
+        assert_eq!(l.state(), PairState::Paired);
+
+        // From Suspect, rejoin is the single healthy edge.
+        l.on_peer_event(PeerEvent::Suspected);
+        let edges = l.rejoin("beat");
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].to, PairState::Paired);
     }
 }

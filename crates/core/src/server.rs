@@ -21,6 +21,7 @@
 use crate::buffer::{BufferConfig, BufferManager};
 use crate::config::{FlashCoopConfig, Scheme};
 use crate::policy::Eviction;
+use crate::recovery::{LifecycleTransition, PairLifecycle, PairState, PeerEvent};
 use crate::tables::{Rct, RemoteStore};
 use fc_obs::{Histogram, Obs};
 use fc_simkit::resource::Timeline;
@@ -108,8 +109,9 @@ pub struct CoopServer {
     committed: HashMap<u64, u64>,
     next_version: u64,
     metrics: ServerMetrics,
-    /// Remote-failure mode: replication off, writes go write-through.
-    degraded: bool,
+    /// Where this server stands relative to its peer (replaces the old
+    /// one-way `degraded` latch; see [`PairLifecycle`]).
+    lifecycle: PairLifecycle,
     cpu_busy: SimDuration,
     obs: Option<Obs>,
 }
@@ -140,7 +142,7 @@ impl CoopServer {
             committed: HashMap::new(),
             next_version: 1,
             metrics: ServerMetrics::default(),
-            degraded: false,
+            lifecycle: PairLifecycle::new(),
             cpu_busy: SimDuration::ZERO,
             cfg,
             scheme,
@@ -200,9 +202,44 @@ impl CoopServer {
         &self.rct
     }
 
-    /// True while in remote-failure degraded mode.
+    /// True while writes bypass replication (`Solo` or `Resyncing`).
     pub fn is_degraded(&self) -> bool {
-        self.degraded
+        self.lifecycle.is_degraded()
+    }
+
+    /// Current pair-lifecycle state.
+    pub fn lifecycle_state(&self) -> PairState {
+        self.lifecycle.state()
+    }
+
+    /// Lifecycle transitions taken since boot (or the last crash).
+    pub fn lifecycle_transitions(&self) -> u64 {
+        self.lifecycle.transitions()
+    }
+
+    /// The monitor raised suspicion about the peer (beat overdue).
+    pub fn on_peer_suspected(&mut self) {
+        if let Some(tr) = self.lifecycle.on_peer_event(PeerEvent::Suspected) {
+            self.emit_transition(&tr);
+        }
+    }
+
+    /// A beat arrived while the peer was merely suspect: clear suspicion.
+    pub fn on_peer_healthy(&mut self) {
+        if let Some(tr) = self.lifecycle.on_peer_healthy() {
+            self.emit_transition(&tr);
+        }
+    }
+
+    fn emit_transition(&self, tr: &LifecycleTransition) {
+        if let Some(o) = &self.obs {
+            o.emit(
+                o.event("core", "lifecycle")
+                    .str_field("from", tr.from.name())
+                    .str_field("to", tr.to.name())
+                    .str_field("cause", tr.cause),
+            );
+        }
     }
 
     /// Dynamic-allocation parameters (Equation 1 weights and period).
@@ -268,7 +305,7 @@ impl CoopServer {
                 self.commit_range(lpn, pages, version);
                 grant.latency_since(now)
             }
-            Scheme::FlashCoop(_) if self.degraded => {
+            Scheme::FlashCoop(_) if self.lifecycle.is_degraded() => {
                 // Remote failure: no forwarding; write-through so no new
                 // unreplicated dirty data accumulates (Section III.D).
                 let ev = self.buffer.insert_clean(lpn, pages);
@@ -518,7 +555,8 @@ impl CoopServer {
     pub fn crash(&mut self) {
         self.buffer.clear();
         self.rct.clear();
-        self.degraded = false;
+        // A rebooted node starts a fresh lifecycle at Paired.
+        self.lifecycle = PairLifecycle::new();
     }
 
     /// Local-failure recovery, step 2-3: replay the peer's remote-buffer
@@ -547,7 +585,9 @@ impl CoopServer {
     /// Remote failure: stop forwarding and immediately flush all local dirty
     /// data. Returns the flush duration.
     pub fn enter_degraded(&mut self, now: SimTime) -> SimDuration {
-        self.degraded = true;
+        if let Some(tr) = self.lifecycle.force_solo("remote_failure") {
+            self.emit_transition(&tr);
+        }
         let ev = self.buffer.drain_dirty();
         if ev.is_empty() {
             return SimDuration::ZERO;
@@ -568,9 +608,14 @@ impl CoopServer {
         grant.latency_since(now)
     }
 
-    /// Peer is back: resume replication.
+    /// Peer is back: resume replication. In the simulated pair the resync is
+    /// instantaneous (the dirty flush already happened synchronously inside
+    /// [`CoopServer::enter_degraded`]), so this walks `Solo → Resyncing →
+    /// Paired` in one call, emitting both edges.
     pub fn exit_degraded(&mut self) {
-        self.degraded = false;
+        for tr in self.lifecycle.rejoin("peer_recovered") {
+            self.emit_transition(&tr);
+        }
     }
 
     /// The peer returned from a failure (possibly one shorter than the
@@ -730,6 +775,42 @@ mod tests {
         assert!(s.unrecoverable_pages(None).is_empty());
         s.exit_degraded();
         assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn lifecycle_walks_suspect_solo_resync_paired() {
+        use crate::recovery::PairState;
+        let (obs, ring) = fc_obs::Obs::ring(256);
+        let mut s = server(lar());
+        s.attach_obs(&obs);
+        assert_eq!(s.lifecycle_state(), PairState::Paired);
+
+        s.on_peer_suspected();
+        assert_eq!(s.lifecycle_state(), PairState::Suspect);
+        assert!(!s.is_degraded(), "suspicion alone keeps replication on");
+        s.on_peer_healthy();
+        assert_eq!(s.lifecycle_state(), PairState::Paired);
+
+        s.enter_degraded(SimTime::ZERO);
+        assert_eq!(s.lifecycle_state(), PairState::Solo);
+        s.exit_degraded();
+        assert_eq!(s.lifecycle_state(), PairState::Paired);
+        // Suspect out-and-back (2) plus the solo loop (3).
+        assert_eq!(s.lifecycle_transitions(), 5);
+
+        // Every edge surfaced as a core/lifecycle event.
+        let edges: Vec<_> = ring
+            .drain()
+            .into_iter()
+            .filter(|e| e.kind == "lifecycle")
+            .collect();
+        assert_eq!(edges.len(), 5);
+
+        // A crash reboots the lifecycle to Paired.
+        s.enter_degraded(SimTime::ZERO);
+        s.crash();
+        assert_eq!(s.lifecycle_state(), PairState::Paired);
+        assert_eq!(s.lifecycle_transitions(), 0);
     }
 
     #[test]

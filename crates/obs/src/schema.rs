@@ -67,13 +67,26 @@ mod tests {
         obs.set_sim_now(10);
         obs.emit(obs.event("ssd", "host_write").u64_field("pages", 4));
         obs.emit(obs.wall_event("cluster", "repl_send").bool_field("dup", false));
+        // The pair-lifecycle events are all-string-field; make sure that
+        // shape round-trips the validator too.
+        obs.emit(
+            obs.wall_event("cluster.node", "lifecycle")
+                .str_field("from", "solo")
+                .str_field("to", "resyncing")
+                .str_field("cause", "peer_recovered"),
+        );
         let text = ring
             .events()
             .iter()
             .map(|e| e.to_json() + "\n")
             .collect::<String>();
-        assert_eq!(validate_jsonl(&text), Ok(2));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 2);
+        assert_eq!(validate_jsonl(&text), Ok(3));
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(
+            parsed[2].get("to").and_then(crate::Value::as_str),
+            Some("resyncing")
+        );
     }
 
     #[test]

@@ -10,11 +10,18 @@
 //! (RCT fetch → replay → purge) with actual page data moving through the
 //! `fc-cluster` node.
 //!
+//! Part 3 — the full pair lifecycle over a partitioned link: Paired →
+//! Solo (takeover destage + journaled writes) → Resyncing (the journal
+//! streams back) → Paired, ending with byte-exact data on both ends.
+//!
 //! ```text
 //! cargo run --release --example failover
 //! ```
 
-use fc_cluster::{shared_backend, MemBackend, Node, NodeConfig, TcpTransport, WriteOutcome};
+use fc_cluster::{
+    mem_pair, shared_backend, FaultPlan, FaultTransport, MemBackend, Node, NodeConfig, PairState,
+    TcpTransport, WriteOutcome,
+};
 use fc_simkit::{DetRng, SimDuration, SimTime};
 use fc_ssd::FtlKind;
 use fc_trace::{IoRequest, Op, Trace};
@@ -148,8 +155,113 @@ fn real_failover() {
     println!("  demo done");
 }
 
+fn lifecycle_loop() {
+    println!("— full lifecycle: fail → takeover → resync → rejoin —");
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let wait_until = |mut cond: Box<dyn FnMut() -> bool>, timeout: Duration| -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        cond()
+    };
+
+    // A 400 ms partition opens 150 ms in — longer than the 200 ms failure
+    // timeout, so both sides will declare the peer dead.
+    let start = Duration::from_millis(150);
+    let window = Duration::from_millis(400);
+    let (ta, tb) = mem_pair();
+    let fa = Arc::new(FaultTransport::new(
+        ta,
+        FaultPlan::new(21).with_partition_for(start, window),
+    ));
+    let fb = Arc::new(FaultTransport::new(
+        tb,
+        FaultPlan::new(22).with_partition_for(start, window),
+    ));
+    let backend_a = shared_backend(MemBackend::new());
+    let backend_b = shared_backend(MemBackend::new());
+    let a = Node::spawn(NodeConfig::test_profile(0), fa, backend_a);
+    let b = Node::spawn(NodeConfig::test_profile(1), fb, backend_b);
+
+    for i in 0..10u64 {
+        a.write(i, format!("paired-{i}").as_bytes());
+    }
+    println!(
+        "  paired: A replicated 10 pages, B hosts {}",
+        b.hosted_remote_pages().len()
+    );
+
+    let a2 = &a;
+    let b2 = &b;
+    assert!(
+        wait_until(
+            Box::new(move || a2.lifecycle_state() == PairState::Solo
+                && b2.lifecycle_state() == PairState::Solo),
+            Duration::from_secs(2)
+        ),
+        "partition never took the pair solo"
+    );
+    println!(
+        "  partition: both solo; B destaged {} hosted pages (takeover)",
+        b.stats().repl.takeover_destages
+    );
+
+    for i in 100..108u64 {
+        let outcome = a.write(i, format!("solo-{i}").as_bytes());
+        assert_eq!(outcome, WriteOutcome::WriteThrough);
+    }
+    println!(
+        "  solo: A wrote 8 pages through, {} journaled for catch-up",
+        a.journal_len()
+    );
+
+    let a3 = &a;
+    let b3 = &b;
+    assert!(
+        wait_until(
+            Box::new(move || a3.lifecycle_state() == PairState::Paired
+                && b3.lifecycle_state() == PairState::Paired),
+            Duration::from_secs(3)
+        ),
+        "pair never re-formed after the partition healed"
+    );
+    let sa = a.stats();
+    println!(
+        "  rejoin: resynced {} pages in {} batches; journal now {}",
+        sa.repl.resync_pages,
+        sa.repl.resync_batches,
+        a.journal_len()
+    );
+
+    assert_eq!(a.lifecycle_state(), PairState::Paired);
+    assert_eq!(b.lifecycle_state(), PairState::Paired);
+    let b4 = &b;
+    wait_until(
+        Box::new(move || b4.hosted_remote_pages().len() == 18),
+        Duration::from_secs(1),
+    );
+    println!(
+        "  final state Paired on both ends; B hosts {} pages \
+         (lifecycle edges: A={}, B={}) ✓",
+        b.hosted_remote_pages().len(),
+        a.lifecycle_transitions(),
+        b.lifecycle_transitions()
+    );
+    println!("  lifecycle loop complete: Paired -> Solo -> Resyncing -> Paired");
+    a.shutdown();
+    b.shutdown();
+}
+
 fn main() {
     simulated_failover();
     println!();
     real_failover();
+    println!();
+    lifecycle_loop();
 }

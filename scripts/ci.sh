@@ -22,6 +22,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> lifecycle chaos suite (partitions, crash/corrupt-during-resync)"
+cargo test -q --offline --test chaos_replication --test recovery_e2e
+
+echo "==> failover smoke: full fail → takeover → resync → rejoin loop"
+cargo run --release --offline --example failover \
+  | grep -q "lifecycle loop complete"
+
 echo "==> obs smoke: quickstart --obs emits schema-valid JSONL"
 obs_out="$(mktemp -d)/quickstart.jsonl"
 cargo run --release --offline --example quickstart -- --obs "$obs_out" \

@@ -9,10 +9,11 @@
 
 use fc_cluster::{
     mem_pair, shared_backend, FaultAction, FaultPlan, FaultTransport, MemBackend, Message, Node,
-    NodeConfig, RetryPolicy, Transport, WriteOutcome,
+    NodeConfig, PairState, RetryPolicy, Transport, WriteOutcome,
 };
 use fc_simkit::{DetRng, SimDuration};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Node timings tuned for lossy-link tests: short ack timeout so dropped
@@ -133,12 +134,12 @@ fn fault_schedule_is_deterministic_for_a_fixed_seed() {
                 .with_partition(30, 40),
         );
         for i in 0..96u64 {
-            f.send(Message::WriteRepl {
-                seq: i + 1,
-                lpn: i % 7,
-                version: i + 1,
-                data: bytes::Bytes::from(vec![b'x'; 16]),
-            })
+            f.send(Message::write_repl(
+                i + 1,
+                i % 7,
+                i + 1,
+                bytes::Bytes::from(vec![b'x'; 16]),
+            ))
             .unwrap();
         }
         (f.fault_trace(), f.fault_stats())
@@ -218,12 +219,12 @@ fn reordered_discard_cannot_delete_newer_copy() {
 
     // Simulate the wire after reordering: the v2 replication overtook the
     // Discard for the flushed v1.
-    ta.send(Message::WriteRepl {
-        seq: 2,
-        lpn: 5,
-        version: 2,
-        data: bytes::Bytes::from_static(b"newer"),
-    })
+    ta.send(Message::write_repl(
+        2,
+        5,
+        2,
+        bytes::Bytes::from_static(b"newer"),
+    ))
     .unwrap();
     ta.send(Message::Discard {
         seq: 1,
@@ -277,6 +278,183 @@ fn peer_loss_counts_partition_destages() {
     }
     drop(backend);
     a.shutdown();
+}
+
+/// Crash-during-resync sweep: a partition forces both nodes solo; node A
+/// accumulates solo writes in its catch-up journal; the partition heals and
+/// the incremental resync starts streaming — and then the *resync target*
+/// crashes at a seed-dependent instant. Whatever the timing, every
+/// acknowledged write must remain readable at A, byte for byte, and A must
+/// settle back into solo mode rather than wedge.
+#[test]
+fn crash_during_resync_never_loses_acked_writes() {
+    let window = Duration::from_millis(300);
+    let mut interrupted_runs = 0u32;
+    for seed in 1..=20u64 {
+        let (ta, tb) = mem_pair();
+        let fa = Arc::new(FaultTransport::new(
+            ta,
+            FaultPlan::new(seed)
+                .with_partition_for(Duration::ZERO, window)
+                .with_delay(Duration::from_millis(1), Duration::from_millis(3)),
+        ));
+        let fb = Arc::new(FaultTransport::new(
+            tb,
+            FaultPlan::new(seed ^ 0xBEEF).with_partition_for(Duration::ZERO, window),
+        ));
+        let ba = shared_backend(MemBackend::new());
+        let bb = shared_backend(MemBackend::new());
+        let mut cfg_a = chaos_config(0);
+        cfg_a.resync_batch = 2; // many small batches → a wide crash window
+        let a = Node::spawn(cfg_a, fa.clone(), ba.clone());
+        let b = Node::spawn(chaos_config(1), fb.clone(), bb);
+
+        wait_until(|| a.lifecycle_state() == PairState::Solo);
+        assert_eq!(
+            a.lifecycle_state(),
+            PairState::Solo,
+            "seed {seed}: partition never took node A solo"
+        );
+        let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+        for lpn in 0..40u64 {
+            let content = format!("c{seed}-l{lpn}").into_bytes();
+            assert_eq!(a.write(lpn, &content), WriteOutcome::WriteThrough);
+            expected.insert(lpn, content);
+        }
+        // The partition heals; wait for the resync stream to start, then
+        // kill the target partway through (the jitter sweeps the crash
+        // point across batch boundaries from seed to seed).
+        wait_until(|| a.stats().repl.resync_batches >= 1);
+        std::thread::sleep(Duration::from_millis(seed % 16));
+        if a.lifecycle_state() == PairState::Resyncing {
+            interrupted_runs += 1;
+        }
+        b.crash();
+        // A must notice and fall back to solo (directly, or after its
+        // in-flight batch exhausts its retries) without losing anything.
+        wait_until(|| a.lifecycle_state() == PairState::Solo);
+        assert_eq!(
+            a.lifecycle_state(),
+            PairState::Solo,
+            "seed {seed}: survivor did not return to solo after target crash"
+        );
+        for (lpn, content) in &expected {
+            assert_eq!(
+                a.read(*lpn).as_deref(),
+                Some(content.as_slice()),
+                "seed {seed}: write to lpn {lpn} lost after crash-during-resync"
+            );
+        }
+        assert!(a.stats().writes_balance(), "seed {seed}: stats imbalance");
+        a.shutdown();
+    }
+    // The sweep must actually have caught some runs mid-stream; if every
+    // run finished resyncing before the crash, the test proves nothing.
+    assert!(
+        interrupted_runs >= 1,
+        "no run crashed during resync — widen the jitter or shrink batches"
+    );
+}
+
+/// Corrupt-during-resync sweep: paired writes, then a partition and solo
+/// writes, then a rejoin over a link that corrupts ~15 % of A's data
+/// frames — paired replications *and* resync batches get damaged. Every
+/// corruption must be detected (checksum → NACK → clean resend), the pair
+/// must still re-form, and both sides must end with byte-exact data.
+#[test]
+fn corrupt_during_resync_repairs_and_rejoins() {
+    let start = Duration::from_millis(150);
+    let window = Duration::from_millis(300);
+    let mut total_injected = 0u64;
+    for seed in 1..=20u64 {
+        let (ta, tb) = mem_pair();
+        let fa = Arc::new(FaultTransport::new(
+            ta,
+            FaultPlan::new(seed)
+                .with_partition_for(start, window)
+                .with_corrupt(0.15),
+        ));
+        let fb = Arc::new(FaultTransport::new(
+            tb,
+            FaultPlan::new(seed ^ 0xFEED).with_partition_for(start, window),
+        ));
+        let ba = shared_backend(MemBackend::new());
+        let bb = shared_backend(MemBackend::new());
+        let mut cfg_a = chaos_config(0);
+        cfg_a.resync_batch = 4;
+        let a = Node::spawn(cfg_a, fa.clone(), ba.clone());
+        let b = Node::spawn(chaos_config(1), fb.clone(), bb);
+
+        // Phase 1 (paired, corrupting link): damaged frames are NACKed and
+        // resent; a run of corrupt deliveries can exhaust the retry budget
+        // and push A solo early, which the rejoin machinery must absorb.
+        let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut rng = DetRng::new(seed);
+        for i in 0..12u64 {
+            let lpn = rng.below(20);
+            let content = format!("p{seed}-w{i}-l{lpn}").into_bytes();
+            let _ = a.write(lpn, &content);
+            expected.insert(lpn, content);
+        }
+        // Phase 2: the partition opens; A goes solo and journals.
+        wait_until(|| a.lifecycle_state() == PairState::Solo);
+        assert_eq!(
+            a.lifecycle_state(),
+            PairState::Solo,
+            "seed {seed}: partition never took node A solo"
+        );
+        for lpn in 20..44u64 {
+            let content = format!("s{seed}-l{lpn}").into_bytes();
+            let _ = a.write(lpn, &content);
+            expected.insert(lpn, content);
+        }
+        // Phase 3: heal → resync (with corrupted batches along the way) →
+        // Paired, on both ends.
+        wait_until(|| {
+            a.lifecycle_state() == PairState::Paired && b.lifecycle_state() == PairState::Paired
+        });
+        assert_eq!(
+            (a.lifecycle_state(), b.lifecycle_state()),
+            (PairState::Paired, PairState::Paired),
+            "seed {seed}: pair never re-formed after corrupting resync"
+        );
+        wait_until(|| a.journal_len() == 0);
+        assert_eq!(a.journal_len(), 0, "seed {seed}: journal never drained");
+
+        // Accounting: every injected corruption was detected by B's
+        // checksum, none slipped through.
+        wait_until(|| b.stats().repl.corruptions_detected == fa.fault_stats().corrupted);
+        let injected = fa.fault_stats().corrupted;
+        assert_eq!(
+            b.stats().repl.corruptions_detected,
+            injected,
+            "seed {seed}: corruption detection count mismatch"
+        );
+        total_injected += injected;
+
+        // Byte-exactness, both ends: A serves every write; B's hosted set
+        // (remote buffer ∪ taken-over pages) never contains damaged bytes.
+        for (lpn, content) in &expected {
+            assert_eq!(
+                a.read(*lpn).as_deref(),
+                Some(content.as_slice()),
+                "seed {seed}: lpn {lpn} unreadable at A after rejoin"
+            );
+        }
+        for (lpn, _ver, data) in b.export_remote() {
+            assert_eq!(
+                Some(data.as_slice()),
+                expected.get(&lpn).map(|c| c.as_slice()),
+                "seed {seed}: B hosts corrupted or unknown bytes for lpn {lpn}"
+            );
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+    assert!(
+        total_injected > 0,
+        "sweep injected no corruption — plans too gentle"
+    );
 }
 
 fn wait_until(mut cond: impl FnMut() -> bool) {
