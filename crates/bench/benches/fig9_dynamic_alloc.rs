@@ -17,8 +17,17 @@ fn trace(n: usize, write_frac: f64, seed: u64) -> Trace {
     let mut now = SimTime::ZERO;
     for _ in 0..n {
         now += SimDuration::from_millis(5);
-        let op = if rng.chance(write_frac) { Op::Write } else { Op::Read };
-        t.push(IoRequest { at: now, lpn: rng.below(4 * 1024), pages: 1, op });
+        let op = if rng.chance(write_frac) {
+            Op::Write
+        } else {
+            Op::Read
+        };
+        t.push(IoRequest {
+            at: now,
+            lpn: rng.below(4 * 1024),
+            pages: 1,
+            op,
+        });
     }
     t
 }

@@ -44,8 +44,8 @@ fn run() -> Result<(), String> {
             let requests = parse_or(flag_value(&args, "--requests"), 10_000usize)?;
             let seed = parse_or(flag_value(&args, "--seed"), 42u64)?;
             let pages = parse_or(flag_value(&args, "--pages"), 64 * 1024u64)?;
-            let text = cli::synth_text(workload, pages, requests, seed)
-                .map_err(|e| e.to_string())?;
+            let text =
+                cli::synth_text(workload, pages, requests, seed).map_err(|e| e.to_string())?;
             match flag_value(&args, "--out") {
                 Some(path) => {
                     std::fs::write(&path, &text).map_err(|e| format!("{path}: {e}"))?;

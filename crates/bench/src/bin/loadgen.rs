@@ -1,0 +1,107 @@
+//! `fc-loadgen` — drive a gateway-fronted FlashCoop pair and report tail
+//! latency, throughput, and shed rate.
+//!
+//! ```text
+//! loadgen --clients 8 --trace mix --seed 42
+//! loadgen --clients 8 --trace fin1 --mode open --rate 50 --max-inflight 16
+//! loadgen --clients 4 --transport mem --requests 500
+//! ```
+//!
+//! All driving logic lives in `fc_bench::loadgen` (unit-tested); this
+//! binary only parses flags.
+
+use fc_bench::loadgen::{self, LoadgenSpec, Mode, TransportKind, Workload};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fc-loadgen: drive a gateway-fronted FlashCoop pair
+
+USAGE:
+  loadgen [flags]
+
+FLAGS:
+  --clients N        concurrent client sessions        (default 8)
+  --trace NAME       fin1 | fin2 | mix                 (default mix)
+  --seed S           base RNG seed; client i uses S+i  (default 42)
+  --requests R       requests per client               (default 2000)
+  --mode M           closed | open                     (default closed)
+  --transport T      tcp | mem                         (default tcp)
+  --rate F           open-loop arrival-rate multiplier (default 1.0)
+  --client-rate R    admission tokens/s per client     (default 10000)
+  --client-burst B   admission bucket capacity         (default 256)
+  --max-inflight Q   global queue-depth cap            (default 64)
+  --pages P          lpn window per client             (default 16384)
+  --page-bytes B     payload bytes per page            (default 512)
+";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_or<T: std::str::FromStr>(v: Option<String>, default: T) -> Result<T, String> {
+    match v {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad number {s:?}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let defaults = LoadgenSpec::default();
+    let mut spec = LoadgenSpec {
+        clients: parse_or(flag_value(&args, "--clients"), defaults.clients)?,
+        workload: match flag_value(&args, "--trace") {
+            Some(s) => Workload::parse(&s)?,
+            None => defaults.workload,
+        },
+        seed: parse_or(flag_value(&args, "--seed"), defaults.seed)?,
+        requests: parse_or(flag_value(&args, "--requests"), defaults.requests)?,
+        mode: match flag_value(&args, "--mode") {
+            Some(s) => Mode::parse(&s)?,
+            None => defaults.mode,
+        },
+        transport: match flag_value(&args, "--transport") {
+            Some(s) => TransportKind::parse(&s)?,
+            None => defaults.transport,
+        },
+        rate_factor: parse_or(flag_value(&args, "--rate"), defaults.rate_factor)?,
+        pages_per_client: parse_or(flag_value(&args, "--pages"), defaults.pages_per_client)?,
+        page_bytes: parse_or(flag_value(&args, "--page-bytes"), defaults.page_bytes)?,
+        ..defaults
+    };
+    spec.admission.per_client_rate = parse_or(
+        flag_value(&args, "--client-rate"),
+        spec.admission.per_client_rate,
+    )?;
+    spec.admission.per_client_burst = parse_or(
+        flag_value(&args, "--client-burst"),
+        spec.admission.per_client_burst,
+    )?;
+    spec.admission.max_inflight = parse_or(
+        flag_value(&args, "--max-inflight"),
+        spec.admission.max_inflight,
+    )?;
+
+    let report = loadgen::run(&spec)?;
+    print!("{}", loadgen::report_text(&report));
+    if report.errors > 0 {
+        return Err(format!("{} requests failed", report.errors));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

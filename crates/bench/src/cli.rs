@@ -158,7 +158,9 @@ pub fn replay_text_obs(
         trace.wrap_addresses(logical);
     }
     let obs = match obs_path {
-        Some(p) => Some(Obs::jsonl_file(p).map_err(|e| CliError::Io(format!("{}: {e}", p.display())))?),
+        Some(p) => {
+            Some(Obs::jsonl_file(p).map_err(|e| CliError::Io(format!("{}: {e}", p.display())))?)
+        }
         None => None,
     };
     let report = replay_with_obs(

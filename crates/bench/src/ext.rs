@@ -40,9 +40,11 @@ pub fn short_lived(params: &ExperimentParams) -> String {
     for scheme in [Scheme::Baseline, Scheme::FlashCoop(PolicyKind::Lar)] {
         let mut server = CoopServer::new(cfg.clone(), scheme);
         let mut rng = DetRng::new(params.seed);
-        server
-            .ssd_mut()
-            .precondition(params.precondition.fill, params.precondition.sequential, &mut rng);
+        server.ssd_mut().precondition(
+            params.precondition.fill,
+            params.precondition.sequential,
+            &mut rng,
+        );
         let mut remote = RemoteStore::new(cfg.buffer_pages);
         for req in &trace.requests {
             match req.op {
@@ -104,9 +106,11 @@ pub fn recovery_time(params: &ExperimentParams, buffer_sizes: &[usize]) -> Vec<R
         cfg.buffer_pages = pages;
         let mut server = CoopServer::new(cfg.clone(), Scheme::FlashCoop(PolicyKind::Lar));
         let mut rng = DetRng::new(params.seed);
-        server
-            .ssd_mut()
-            .precondition(params.precondition.fill, params.precondition.sequential, &mut rng);
+        server.ssd_mut().precondition(
+            params.precondition.fill,
+            params.precondition.sequential,
+            &mut rng,
+        );
         let mut remote = RemoteStore::new(pages);
         // Fill the buffer with scattered dirty pages (worst case: everything
         // replicated, nothing flushed).
@@ -151,9 +155,7 @@ pub fn recovery_table(rows: &[RecoveryRow]) -> String {
             r.total().as_millis_f64(),
         ));
     }
-    out.push_str(
-        "(Section III.D: larger remote buffers buy more write optimisation\n",
-    );
+    out.push_str("(Section III.D: larger remote buffers buy more write optimisation\n");
     out.push_str(" but lengthen recovery)\n");
     out
 }
@@ -164,8 +166,10 @@ pub fn recovery_table(rows: &[RecoveryRow]) -> String {
 pub fn lifetime(params: &ExperimentParams) -> String {
     let trace = params.traces()[0].generate(params.seed); // Fin1
     let mut out = String::new();
-    out.push_str("Projected lifetime under Fin1 (BAST, Table II endurance: 100K cycles)
-");
+    out.push_str(
+        "Projected lifetime under Fin1 (BAST, Table II endurance: 100K cycles)
+",
+    );
     out.push_str(&format!(
         "{:<18} {:>10} {:>16} {:>20} {:>14}
 ",
@@ -212,8 +216,10 @@ pub fn dftl_overhead(params: &ExperimentParams) -> String {
     use fc_ssd::SsdConfig;
     let trace = params.traces()[0].generate(params.seed); // Fin1
     let mut out = String::new();
-    out.push_str("DFTL translation overhead vs CMT size (Fin1)
-");
+    out.push_str(
+        "DFTL translation overhead vs CMT size (Fin1)
+",
+    );
     out.push_str(&format!(
         "{:<22} {:>12} {:>16} {:>16} {:>10}
 ",
@@ -239,10 +245,14 @@ pub fn dftl_overhead(params: &ExperimentParams) -> String {
             ));
         }
     }
-    out.push_str("(misses fall as the cached mapping table grows; the cooperative buffer
-");
-    out.push_str(" also concentrates the stream the mapping cache sees)
-");
+    out.push_str(
+        "(misses fall as the cached mapping table grows; the cooperative buffer
+",
+    );
+    out.push_str(
+        " also concentrates the stream the mapping cache sees)
+",
+    );
     out
 }
 
@@ -378,8 +388,11 @@ mod tests {
             .trim_end_matches('x')
             .parse()
             .expect("number");
-        assert!(ext > 1.0, "FlashCoop must extend lifetime, got {ext}x
-{t}");
+        assert!(
+            ext > 1.0,
+            "FlashCoop must extend lifetime, got {ext}x
+{t}"
+        );
     }
 
     #[test]

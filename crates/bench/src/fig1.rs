@@ -55,7 +55,11 @@ pub fn run(params: &ExperimentParams, requests_per_point: usize) -> Vec<Fig1Row>
         let cell = |pattern: Pattern, rng: &mut DetRng| -> f64 {
             // Fresh aged device per cell so cells don't contaminate each other.
             let mut ssd = Ssd::new(SsdConfig::evaluation(FtlKind::PageLevel));
-            ssd.precondition(params.precondition.fill, params.precondition.sequential, rng);
+            ssd.precondition(
+                params.precondition.fill,
+                params.precondition.sequential,
+                rng,
+            );
             bandwidth(&mut ssd, pattern, size, requests_per_point, rng)
         };
         let seq = cell(Pattern::Sequential, &mut rng);
@@ -78,13 +82,7 @@ enum Pattern {
     Mixed,
 }
 
-fn bandwidth(
-    ssd: &mut Ssd,
-    pattern: Pattern,
-    size: u64,
-    requests: usize,
-    rng: &mut DetRng,
-) -> f64 {
+fn bandwidth(ssd: &mut Ssd, pattern: Pattern, size: u64, requests: usize, rng: &mut DetRng) -> f64 {
     let page = ssd.geometry().page_bytes as u64;
     let logical_bytes = ssd.logical_pages() * page;
     let mut total = SimDuration::ZERO;

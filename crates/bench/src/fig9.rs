@@ -8,9 +8,9 @@
 
 use crate::params::ExperimentParams;
 use fc_simkit::SimDuration;
+use fc_ssd::FtlKind;
 use fc_trace::SyntheticSpec;
 use flashcoop::{CoopPair, FlashCoopConfig, PolicyKind};
-use fc_ssd::FtlKind;
 
 /// One x-axis point.
 #[derive(Debug, Clone, Copy)]
@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn table_formats() {
-        let pts = vec![Fig9Point { rate: 0.1, theta_fin1: 0.3, theta_fin2: 0.05 }];
+        let pts = vec![Fig9Point {
+            rate: 0.1,
+            theta_fin1: 0.3,
+            theta_fin2: 0.05,
+        }];
         let t = table(&pts);
         assert!(t.contains("0.1"));
         assert!(t.contains("30.0"));

@@ -24,6 +24,7 @@ pub mod ext;
 pub mod fig1;
 pub mod fig9;
 pub mod format;
+pub mod loadgen;
 pub mod matrix;
 pub mod params;
 

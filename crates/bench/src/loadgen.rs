@@ -1,0 +1,666 @@
+//! `fc-loadgen`: drive a gateway-fronted FlashCoop pair from fc-trace
+//! workloads and report tail latency, throughput, and shed rate.
+//!
+//! Deterministic by construction: each client derives its request stream
+//! from `SyntheticSpec` with a per-client seed (`seed + client index`) and
+//! owns a disjoint lpn window, so two runs with the same spec issue the
+//! same requests — what varies between runs is only timing. Two modes:
+//!
+//! * **closed-loop** — each client issues, waits for the reply, issues the
+//!   next: measures service latency with the client's own waiting
+//!   throttling offered load.
+//! * **open-loop** — each client fires requests at its trace's (scaled)
+//!   arrival instants regardless of completions
+//!   ([`fc_trace::ArrivalSchedule`]): the shape that actually saturates
+//!   the admission gates and produces the hockey-stick p99.
+//!
+//! The loadgen counts its own `Busy` replies and cross-checks them against
+//! the gateway's `gateway.shed_total` counter — the two are required to
+//! agree exactly (asserted in `tests/gateway_e2e.rs`).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
+use fc_gateway::{
+    AdmissionConfig, ClientError, Gateway, GatewayClient, GatewayConfig, GatewayStats, Reply,
+};
+use fc_obs::Histogram;
+use fc_trace::{Op, SyntheticSpec, Trace};
+
+/// Which workload personality each client replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    Fin1,
+    Fin2,
+    Mix,
+}
+
+impl Workload {
+    pub fn parse(s: &str) -> Result<Workload, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "fin1" => Ok(Workload::Fin1),
+            "fin2" => Ok(Workload::Fin2),
+            "mix" => Ok(Workload::Mix),
+            other => Err(format!("unknown trace {other:?} (fin1|fin2|mix)")),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Fin1 => "fin1",
+            Workload::Fin2 => "fin2",
+            Workload::Mix => "mix",
+        }
+    }
+
+    fn spec(self, pages: u64) -> SyntheticSpec {
+        match self {
+            Workload::Fin1 => SyntheticSpec::fin1(pages),
+            Workload::Fin2 => SyntheticSpec::fin2(pages),
+            Workload::Mix => SyntheticSpec::mix(pages),
+        }
+    }
+}
+
+/// Closed-loop (issue → wait → issue) or open-loop (fire at trace arrival
+/// instants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Closed,
+    Open,
+}
+
+impl Mode {
+    pub fn parse(s: &str) -> Result<Mode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "closed" => Ok(Mode::Closed),
+            "open" => Ok(Mode::Open),
+            other => Err(format!("unknown mode {other:?} (closed|open)")),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Closed => "closed",
+            Mode::Open => "open",
+        }
+    }
+}
+
+/// Sessions over real TCP on localhost, or in-memory channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    Tcp,
+    Mem,
+}
+
+impl TransportKind {
+    pub fn parse(s: &str) -> Result<TransportKind, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcp" => Ok(TransportKind::Tcp),
+            "mem" => Ok(TransportKind::Mem),
+            other => Err(format!("unknown transport {other:?} (tcp|mem)")),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Tcp => "tcp",
+            TransportKind::Mem => "mem",
+        }
+    }
+}
+
+/// Full loadgen run description.
+#[derive(Debug, Clone)]
+pub struct LoadgenSpec {
+    pub clients: usize,
+    pub workload: Workload,
+    pub seed: u64,
+    /// Requests per client.
+    pub requests: usize,
+    pub mode: Mode,
+    pub transport: TransportKind,
+    /// Logical-page window per client (clients own disjoint windows).
+    pub pages_per_client: u64,
+    /// Open-loop arrival-rate multiplier (>1 compresses the schedule).
+    pub rate_factor: f64,
+    /// Admission gates on the gateway under test.
+    pub admission: AdmissionConfig,
+    /// Payload bytes per page.
+    pub page_bytes: usize,
+}
+
+impl Default for LoadgenSpec {
+    fn default() -> Self {
+        LoadgenSpec {
+            clients: 8,
+            workload: Workload::Mix,
+            seed: 42,
+            requests: 2_000,
+            mode: Mode::Closed,
+            transport: TransportKind::Tcp,
+            pages_per_client: 1 << 14,
+            rate_factor: 1.0,
+            admission: AdmissionConfig::default(),
+            page_bytes: 512,
+        }
+    }
+}
+
+/// Aggregated outcome of a run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub spec_line: String,
+    /// Requests issued by all clients.
+    pub issued: u64,
+    /// Requests acknowledged (non-Busy replies).
+    pub acked: u64,
+    /// `Busy` replies observed by clients.
+    pub shed: u64,
+    /// Requests lost to disconnect/timeout (should be 0).
+    pub errors: u64,
+    pub wall: Duration,
+    /// Client-observed request latency (issue → reply), nanoseconds.
+    pub latency: Histogram,
+    /// Gateway-side view at the end of the run.
+    pub gateway: GatewayStats,
+    /// FNV-1a digest over the node's final data state across every client
+    /// window — two runs of the same spec must produce the same digest
+    /// (the determinism contract of the in-memory variant).
+    pub state_digest: u64,
+}
+
+impl LoadReport {
+    /// Requests acknowledged per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.acked as f64 / secs
+        }
+    }
+
+    /// Fraction of issued requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.issued as f64
+        }
+    }
+}
+
+/// Deterministic page payload: a recognisable header + client/lpn/seq tag,
+/// so the e2e test can verify acked writes byte-for-byte.
+pub fn payload(client: u64, lpn: u64, seq: u64, page_bytes: usize) -> Bytes {
+    let mut v = Vec::with_capacity(page_bytes.max(24));
+    v.extend_from_slice(&client.to_le_bytes());
+    v.extend_from_slice(&lpn.to_le_bytes());
+    v.extend_from_slice(&seq.to_le_bytes());
+    let mut x = client
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(lpn)
+        .wrapping_add(seq << 17);
+    while v.len() < page_bytes.max(24) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.push((x & 0xFF) as u8);
+    }
+    v.truncate(page_bytes.max(24));
+    Bytes::from(v)
+}
+
+/// The per-client request stream: the trace, remapped into the client's
+/// private lpn window.
+pub fn client_trace(spec: &LoadgenSpec, client_idx: usize) -> Trace {
+    spec.workload
+        .spec(spec.pages_per_client)
+        .with_requests(spec.requests)
+        .generate(spec.seed + client_idx as u64)
+}
+
+fn lpn_window(spec: &LoadgenSpec, client_idx: usize) -> u64 {
+    client_idx as u64 * spec.pages_per_client
+}
+
+/// Per-client tallies, merged into the [`LoadReport`].
+#[derive(Debug, Default, Clone, Copy)]
+struct ClientTally {
+    issued: u64,
+    acked: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn drive_closed(
+    client: &mut GatewayClient,
+    trace: &Trace,
+    base: u64,
+    page_bytes: usize,
+    latency: &Histogram,
+) -> ClientTally {
+    let mut t = ClientTally::default();
+    let cid = client.client_id();
+    for (seq, req) in trace.requests.iter().enumerate() {
+        let started = Instant::now();
+        let pages = req.pages.max(1);
+        t.issued += 1;
+        let outcome = match req.op {
+            Op::Write => {
+                let payloads: Vec<Bytes> = (0..u64::from(pages))
+                    .map(|i| payload(cid, base + req.lpn + i, seq as u64, page_bytes))
+                    .collect();
+                client.write(base + req.lpn, payloads).map(|_| ())
+            }
+            Op::Read => client.read(base + req.lpn, pages).map(|_| ()),
+            Op::Trim => client.trim(base + req.lpn, pages).map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => {
+                t.acked += 1;
+                latency.record(started.elapsed().as_nanos() as u64);
+            }
+            Err(ClientError::Busy) => t.shed += 1,
+            Err(_) => {
+                t.errors += 1;
+                break;
+            }
+        }
+    }
+    t
+}
+
+fn drive_open(
+    client: &mut GatewayClient,
+    trace: &Trace,
+    base: u64,
+    page_bytes: usize,
+    rate_factor: f64,
+    latency: &Histogram,
+) -> ClientTally {
+    let mut t = ClientTally::default();
+    let cid = client.client_id();
+    let schedule = trace.arrival_schedule().scaled(rate_factor);
+    let origin = Instant::now();
+    // id → send instant, for latency once the (in-order) reply arrives.
+    let mut inflight: std::collections::VecDeque<(u64, Instant)> =
+        std::collections::VecDeque::new();
+
+    for (seq, req) in trace.requests.iter().enumerate() {
+        // Wait for this request's arrival instant, draining replies while
+        // we wait instead of sleeping blind.
+        if let Some(offset) = schedule.offset(seq) {
+            let due = Duration::from_nanos(offset.as_nanos());
+            loop {
+                let elapsed = origin.elapsed();
+                if elapsed >= due {
+                    break;
+                }
+                let wait = (due - elapsed).min(Duration::from_micros(200));
+                if !drain_replies(client, &mut inflight, &mut t, latency, wait) {
+                    return t;
+                }
+            }
+        }
+        if !drain_replies(client, &mut inflight, &mut t, latency, Duration::ZERO) {
+            return t;
+        }
+        let pages = req.pages.max(1);
+        t.issued += 1;
+        let sent = Instant::now();
+        let result = match req.op {
+            Op::Write => {
+                let payloads: Vec<Bytes> = (0..u64::from(pages))
+                    .map(|i| payload(cid, base + req.lpn + i, seq as u64, page_bytes))
+                    .collect();
+                client.send_write(base + req.lpn, payloads)
+            }
+            Op::Read => client.send_read(base + req.lpn, pages),
+            Op::Trim => client.send_trim(base + req.lpn, pages),
+        };
+        match result {
+            Ok(id) => inflight.push_back((id, sent)),
+            Err(_) => {
+                t.errors += 1;
+                return t;
+            }
+        }
+    }
+    // Collect the tail.
+    while !inflight.is_empty() {
+        if !drain_replies(
+            client,
+            &mut inflight,
+            &mut t,
+            latency,
+            Duration::from_secs(5),
+        ) {
+            break;
+        }
+    }
+    t
+}
+
+/// Drain replies for up to `budget`; `Duration::ZERO` empties the queue
+/// without waiting. Returns false on a protocol/transport failure.
+fn drain_replies(
+    client: &GatewayClient,
+    inflight: &mut std::collections::VecDeque<(u64, Instant)>,
+    t: &mut ClientTally,
+    latency: &Histogram,
+    budget: Duration,
+) -> bool {
+    loop {
+        match client_recv(client, budget) {
+            RecvOutcome::Reply(reply) => {
+                let Some((id, sent)) = inflight.pop_front() else {
+                    t.errors += 1;
+                    return false;
+                };
+                if reply.id() != id {
+                    t.errors += 1;
+                    return false;
+                }
+                if matches!(reply, Reply::Error { .. }) {
+                    t.shed += 1;
+                } else {
+                    t.acked += 1;
+                    latency.record(sent.elapsed().as_nanos() as u64);
+                }
+                if budget == Duration::ZERO {
+                    continue;
+                }
+                return true;
+            }
+            RecvOutcome::Empty => return true,
+            RecvOutcome::Dead => {
+                t.errors += 1;
+                return false;
+            }
+        }
+    }
+}
+
+enum RecvOutcome {
+    Reply(Reply),
+    Empty,
+    Dead,
+}
+
+fn client_recv(client: &GatewayClient, timeout: Duration) -> RecvOutcome {
+    match client.recv_reply(timeout) {
+        Ok(reply) => RecvOutcome::Reply(reply),
+        Err(ClientError::TimedOut) => RecvOutcome::Empty,
+        Err(_) => RecvOutcome::Dead,
+    }
+}
+
+/// Build a gateway-fronted pair, run the spec, and report.
+pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
+    let (ta, tb) = mem_pair();
+    let backend = shared_backend(MemBackend::default());
+    let node_a = Arc::new(Node::spawn(
+        NodeConfig::test_profile(0),
+        ta,
+        backend.clone(),
+    ));
+    let node_b = Node::spawn(NodeConfig::test_profile(1), tb, backend);
+
+    let gw_cfg = GatewayConfig {
+        admission: spec.admission,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::new(gw_cfg, node_a);
+
+    let tcp_addr = match spec.transport {
+        TransportKind::Tcp => Some(
+            gateway
+                .listen_tcp("127.0.0.1:0")
+                .map_err(|e| format!("listen: {e}"))?,
+        ),
+        TransportKind::Mem => None,
+    };
+
+    let latency = Histogram::new();
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for idx in 0..spec.clients {
+        let trace = client_trace(spec, idx);
+        let base = lpn_window(spec, idx);
+        let mut client = match spec.transport {
+            TransportKind::Tcp => {
+                let addr = tcp_addr.expect("tcp addr");
+                GatewayClient::connect_tcp(addr, idx as u64 + 1)
+                    .map_err(|e| format!("connect: {e}"))?
+            }
+            TransportKind::Mem => gateway.connect_mem_as(idx as u64 + 1),
+        };
+        let latency = latency.clone();
+        let mode = spec.mode;
+        let page_bytes = spec.page_bytes;
+        let rate_factor = spec.rate_factor;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("fc-loadgen-{idx}"))
+                .spawn(move || {
+                    client.hello().map_err(|e| format!("hello: {e}"))?;
+                    Ok::<ClientTally, String>(match mode {
+                        Mode::Closed => {
+                            drive_closed(&mut client, &trace, base, page_bytes, &latency)
+                        }
+                        Mode::Open => {
+                            drive_open(&mut client, &trace, base, page_bytes, rate_factor, &latency)
+                        }
+                    })
+                })
+                .map_err(|e| format!("spawn: {e}"))?,
+        );
+    }
+
+    let mut total = ClientTally::default();
+    for h in handles {
+        let tally = h.join().map_err(|_| "client thread panicked")??;
+        total.issued += tally.issued;
+        total.acked += tally.acked;
+        total.shed += tally.shed;
+        total.errors += tally.errors;
+    }
+    let wall = started.elapsed();
+    // The final permit is released just *after* the last reply is sent;
+    // wait for the session threads to drain so the snapshot sees a quiesced
+    // gateway (residual in-flight 0).
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    while gateway.stats().inflight != 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let gateway_stats = gateway.stats();
+    let digest = state_digest(gateway.node(), spec.clients as u64 * spec.pages_per_client);
+    gateway.shutdown();
+    drop(node_b);
+
+    Ok(LoadReport {
+        spec_line: format!(
+            "trace={} clients={} seed={} requests={} mode={} transport={}",
+            spec.workload.name(),
+            spec.clients,
+            spec.seed,
+            spec.requests,
+            spec.mode.name(),
+            spec.transport.name(),
+        ),
+        issued: total.issued,
+        acked: total.acked,
+        shed: total.shed,
+        errors: total.errors,
+        wall,
+        latency,
+        gateway: gateway_stats,
+        state_digest: digest,
+    })
+}
+
+/// FNV-1a fold of every present page in `[0, total_pages)` — the node's
+/// observable final state for determinism comparisons.
+fn state_digest(node: &Node, total_pages: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for lpn in 0..total_pages {
+        if let Some(data) = node.read(lpn) {
+            h ^= lpn.wrapping_add(1);
+            h = h.wrapping_mul(PRIME);
+            for &b in &data {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+    }
+    h
+}
+
+/// Render the human-readable report table.
+pub fn report_text(r: &LoadReport) -> String {
+    let us = |ns: u64| ns as f64 / 1_000.0;
+    let mut out = String::new();
+    out.push_str(&format!("fc-loadgen: {}\n", r.spec_line));
+    out.push_str(&format!("  {:<12} {:>12}\n", "issued", r.issued));
+    out.push_str(&format!("  {:<12} {:>12}\n", "acked", r.acked));
+    out.push_str(&format!(
+        "  {:<12} {:>12}   ({:.2}% of issued; gateway.shed_total={})\n",
+        "shed",
+        r.shed,
+        100.0 * r.shed_rate(),
+        r.gateway.shed_total
+    ));
+    out.push_str(&format!("  {:<12} {:>12}\n", "errors", r.errors));
+    out.push_str(&format!(
+        "  {:<12} {:>12.1} req/s over {:.3} s\n",
+        "throughput",
+        r.throughput(),
+        r.wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  {:<12} p50 {:>9.1} µs   p99 {:>9.1} µs   p999 {:>9.1} µs   max {:>9.1} µs\n",
+        "latency",
+        us(r.latency.p50()),
+        us(r.latency.p99()),
+        us(r.latency.p999()),
+        us(r.latency.max()),
+    ));
+    out.push_str(&format!(
+        "  {:<12} batches {}  runs {}  coalesced {}  peak-inflight {}  residual {}\n",
+        "gateway",
+        r.gateway.batches,
+        r.gateway.runs,
+        r.gateway.coalesced_pages,
+        r.gateway.max_inflight_seen,
+        r.gateway.inflight,
+    ));
+    out.push_str(&format!(
+        "  {:<12} {:#018x}\n",
+        "state-digest", r.state_digest
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_deterministic_and_tagged() {
+        let a = payload(3, 77, 5, 128);
+        let b = payload(3, 77, 5, 128);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 128);
+        assert_ne!(a, payload(4, 77, 5, 128));
+        assert_ne!(a, payload(3, 78, 5, 128));
+        // Header tags survive.
+        assert_eq!(&a[0..8], &3u64.to_le_bytes());
+        assert_eq!(&a[8..16], &77u64.to_le_bytes());
+    }
+
+    #[test]
+    fn client_traces_are_deterministic_and_distinct() {
+        let spec = LoadgenSpec {
+            requests: 50,
+            ..LoadgenSpec::default()
+        };
+        let t0a = client_trace(&spec, 0);
+        let t0b = client_trace(&spec, 0);
+        assert_eq!(t0a.requests, t0b.requests, "same seed ⇒ same stream");
+        let t1 = client_trace(&spec, 1);
+        assert_ne!(t0a.requests, t1.requests, "per-client seeds differ");
+    }
+
+    #[test]
+    fn closed_loop_mem_run_is_clean() {
+        let spec = LoadgenSpec {
+            clients: 3,
+            requests: 60,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            ..LoadgenSpec::default()
+        };
+        let report = run(&spec).expect("run");
+        assert_eq!(report.issued, 180);
+        assert_eq!(report.acked, 180, "unlimited admission sheds nothing");
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count(), 180);
+        assert_eq!(report.gateway.shed_total, 0);
+        let text = report_text(&report);
+        assert!(text.contains("p999"));
+        assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn open_loop_mem_run_collects_every_reply() {
+        let spec = LoadgenSpec {
+            clients: 2,
+            requests: 40,
+            mode: Mode::Open,
+            transport: TransportKind::Mem,
+            rate_factor: 1_000_000.0, // fire as fast as the schedule allows
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            ..LoadgenSpec::default()
+        };
+        let report = run(&spec).expect("run");
+        assert_eq!(report.issued, 80);
+        assert_eq!(report.acked + report.shed, 80, "every request answered");
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn loadgen_shed_count_matches_gateway_counter() {
+        // Starved token buckets: most requests are shed, and the client-
+        // side Busy tally must agree exactly with the gateway's counter.
+        let spec = LoadgenSpec {
+            clients: 2,
+            requests: 50,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig {
+                per_client_rate: 0.0,
+                per_client_burst: 5.0,
+                max_inflight: u32::MAX,
+            },
+            pages_per_client: 1 << 10,
+            ..LoadgenSpec::default()
+        };
+        let report = run(&spec).expect("run");
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.acked, 10, "exactly the two bursts are admitted");
+        assert_eq!(report.shed, 90);
+        assert_eq!(
+            report.shed, report.gateway.shed_total,
+            "client view and gateway counter agree exactly"
+        );
+        assert!(report.shed_rate() > 0.8);
+    }
+}

@@ -190,7 +190,12 @@ mod tests {
         let mut p = ExperimentParams::quick();
         p.requests = 400;
         let trace = p.traces()[0].generate(p.seed);
-        let r = run_cell(&p, FtlKind::Bast, Scheme::FlashCoop(PolicyKind::Lar), &trace);
+        let r = run_cell(
+            &p,
+            FtlKind::Bast,
+            Scheme::FlashCoop(PolicyKind::Lar),
+            &trace,
+        );
         assert_eq!(r.trace, "Fin1");
         assert_eq!(r.ftl, FtlKind::Bast);
         assert!(r.requests == 400);

@@ -284,7 +284,8 @@ impl fc_obs::StatSource for FaultStats {
         reg.counter("cluster.fault.eligible").store(self.eligible);
         reg.counter("cluster.fault.delivered").store(self.delivered);
         reg.counter("cluster.fault.dropped").store(self.dropped);
-        reg.counter("cluster.fault.duplicated").store(self.duplicated);
+        reg.counter("cluster.fault.duplicated")
+            .store(self.duplicated);
         reg.counter("cluster.fault.held").store(self.held);
         reg.counter("cluster.fault.partitioned")
             .store(self.partitioned);
@@ -428,7 +429,11 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
 
     /// The decision trace so far (one record per eligible send).
     pub fn fault_trace(&self) -> Vec<FaultRecord> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner()).trace.clone()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .trace
+            .clone()
     }
 
     /// Aggregate fault counters so far.
@@ -443,7 +448,12 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
 
     /// Forward now (synchronously when the plan allows it) or enqueue for
     /// the delivery worker.
-    fn forward(&self, state: &mut FaultState, msg: Message, delay: Duration) -> Result<(), TransportError> {
+    fn forward(
+        &self,
+        state: &mut FaultState,
+        msg: Message,
+        delay: Duration,
+    ) -> Result<(), TransportError> {
         if delay.is_zero() && self.plan.synchronous() {
             return self.inner.send(msg);
         }
@@ -508,10 +518,7 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
                 let mut entries = entries.clone();
                 let (lpn, ver, crc, data) = &entries[pick];
                 entries[pick] = (*lpn, *ver, *crc, flip(data, rng));
-                Some(Message::ResyncBatch {
-                    seq: *seq,
-                    entries,
-                })
+                Some(Message::ResyncBatch { seq: *seq, entries })
             }
             _ => None,
         }
@@ -602,13 +609,12 @@ impl<T: Transport + Sync + 'static> Transport for FaultTransport<T> {
             };
             // Corruption damages the primary copy only; a duplicate (like a
             // retransmission) is an independent transmission and goes clean.
-            let damaged = if self.plan.corrupt_prob > 0.0
-                && state.rng.chance(self.plan.corrupt_prob)
-            {
-                Self::corrupt_copy(&msg, &mut state.rng)
-            } else {
-                None
-            };
+            let damaged =
+                if self.plan.corrupt_prob > 0.0 && state.rng.chance(self.plan.corrupt_prob) {
+                    Self::corrupt_copy(&msg, &mut state.rng)
+                } else {
+                    None
+                };
             let corrupt = damaged.is_some();
             state.stats.delivered += 1;
             if dup {
@@ -748,7 +754,9 @@ mod tests {
         }
         let got = drain(&b, Duration::from_millis(100));
         assert_eq!(
-            got.iter().map(|m| m.data_seq().unwrap()).collect::<Vec<_>>(),
+            got.iter()
+                .map(|m| m.data_seq().unwrap())
+                .collect::<Vec<_>>(),
             vec![4, 5]
         );
         assert_eq!(f.fault_stats().dropped, 3);
@@ -824,7 +832,9 @@ mod tests {
         }
         let got = drain(&b, Duration::from_millis(100));
         assert_eq!(
-            got.iter().map(|m| m.data_seq().unwrap()).collect::<Vec<_>>(),
+            got.iter()
+                .map(|m| m.data_seq().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 4, 5]
         );
         assert_eq!(f.fault_stats().partitioned, 2);
@@ -848,10 +858,7 @@ mod tests {
     #[test]
     fn min_gap_throttles_throughput() {
         let (a, b) = mem_pair();
-        let f = FaultTransport::new(
-            a,
-            FaultPlan::new(4).with_min_gap(Duration::from_millis(20)),
-        );
+        let f = FaultTransport::new(a, FaultPlan::new(4).with_min_gap(Duration::from_millis(20)));
         let t0 = Instant::now();
         for s in 1..=4 {
             f.send(write_repl(s)).unwrap();
@@ -940,10 +947,14 @@ mod tests {
             .collect();
         assert_eq!(rebuilt, trace, "obs stream must mirror the decision trace");
         // Every action kind actually occurred, so the mapping is exercised.
-        assert!(trace.iter().any(|r| matches!(r.action, FaultAction::Deliver { .. })));
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.action, FaultAction::Deliver { .. })));
         assert!(trace.iter().any(|r| r.action == FaultAction::Drop));
         assert!(trace.iter().any(|r| r.action == FaultAction::Partitioned));
-        assert!(trace.iter().any(|r| matches!(r.action, FaultAction::Held { .. })));
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.action, FaultAction::Held { .. })));
     }
 
     #[test]
@@ -1043,7 +1054,10 @@ mod tests {
             f.fault_trace()
         };
         let legacy = run(FaultPlan::new(9).with_drop(0.2).with_dup(0.2));
-        let gated = run(FaultPlan::new(9).with_drop(0.2).with_dup(0.2).with_corrupt(0.0));
+        let gated = run(FaultPlan::new(9)
+            .with_drop(0.2)
+            .with_dup(0.2)
+            .with_corrupt(0.0));
         assert_eq!(legacy, gated, "p=0 must not consume RNG draws");
     }
 }

@@ -46,12 +46,12 @@ use crate::wire::{crc32, resync_entry, Message, NackReason, SeqStatus, SeqTracke
 use bytes::Bytes;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use fc_obs::{Counter, Obs};
+use fc_simkit::{SimDuration, SimTime};
 use flashcoop::policy::Eviction;
 use flashcoop::{
     BufferManager, HeartbeatMonitor, LifecycleTransition, PairLifecycle, PairState, PeerEvent,
     PeerState, PolicyKind, ReplicationStats, RetryPolicy,
 };
-use fc_simkit::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -316,6 +316,46 @@ impl fc_obs::StatSource for NodeStats {
     }
 }
 
+/// Per-origin counters for requests entering through the gateway (or any
+/// caller that identifies itself via the `*_from` entry points). One row per
+/// client id; snapshot with [`Node::client_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerClientStats {
+    /// Write requests handled for this client.
+    pub writes: u64,
+    /// Pages written for this client.
+    pub pages_written: u64,
+    /// Writes that fell back to write-through.
+    pub write_through: u64,
+    /// Read requests handled for this client.
+    pub reads: u64,
+    /// Reads served from the local buffer.
+    pub read_hits: u64,
+    /// Page deletions (TRIMs) for this client.
+    pub trims: u64,
+}
+
+/// Aggregate outcome of a batched multi-page write ([`Node::write_run`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Pages acknowledged by the peer's remote buffer.
+    pub replicated: u64,
+    /// Pages that fell back to write-through.
+    pub write_through: u64,
+}
+
+impl RunOutcome {
+    /// True when every page of the run took the replicated fast path.
+    pub fn all_replicated(&self) -> bool {
+        self.write_through == 0
+    }
+
+    /// Pages in the run.
+    pub fn pages(&self) -> u64 {
+        self.replicated + self.write_through
+    }
+}
+
 /// The signal a blocked writer receives for its in-flight replication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AckSignal {
@@ -341,7 +381,9 @@ struct NodeObs {
 impl NodeObs {
     /// Start a wall-stamped `cluster.node` event tagged with the node id.
     fn ev(&self, kind: &'static str) -> fc_obs::Event {
-        self.obs.wall_event("cluster.node", kind).u64_field("id", self.id)
+        self.obs
+            .wall_event("cluster.node", kind)
+            .u64_field("id", self.id)
     }
 }
 
@@ -404,6 +446,9 @@ struct Inner {
     scrub_waiters: HashMap<u64, Sender<Option<(u64, Bytes)>>>,
     next_seq: u64,
     stats: NodeStats,
+    /// Per-origin counters, keyed by the client id the gateway passed to a
+    /// `*_from` entry point.
+    clients: HashMap<u64, PerClientStats>,
     obs: Option<NodeObs>,
 }
 
@@ -664,7 +709,8 @@ impl Inner {
                 self.emit_lifecycle(tr);
             }
             self.note("resync_complete", |e| {
-                e.u64_field("batches", run.batches).u64_field("pages", run.pages)
+                e.u64_field("batches", run.batches)
+                    .u64_field("pages", run.pages)
             });
             return Vec::new();
         }
@@ -748,6 +794,7 @@ impl Node {
             scrub_waiters: HashMap::new(),
             next_seq: 1,
             stats: NodeStats::default(),
+            clients: HashMap::new(),
             obs: None,
         }));
         let transport: Arc<dyn Transport + Sync> = Arc::new(transport);
@@ -1062,11 +1109,28 @@ impl Node {
     /// Read one page: local buffer first, then the backend (caching the
     /// result).
     pub fn read(&self, lpn: u64) -> Option<Vec<u8>> {
+        self.read_tracked(None, lpn)
+    }
+
+    /// [`Node::read`] on behalf of an identified client (gateway sessions);
+    /// the per-client read/hit counters are updated under the same lock as
+    /// the node-wide ones.
+    pub fn read_from(&self, client: u64, lpn: u64) -> Option<Vec<u8>> {
+        self.read_tracked(Some(client), lpn)
+    }
+
+    fn read_tracked(&self, client: Option<u64>, lpn: u64) -> Option<Vec<u8>> {
         let mut inner = self.inner.lock();
         inner.stats.reads += 1;
+        if let Some(c) = client {
+            inner.clients.entry(c).or_default().reads += 1;
+        }
         if inner.buffer.lookup(lpn).is_some() {
             inner.buffer.read(lpn, 1);
             inner.stats.read_hits += 1;
+            if let Some(c) = client {
+                inner.clients.entry(c).or_default().read_hits += 1;
+            }
             return inner.data.get(&lpn).map(|b| b.to_vec());
         }
         inner.buffer.read(lpn, 1);
@@ -1104,6 +1168,73 @@ impl Node {
         // Every replica of this page carries a version <= the one current at
         // delete time, so the bound removes them all.
         self.send_discard(vec![(lpn, version)]);
+    }
+
+    /// [`Node::write`] on behalf of an identified client (gateway sessions):
+    /// the write takes the normal durability path, then the client's row in
+    /// the per-origin table is updated.
+    pub fn write_from(&self, client: u64, lpn: u64, data: &[u8]) -> WriteOutcome {
+        let outcome = self.write(lpn, data);
+        let mut inner = self.inner.lock();
+        let row = inner.clients.entry(client).or_default();
+        row.writes += 1;
+        row.pages_written += 1;
+        if outcome == WriteOutcome::WriteThrough {
+            row.write_through += 1;
+        }
+        outcome
+    }
+
+    /// Write a contiguous run of pages starting at `lpn` on behalf of a
+    /// client — the gateway's batched submission path. Pages are written in
+    /// address order (the sequential shape the cooperative buffer and the
+    /// SSD both prefer); each page is individually durable when this
+    /// returns.
+    pub fn write_run(&self, client: u64, lpn: u64, pages: &[impl AsRef<[u8]>]) -> RunOutcome {
+        let mut out = RunOutcome::default();
+        for (i, page) in pages.iter().enumerate() {
+            match self.write_from(client, lpn + i as u64, page.as_ref()) {
+                WriteOutcome::Replicated => out.replicated += 1,
+                WriteOutcome::WriteThrough => out.write_through += 1,
+            }
+        }
+        out
+    }
+
+    /// [`Node::delete`] on behalf of an identified client.
+    pub fn delete_from(&self, client: u64, lpn: u64) {
+        self.delete(lpn);
+        self.inner.lock().clients.entry(client).or_default().trims += 1;
+    }
+
+    /// Flush every dirty page in the local buffer to the backend (the
+    /// client-visible `Flush` barrier): after this returns, all previously
+    /// acknowledged writes are on this node's durable medium, independent of
+    /// the peer. Returns the number of pages flushed. The peer's
+    /// now-redundant replicas are discarded (version-bounded, so an
+    /// in-flight newer write is never lost).
+    pub fn flush_dirty(&self) -> u64 {
+        let flushed = {
+            let mut inner = self.inner.lock();
+            let ev = inner.buffer.drain_dirty();
+            let flushed = inner.apply_eviction(&ev);
+            let n = flushed.len() as u64;
+            inner.note("flush_barrier", |e| e.u64_field("pages", n));
+            drop(inner);
+            flushed
+        };
+        let n = flushed.len() as u64;
+        self.send_discard(flushed);
+        n
+    }
+
+    /// Snapshot of the per-client counters, sorted by client id.
+    pub fn client_stats(&self) -> Vec<(u64, PerClientStats)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(u64, PerClientStats)> =
+            inner.clients.iter().map(|(&c, &s)| (c, s)).collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
     }
 
     /// Run the local-failure recovery protocol: fetch the peer's snapshot of
@@ -1429,9 +1560,7 @@ fn handle_message(
                         seq,
                         reason: NackReason::Corrupt,
                     }
-                } else if !g.remote.contains_key(&lpn)
-                    && g.remote.len() >= g.cfg.remote_capacity
-                {
+                } else if !g.remote.contains_key(&lpn) && g.remote.len() >= g.cfg.remote_capacity {
                     // Out of hosting credits; also before observe() so a
                     // retransmission after space frees can still apply.
                     g.stats.repl.credit_rejections += 1;
@@ -1494,11 +1623,7 @@ fn handle_message(
                 .map(|i| i.seq);
             if resync_seq == Some(seq) {
                 // A NACKed resync batch: the pump's drive loop resends it.
-                if let Some(inf) = g
-                    .resync
-                    .as_mut()
-                    .and_then(|r| r.in_flight.as_mut())
-                {
+                if let Some(inf) = g.resync.as_mut().and_then(|r| r.in_flight.as_mut()) {
                     inf.resend_now = true;
                 }
             } else if let Some(tx) = g.pending_acks.get(&seq) {
@@ -1739,6 +1864,77 @@ mod tests {
     }
 
     #[test]
+    fn per_client_stats_track_each_origin_separately() {
+        let (a, b, _ba, _bb) = pair();
+        a.write_from(1, 10, b"one");
+        a.write_from(1, 11, b"one-b");
+        a.write_from(2, 20, b"two");
+        assert_eq!(a.read_from(1, 10), Some(b"one".to_vec()));
+        assert_eq!(a.read_from(2, 99), None); // miss
+        a.delete_from(2, 20);
+        let rows = a.client_stats();
+        assert_eq!(rows.len(), 2);
+        let (c1, s1) = rows[0];
+        let (c2, s2) = rows[1];
+        assert_eq!((c1, c2), (1, 2));
+        assert_eq!(s1.writes, 2);
+        assert_eq!(s1.pages_written, 2);
+        assert_eq!(s1.reads, 1);
+        assert_eq!(s1.read_hits, 1);
+        assert_eq!(s1.trims, 0);
+        assert_eq!(s2.writes, 1);
+        assert_eq!(s2.reads, 1);
+        assert_eq!(s2.read_hits, 0);
+        assert_eq!(s2.trims, 1);
+        // The node-wide counters still see everything.
+        let total = a.stats();
+        assert_eq!(total.writes, 3);
+        assert_eq!(total.reads, 2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn write_run_is_durable_and_counted() {
+        let (a, b, _ba, _bb) = pair();
+        let pages: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i; 8]).collect();
+        let out = a.write_run(7, 40, &pages);
+        assert_eq!(out.pages(), 4);
+        assert!(out.all_replicated(), "{out:?}");
+        for (i, page) in pages.iter().enumerate() {
+            assert_eq!(a.read(40 + i as u64), Some(page.clone()));
+        }
+        let rows = a.client_stats();
+        assert_eq!(rows[0].0, 7);
+        assert_eq!(rows[0].1.pages_written, 4);
+        assert!(a.stats().writes_balance());
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn flush_dirty_is_a_durability_barrier() {
+        let (a, b, ba, _bb) = pair();
+        for i in 0..10u64 {
+            a.write(i, format!("d{i}").as_bytes());
+        }
+        assert!(a.dirty_pages() > 0);
+        let flushed = a.flush_dirty();
+        assert_eq!(flushed, 10);
+        assert_eq!(a.dirty_pages(), 0);
+        // Every page is now on the backend, independent of the peer.
+        for i in 0..10u64 {
+            assert!(ba.lock().read_page(i).is_some(), "page {i} not flushed");
+        }
+        // A second flush has nothing to do.
+        assert_eq!(a.flush_dirty(), 0);
+        // Reads still hit the (clean) buffered copies.
+        assert_eq!(a.read(3), Some(b"d3".to_vec()));
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
     fn eviction_flushes_to_backend_and_discards_remote() {
         let (a, b, ba, _bb) = pair();
         // Buffer is 64 pages; write 80 distinct pages to force evictions.
@@ -1794,14 +1990,20 @@ mod tests {
         let a = Node::spawn(NodeConfig::test_profile(0), ta, ba);
         let b = Node::spawn(NodeConfig::test_profile(1), tb, bb.clone());
         for i in 0..10u64 {
-            assert_eq!(a.write(i, format!("v{i}").as_bytes()), WriteOutcome::Replicated);
+            assert_eq!(
+                a.write(i, format!("v{i}").as_bytes()),
+                WriteOutcome::Replicated
+            );
         }
         assert_eq!(b.hosted_remote_pages().len(), 10);
         // A dies; B notices via heartbeat silence and destages the hosted
         // pages sequentially onto its own backend.
         a.crash();
         assert!(
-            wait_until(|| b.lifecycle_state() == PairState::Solo, Duration::from_secs(2)),
+            wait_until(
+                || b.lifecycle_state() == PairState::Solo,
+                Duration::from_secs(2)
+            ),
             "survivor never went solo"
         );
         let s = b.stats();
@@ -1842,7 +2044,10 @@ mod tests {
         assert_eq!(ba.lock().read_page(3), None);
         assert_eq!(a.stats().deletes, 1);
         assert!(
-            wait_until(|| b.hosted_remote_pages().is_empty(), Duration::from_millis(500)),
+            wait_until(
+                || b.hosted_remote_pages().is_empty(),
+                Duration::from_millis(500)
+            ),
             "peer replica survived"
         );
         a.shutdown();
@@ -1885,7 +2090,10 @@ mod tests {
         assert_eq!(through, 6);
         assert_eq!(b.hosted_remote_pages().len(), 4);
         let s = a.stats();
-        assert!(s.repl.credit_stalls >= 6 - 1, "stalls counted (first refusal may be a NACK)");
+        assert!(
+            s.repl.credit_stalls >= 6 - 1,
+            "stalls counted (first refusal may be a NACK)"
+        );
         assert!(s.writes_balance());
         // Backpressure is not a failure: the pair stays joined.
         assert_eq!(a.lifecycle_state(), PairState::Paired);
@@ -1902,7 +2110,10 @@ mod tests {
     fn corrupted_replication_is_nacked_and_repaired_by_resend() {
         let (ta, tb) = mem_pair();
         // Corrupt A→B data traffic with p=0.5; acks (B→A) are clean.
-        let fa = Arc::new(FaultTransport::new(ta, FaultPlan::new(42).with_corrupt(0.5)));
+        let fa = Arc::new(FaultTransport::new(
+            ta,
+            FaultPlan::new(42).with_corrupt(0.5),
+        ));
         let ba = shared_backend(MemBackend::new());
         let bb = shared_backend(MemBackend::new());
         let a = Node::spawn(NodeConfig::test_profile(0), fa.clone(), ba);
@@ -1910,7 +2121,10 @@ mod tests {
         for i in 0..20u64 {
             // Every write must end replicated: a corrupted copy is NACKed
             // and the clean resend lands within the retry budget.
-            assert_eq!(a.write(i, format!("payload-{i}").as_bytes()), WriteOutcome::Replicated);
+            assert_eq!(
+                a.write(i, format!("payload-{i}").as_bytes()),
+                WriteOutcome::Replicated
+            );
         }
         let injected = fa.fault_stats().corrupted;
         assert!(injected > 0, "p=0.5 over 20 writes should corrupt some");
@@ -1982,7 +2196,10 @@ mod tests {
         ));
         // Writes during the partition: write-through + journal.
         for i in 0..12u64 {
-            assert_eq!(a.write(i, format!("solo-{i}").as_bytes()), WriteOutcome::WriteThrough);
+            assert_eq!(
+                a.write(i, format!("solo-{i}").as_bytes()),
+                WriteOutcome::WriteThrough
+            );
         }
         assert!(a.journal_len() > 0);
         // The partition heals; heartbeats resume; both sides rejoin.
@@ -2008,7 +2225,10 @@ mod tests {
         let s = a.stats();
         assert!(s.repl.resync_batches >= 1);
         assert_eq!(s.repl.resync_pages, 12);
-        assert!(s.repl.lifecycle_transitions >= 2, "solo + resync + paired edges");
+        assert!(
+            s.repl.lifecycle_transitions >= 2,
+            "solo + resync + paired edges"
+        );
         a.shutdown();
         b.shutdown();
     }
@@ -2095,7 +2315,10 @@ mod tests {
         assert!(snapshots > 100, "sampler barely ran");
         let s = a.stats();
         assert!(s.writes > 0 && s.writes_balance());
-        Arc::try_unwrap(a).ok().expect("writer released node").shutdown();
+        Arc::try_unwrap(a)
+            .ok()
+            .expect("writer released node")
+            .shutdown();
         b.shutdown();
     }
 
@@ -2111,10 +2334,15 @@ mod tests {
         assert_eq!(s.replicated_pages, 8);
         // Cached counters track live.
         assert_eq!(
-            obs.registry().counter("cluster.node.replicated_pages").get(),
+            obs.registry()
+                .counter("cluster.node.replicated_pages")
+                .get(),
             8
         );
-        assert_eq!(obs.registry().counter("cluster.node.write_through").get(), 0);
+        assert_eq!(
+            obs.registry().counter("cluster.node.write_through").get(),
+            0
+        );
         let events = ring.events();
         let sends = events.iter().filter(|e| e.kind == "repl_send").count();
         let acks = events.iter().filter(|e| e.kind == "repl_ack").count();

@@ -113,9 +113,7 @@ impl Transport for MemTransport {
         if self.severed.load(Ordering::SeqCst) {
             return Err(TransportError::Disconnected);
         }
-        self.tx
-            .send(msg)
-            .map_err(|_| TransportError::Disconnected)
+        self.tx.send(msg).map_err(|_| TransportError::Disconnected)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
@@ -280,10 +278,7 @@ mod tests {
         assert_eq!(b.send(Message::Purge), Err(TransportError::Disconnected));
         assert!(!a.is_connected());
         assert!(!b.is_connected());
-        assert_eq!(
-            b.recv_timeout(SHORT),
-            Err(TransportError::Disconnected)
-        );
+        assert_eq!(b.recv_timeout(SHORT), Err(TransportError::Disconnected));
     }
 
     #[test]
@@ -305,7 +300,9 @@ mod tests {
         client.send(msg.clone()).unwrap();
         let got = server.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(got, Some(msg));
-        server.send(Message::ReplAck { seq: 1, credits: 7 }).unwrap();
+        server
+            .send(Message::ReplAck { seq: 1, credits: 7 })
+            .unwrap();
         assert_eq!(
             client.recv_timeout(Duration::from_secs(2)).unwrap(),
             Some(Message::ReplAck { seq: 1, credits: 7 })
@@ -350,7 +347,10 @@ mod tests {
                 .unwrap();
         }
         for seq in 0..64u64 {
-            let m = server.recv_timeout(Duration::from_secs(2)).unwrap().unwrap();
+            let m = server
+                .recv_timeout(Duration::from_secs(2))
+                .unwrap()
+                .unwrap();
             match m {
                 Message::WriteRepl { seq: s, data, .. } => {
                     assert_eq!(s, seq);

@@ -236,7 +236,10 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
             WireError::Truncated => write!(f, "truncated frame"),
             WireError::Checksum { expected, found } => {
-                write!(f, "frame checksum mismatch: header {expected:#10x}, body {found:#10x}")
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expected:#10x}, body {found:#10x}"
+                )
             }
         }
     }
@@ -673,7 +676,10 @@ mod tests {
             3,
             Bytes::from_static(b"page-contents"),
         ));
-        round_trip(Message::ReplAck { seq: 42, credits: 17 });
+        round_trip(Message::ReplAck {
+            seq: 42,
+            credits: 17,
+        });
         round_trip(Message::ReplNack {
             seq: 42,
             reason: NackReason::Corrupt,
@@ -792,14 +798,14 @@ mod tests {
     #[test]
     fn frame_checksum_mismatch_is_rejected() {
         let mut buf = BytesMut::new();
-        encode(&Message::write_repl(1, 2, 3, Bytes::from_static(b"abcd")), &mut buf);
+        encode(
+            &Message::write_repl(1, 2, 3, Bytes::from_static(b"abcd")),
+            &mut buf,
+        );
         // Flip one payload byte; the frame checksum no longer matches.
         let last = buf.len() - 1;
         buf[last] ^= 0xFF;
-        assert!(matches!(
-            decode(&mut buf),
-            Err(WireError::Checksum { .. })
-        ));
+        assert!(matches!(decode(&mut buf), Err(WireError::Checksum { .. })));
     }
 
     #[test]
@@ -810,7 +816,11 @@ mod tests {
         // must notice (this models a transport that hands over Message
         // values without re-framing).
         if let Message::WriteRepl {
-            seq, lpn, version, crc, ..
+            seq,
+            lpn,
+            version,
+            crc,
+            ..
         } = msg
         {
             let tampered = Message::WriteRepl {
@@ -865,7 +875,10 @@ mod tests {
         let high = SeqTracker::WINDOW + 50;
         assert_eq!(t.observe(high), SeqStatus::New);
         // Inside the window: genuinely new, just very late.
-        assert_eq!(t.observe(high - SeqTracker::WINDOW + 1), SeqStatus::NewOutOfOrder);
+        assert_eq!(
+            t.observe(high - SeqTracker::WINDOW + 1),
+            SeqStatus::NewOutOfOrder
+        );
         // At or below the floor: presumed duplicate.
         assert_eq!(t.observe(high - SeqTracker::WINDOW), SeqStatus::Duplicate);
         assert_eq!(t.observe(1), SeqStatus::Duplicate);
@@ -873,7 +886,10 @@ mod tests {
 
     #[test]
     fn data_seq_covers_exactly_the_data_plane() {
-        assert_eq!(Message::write_repl(9, 1, 1, Bytes::new()).data_seq(), Some(9));
+        assert_eq!(
+            Message::write_repl(9, 1, 1, Bytes::new()).data_seq(),
+            Some(9)
+        );
         assert_eq!(
             Message::Discard {
                 seq: 4,

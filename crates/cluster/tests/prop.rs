@@ -12,11 +12,9 @@ use proptest::prelude::*;
 fn message_strategy() -> impl Strategy<Value = Message> {
     let data = prop::collection::vec(any::<u8>(), 0..256).prop_map(Bytes::from);
     prop_oneof![
-        (any::<u64>(), any::<u64>(), any::<u64>(), data.clone()).prop_map(
-            |(seq, lpn, version, data)| Message::write_repl(seq, lpn, version, data)
-        ),
-        (any::<u64>(), any::<u32>())
-            .prop_map(|(seq, credits)| Message::ReplAck { seq, credits }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), data.clone())
+            .prop_map(|(seq, lpn, version, data)| Message::write_repl(seq, lpn, version, data)),
+        (any::<u64>(), any::<u32>()).prop_map(|(seq, credits)| Message::ReplAck { seq, credits }),
         (any::<u64>(), prop::bool::ANY).prop_map(|(seq, corrupt)| Message::ReplNack {
             seq,
             reason: if corrupt {
@@ -55,9 +53,8 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             }),
         any::<u64>().prop_map(|seq| Message::ResyncAck { seq }),
         any::<u64>().prop_map(|lpn| Message::PageFetch { lpn }),
-        (any::<u64>(), any::<u64>(), data).prop_map(|(lpn, version, data)| {
-            Message::page_data(lpn, Some((version, data)))
-        }),
+        (any::<u64>(), any::<u64>(), data)
+            .prop_map(|(lpn, version, data)| { Message::page_data(lpn, Some((version, data))) }),
         any::<u64>().prop_map(|lpn| Message::page_data(lpn, None)),
     ]
 }

@@ -86,16 +86,28 @@ mod tests {
 
     #[test]
     fn resource_usage_weights_inputs() {
-        let u = UtilSample { m: 0.5, p: 1.0, n: 0.25 };
+        let u = UtilSample {
+            m: 0.5,
+            p: 1.0,
+            n: 0.25,
+        };
         // 0.4*0.5 + 0.2*1.0 + 0.4*0.25 = 0.5
         assert!((resource_usage(&params(), u) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn resource_usage_clamps() {
-        let u = UtilSample { m: 5.0, p: 5.0, n: 5.0 };
+        let u = UtilSample {
+            m: 5.0,
+            p: 5.0,
+            n: 5.0,
+        };
         assert_eq!(resource_usage(&params(), u), 1.0);
-        let z = UtilSample { m: -1.0, p: -1.0, n: -1.0 };
+        let z = UtilSample {
+            m: -1.0,
+            p: -1.0,
+            n: -1.0,
+        };
         assert_eq!(resource_usage(&params(), z), 0.0);
     }
 

@@ -175,13 +175,15 @@ impl BufferStats {
 impl fc_obs::StatSource for BufferStats {
     fn emit(&self, reg: &mut fc_obs::Registry) {
         reg.counter("core.buffer.page_hits").store(self.page_hits);
-        reg.counter("core.buffer.page_misses").store(self.page_misses);
+        reg.counter("core.buffer.page_misses")
+            .store(self.page_misses);
         reg.counter("core.buffer.evictions").store(self.evictions);
         reg.counter("core.buffer.flushed_pages")
             .store(self.flushed_pages);
         reg.counter("core.buffer.flushed_dirty")
             .store(self.flushed_dirty);
-        reg.counter("core.buffer.clean_drops").store(self.clean_drops);
+        reg.counter("core.buffer.clean_drops")
+            .store(self.clean_drops);
         reg.counter("core.buffer.clustered_batches")
             .store(self.clustered_batches);
         reg.gauge("core.buffer.hit_ratio").set(self.hit_ratio());
@@ -229,7 +231,12 @@ pub struct BufferManager {
 impl BufferManager {
     /// Create a buffer of `capacity` pages managing `pages_per_block`-page
     /// logical blocks under the given policy.
-    pub fn new(policy: PolicyKind, capacity: usize, pages_per_block: u32, clustering: bool) -> Self {
+    pub fn new(
+        policy: PolicyKind,
+        capacity: usize,
+        pages_per_block: u32,
+        clustering: bool,
+    ) -> Self {
         Self::with_options(policy, capacity, pages_per_block, clustering, true)
     }
 
@@ -395,7 +402,11 @@ impl BufferManager {
                 Some(seg) if seg.hit == hit && seg.lpn + seg.pages as u64 == p => {
                     seg.pages += 1;
                 }
-                _ => segments.push(ReadSegment { lpn: p, pages: 1, hit }),
+                _ => segments.push(ReadSegment {
+                    lpn: p,
+                    pages: 1,
+                    hit,
+                }),
             }
         }
         if self.policy == PolicyKind::Lar {
@@ -423,7 +434,12 @@ impl BufferManager {
             let first_block = lpn / self.ppb as u64;
             let last_block = (lpn + pages as u64 - 1) / self.ppb as u64;
             for lbn in first_block..=last_block {
-                if self.lar.get(lbn).map(|b| b.popularity == 0).unwrap_or(false) {
+                if self
+                    .lar
+                    .get(lbn)
+                    .map(|b| b.popularity == 0)
+                    .unwrap_or(false)
+                {
                     self.lar.on_block_access(lbn);
                 }
             }
@@ -731,8 +747,12 @@ impl BufferManager {
                 .map(|b| b.popularity);
             if let Some(anchor) = anchor_pop {
                 while ev.flushed_pages() < self.ppb as u64 {
-                    let Some(lbn) = self.lar.dirty_victim() else { break };
-                    let Some(meta) = self.lar.get(lbn).copied() else { break };
+                    let Some(lbn) = self.lar.dirty_victim() else {
+                        break;
+                    };
+                    let Some(meta) = self.lar.get(lbn).copied() else {
+                        break;
+                    };
                     if meta.popularity != anchor {
                         break;
                     }
@@ -827,11 +847,7 @@ impl BufferManager {
         let Some(victim) = self.ranked.victim() else {
             return false;
         };
-        let dirty = self
-            .pages
-            .get(&victim)
-            .map(|m| m.dirty)
-            .unwrap_or(false);
+        let dirty = self.pages.get(&victim).map(|m| m.dirty).unwrap_or(false);
         if !dirty {
             self.remove_page(victim);
             ev.clean_dropped += 1;
@@ -852,13 +868,7 @@ impl BufferManager {
         let block_start = (victim / self.ppb as u64) * self.ppb as u64;
         let block_end = block_start + self.ppb as u64;
         let mut lo = victim;
-        while lo > block_start
-            && self
-                .pages
-                .get(&(lo - 1))
-                .map(|m| m.dirty)
-                .unwrap_or(false)
-        {
+        while lo > block_start && self.pages.get(&(lo - 1)).map(|m| m.dirty).unwrap_or(false) {
             lo -= 1;
         }
         let mut hi = victim + 1;
@@ -926,7 +936,14 @@ mod tests {
         // Overflow: block 1 must go, entirely, as one 4-page run.
         let ev = b.write(8, 1);
         assert_eq!(ev.runs.len(), 1);
-        assert_eq!(ev.runs[0], FlushRun { lpn: 4, pages: 4, dirty: 4 });
+        assert_eq!(
+            ev.runs[0],
+            FlushRun {
+                lpn: 4,
+                pages: 4,
+                dirty: 4
+            }
+        );
         assert!(b.lookup(4).is_none());
         assert!(b.lookup(0).is_some());
     }
@@ -995,7 +1012,14 @@ mod tests {
         // Overflow: victim is page 0; pages 1,2 are contiguous dirty in the
         // same block → combined 3-page write.
         let ev = b.write(13, 1);
-        assert_eq!(ev.runs, vec![FlushRun { lpn: 0, pages: 3, dirty: 3 }]);
+        assert_eq!(
+            ev.runs,
+            vec![FlushRun {
+                lpn: 0,
+                pages: 3,
+                dirty: 3
+            }]
+        );
         // Victim gone; combined neighbours stay, now clean.
         assert!(b.lookup(0).is_none());
         assert_eq!(b.lookup(1), Some(false));
@@ -1010,7 +1034,14 @@ mod tests {
         b.write(8, 1);
         b.write(9, 1);
         let ev = b.write(13, 1); // victim: page 3
-        assert_eq!(ev.runs, vec![FlushRun { lpn: 3, pages: 1, dirty: 1 }]);
+        assert_eq!(
+            ev.runs,
+            vec![FlushRun {
+                lpn: 3,
+                pages: 1,
+                dirty: 1
+            }]
+        );
         assert_eq!(b.lookup(4), Some(true), "page in next block untouched");
     }
 
@@ -1036,9 +1067,21 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                ReadSegment { lpn: 0, pages: 2, hit: false },
-                ReadSegment { lpn: 2, pages: 2, hit: true },
-                ReadSegment { lpn: 4, pages: 2, hit: false },
+                ReadSegment {
+                    lpn: 0,
+                    pages: 2,
+                    hit: false
+                },
+                ReadSegment {
+                    lpn: 2,
+                    pages: 2,
+                    hit: true
+                },
+                ReadSegment {
+                    lpn: 4,
+                    pages: 2,
+                    hit: false
+                },
             ]
         );
         assert_eq!(b.stats().page_hits, 2); // only the read's pages 2,3 hit
@@ -1230,7 +1273,10 @@ mod tests {
             .filter(|e| e.kind == "evict_page")
             .collect();
         assert!(!evicts.is_empty());
-        assert_eq!(evicts[0].get("dirty").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(
+            evicts[0].get("dirty").and_then(|v| v.as_bool()),
+            Some(false)
+        );
     }
 
     #[test]

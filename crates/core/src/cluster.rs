@@ -38,7 +38,10 @@ pub struct ClusterReport {
 impl Cluster {
     /// Build a cluster from per-pair configurations.
     pub fn new(pair_configs: Vec<(FlashCoopConfig, FlashCoopConfig)>, dynamic_alloc: bool) -> Self {
-        assert!(!pair_configs.is_empty(), "a cluster needs at least one pair");
+        assert!(
+            !pair_configs.is_empty(),
+            "a cluster needs at least one pair"
+        );
         Cluster {
             pairs: pair_configs
                 .into_iter()
@@ -50,7 +53,9 @@ impl Cluster {
     /// Build `n` identical pairs.
     pub fn homogeneous(cfg: FlashCoopConfig, pairs: usize, dynamic_alloc: bool) -> Self {
         Cluster::new(
-            (0..pairs.max(1)).map(|_| (cfg.clone(), cfg.clone())).collect(),
+            (0..pairs.max(1))
+                .map(|_| (cfg.clone(), cfg.clone()))
+                .collect(),
             dynamic_alloc,
         )
     }
@@ -155,13 +160,20 @@ mod tests {
         for _ in 0..n {
             now += SimDuration::from_millis(10 + rng.below(10));
             let op = if rng.chance(0.8) { Op::Write } else { Op::Read };
-            t.push(IoRequest { at: now, lpn: rng.below(pages - 2), pages: 1, op });
+            t.push(IoRequest {
+                at: now,
+                lpn: rng.below(pages - 2),
+                pages: 1,
+                op,
+            });
         }
         t
     }
 
     fn device_pages() -> u64 {
-        CoopServer::new(cfg(), Scheme::Baseline).ssd().logical_pages()
+        CoopServer::new(cfg(), Scheme::Baseline)
+            .ssd()
+            .logical_pages()
     }
 
     #[test]
@@ -192,7 +204,10 @@ mod tests {
         // heartbeat timeout fires within the trace; pair 1 untouched.
         let crash_at = traces[0].requests[50].at;
         let injections = vec![
-            vec![Injection { at: crash_at, event: PairEvent::Crash(0) }],
+            vec![Injection {
+                at: crash_at,
+                event: PairEvent::Crash(0),
+            }],
             vec![],
         ];
         cluster.replay(&refs, &injections);

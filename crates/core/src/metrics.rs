@@ -55,7 +55,8 @@ pub struct ReplicationStats {
 /// Dumps the fault-tolerance counters under `cluster.replication.*`.
 impl fc_obs::StatSource for ReplicationStats {
     fn emit(&self, reg: &mut fc_obs::Registry) {
-        reg.counter("cluster.replication.retries").store(self.retries);
+        reg.counter("cluster.replication.retries")
+            .store(self.retries);
         reg.counter("cluster.replication.dups_dropped")
             .store(self.dups_dropped);
         reg.counter("cluster.replication.reorders_healed")

@@ -340,14 +340,25 @@ mod tests {
         let mut now = SimTime::ZERO;
         for _ in 0..n {
             now += SimDuration::from_millis(15 + rng.below(15));
-            let op = if rng.chance(write_frac) { Op::Write } else { Op::Read };
-            t.push(IoRequest { at: now, lpn: rng.below(pages - 2), pages: 1, op });
+            let op = if rng.chance(write_frac) {
+                Op::Write
+            } else {
+                Op::Read
+            };
+            t.push(IoRequest {
+                at: now,
+                lpn: rng.below(pages - 2),
+                pages: 1,
+                op,
+            });
         }
         t
     }
 
     fn device_pages() -> u64 {
-        CoopServer::new(cfg(), Scheme::Baseline).ssd().logical_pages()
+        CoopServer::new(cfg(), Scheme::Baseline)
+            .ssd()
+            .logical_pages()
     }
 
     #[test]
@@ -371,8 +382,14 @@ mod tests {
         let mid = t0.requests[300].at;
         let later = mid + SimDuration::from_secs(30);
         let inj = [
-            Injection { at: mid, event: PairEvent::Crash(0) },
-            Injection { at: later, event: PairEvent::Recover(0) },
+            Injection {
+                at: mid,
+                event: PairEvent::Crash(0),
+            },
+            Injection {
+                at: later,
+                event: PairEvent::Recover(0),
+            },
         ];
         pair.replay([&t0, &t1], &inj);
         assert!(
@@ -390,7 +407,10 @@ mod tests {
         let t0 = trace(pages, 400, 0.9, 5, "a");
         let t1 = trace(pages, 400, 0.9, 6, "b");
         let quarter = t1.requests[100].at;
-        let inj = [Injection { at: quarter, event: PairEvent::Crash(0) }];
+        let inj = [Injection {
+            at: quarter,
+            event: PairEvent::Crash(0),
+        }];
         pair.replay([&t0, &t1], &inj);
         // Server 1 detected the silence and went degraded.
         assert!(pair.server(1).is_degraded());
@@ -400,11 +420,20 @@ mod tests {
         let mut pair2 = CoopPair::new(cfg(), cfg(), false);
         let recover_at = quarter + SimDuration::from_secs(20);
         let inj2 = [
-            Injection { at: quarter, event: PairEvent::Crash(0) },
-            Injection { at: recover_at, event: PairEvent::Recover(0) },
+            Injection {
+                at: quarter,
+                event: PairEvent::Crash(0),
+            },
+            Injection {
+                at: recover_at,
+                event: PairEvent::Recover(0),
+            },
         ];
         pair2.replay([&t0, &t1], &inj2);
-        assert!(!pair2.server(1).is_degraded(), "peer must resume replication");
+        assert!(
+            !pair2.server(1).is_degraded(),
+            "peer must resume replication"
+        );
         assert!(pair2.unrecoverable().is_empty());
     }
 
@@ -418,8 +447,14 @@ mod tests {
         let quarter = t1.requests[100].at;
         let recover_at = quarter + SimDuration::from_secs(20);
         let inj = [
-            Injection { at: quarter, event: PairEvent::Crash(0) },
-            Injection { at: recover_at, event: PairEvent::Recover(0) },
+            Injection {
+                at: quarter,
+                event: PairEvent::Crash(0),
+            },
+            Injection {
+                at: recover_at,
+                event: PairEvent::Recover(0),
+            },
         ];
         pair.replay([&t0, &t1], &inj);
         // The survivor walked Solo and back: final state is Paired and the
@@ -445,9 +480,7 @@ mod tests {
         let log1 = pair.theta_log(1); // server 1 donates to write-heavy peer
         let log0 = pair.theta_log(0); // server 0 donates to read-heavy peer
         assert!(!log1.is_empty() && !log0.is_empty());
-        let avg = |l: &[ThetaSample]| {
-            l.iter().map(|s| s.theta).sum::<f64>() / l.len() as f64
-        };
+        let avg = |l: &[ThetaSample]| l.iter().map(|s| s.theta).sum::<f64>() / l.len() as f64;
         assert!(
             avg(log1) > avg(log0),
             "write-heavy peer should earn more remote buffer: {} vs {}",
@@ -463,7 +496,10 @@ mod tests {
         let t0 = trace(pages, 300, 0.9, 9, "a");
         let t1 = trace(pages, 10, 0.9, 10, "b");
         let start = t0.requests[0].at;
-        let inj = [Injection { at: start, event: PairEvent::Crash(0) }];
+        let inj = [Injection {
+            at: start,
+            event: PairEvent::Crash(0),
+        }];
         pair.replay([&t0, &t1], &inj);
         assert_eq!(pair.server(0).metrics().writes, 0);
         assert!(pair.server(1).metrics().writes > 0);

@@ -95,7 +95,12 @@ impl LarDirectory {
             b.dirty = (b.dirty as i64 + d_dirty).max(0) as u32;
         });
         // Blocks with no resident pages leave the directory.
-        if self.blocks.get(&lbn).map(|b| b.resident == 0).unwrap_or(false) {
+        if self
+            .blocks
+            .get(&lbn)
+            .map(|b| b.resident == 0)
+            .unwrap_or(false)
+        {
             self.remove(lbn);
         }
     }
@@ -108,12 +113,10 @@ impl LarDirectory {
     /// Like [`LarDirectory::victim`] but only blocks holding dirty pages
     /// (used by the clustering pass, which gathers dirty tails).
     pub fn dirty_victim(&self) -> Option<u64> {
-        self.index.iter().map(|&(_, _, lbn)| lbn).find(|lbn| {
-            self.blocks
-                .get(lbn)
-                .map(|b| b.dirty > 0)
-                .unwrap_or(false)
-        })
+        self.index
+            .iter()
+            .map(|&(_, _, lbn)| lbn)
+            .find(|lbn| self.blocks.get(lbn).map(|b| b.dirty > 0).unwrap_or(false))
     }
 
     /// Remove a block entirely (after eviction).

@@ -112,8 +112,16 @@ mod tests {
         assert_eq!(
             runs,
             vec![
-                FlushRun { lpn: 0, pages: 3, dirty: 2 },
-                FlushRun { lpn: 5, pages: 2, dirty: 1 },
+                FlushRun {
+                    lpn: 0,
+                    pages: 3,
+                    dirty: 2
+                },
+                FlushRun {
+                    lpn: 5,
+                    pages: 2,
+                    dirty: 1
+                },
             ]
         );
     }
@@ -126,7 +134,14 @@ mod tests {
     #[test]
     fn single_page_run() {
         let runs = runs_from_sorted(&[(9, false)]);
-        assert_eq!(runs, vec![FlushRun { lpn: 9, pages: 1, dirty: 0 }]);
+        assert_eq!(
+            runs,
+            vec![FlushRun {
+                lpn: 9,
+                pages: 1,
+                dirty: 0
+            }]
+        );
         assert_eq!(runs[0].end_lpn(), 10);
     }
 
@@ -134,10 +149,18 @@ mod tests {
     fn eviction_totals() {
         let mut e = Eviction::default();
         assert!(e.is_empty());
-        e.runs.push(FlushRun { lpn: 0, pages: 4, dirty: 3 });
+        e.runs.push(FlushRun {
+            lpn: 0,
+            pages: 4,
+            dirty: 3,
+        });
         e.clean_dropped = 2;
         let mut other = Eviction::default();
-        other.runs.push(FlushRun { lpn: 10, pages: 1, dirty: 1 });
+        other.runs.push(FlushRun {
+            lpn: 10,
+            pages: 1,
+            dirty: 1,
+        });
         other.clean_dropped = 1;
         e.absorb(other);
         assert_eq!(e.flushed_pages(), 5);

@@ -100,8 +100,9 @@ impl HeartbeatMonitor {
         };
         let event = match (self.state, next) {
             (PeerState::Healthy, PeerState::Suspected) => Some(PeerEvent::Suspected),
-            (PeerState::Healthy, PeerState::Failed)
-            | (PeerState::Suspected, PeerState::Failed) => Some(PeerEvent::Failed),
+            (PeerState::Healthy, PeerState::Failed) | (PeerState::Suspected, PeerState::Failed) => {
+                Some(PeerEvent::Failed)
+            }
             _ => None,
         };
         // poll() never un-fails a peer — only an actual beat does.

@@ -335,8 +335,7 @@ impl CoopServer {
                                 self.metrics.remote_rejections += 1;
                             }
                         }
-                        let bytes =
-                            pages as u64 * self.cfg.ssd.geometry.page_bytes as u64;
+                        let bytes = pages as u64 * self.cfg.ssd.geometry.page_bytes as u64;
                         let grant = self
                             .nic_q
                             .acquire(now, self.cfg.link.serialization_time(bytes));
@@ -351,8 +350,7 @@ impl CoopServer {
                 // Pages that could not be replicated are flushed
                 // synchronously — durability must not regress.
                 if !rejected.is_empty() {
-                    let runs: Vec<(Lpn, u32)> =
-                        rejected.iter().map(|&p| (Lpn(p), 1)).collect();
+                    let runs: Vec<(Lpn, u32)> = rejected.iter().map(|&p| (Lpn(p), 1)).collect();
                     let service = self.ssd.write_batch(&runs);
                     let grant = self.ssd_q.acquire(now, service);
                     ack_at = ack_at.max(grant.end);
@@ -408,8 +406,7 @@ impl CoopServer {
                 let mut dram_total = SimDuration::ZERO;
                 for seg in &segments {
                     if seg.hit {
-                        dram_total +=
-                            self.cfg.dram_page_access.saturating_mul(seg.pages as u64);
+                        dram_total += self.cfg.dram_page_access.saturating_mul(seg.pages as u64);
                     } else {
                         let service =
                             self.ssd.read(Lpn(seg.lpn), seg.pages) + self.bg_interference(now);
@@ -447,12 +444,7 @@ impl CoopServer {
 
     /// Issue the flush work of an eviction as one batched device write, off
     /// the request's critical path; commit versions and release remote copies.
-    fn issue_flushes(
-        &mut self,
-        now: SimTime,
-        ev: &Eviction,
-        mut remote: Option<&mut RemoteStore>,
-    ) {
+    fn issue_flushes(&mut self, now: SimTime, ev: &Eviction, mut remote: Option<&mut RemoteStore>) {
         if ev.is_empty() {
             return;
         }
@@ -521,9 +513,7 @@ impl CoopServer {
         let service = self.ssd.trim(Lpn(lpn), pages);
         // TRIM is a metadata command; it still serialises on the device.
         let grant = self.ssd_q.acquire(now, service);
-        let resp = grant
-            .latency_since(now)
-            .max(self.cfg.dram_page_access);
+        let resp = grant.latency_since(now).max(self.cfg.dram_page_access);
         self.metrics.response.push(resp);
         if let Some(o) = &self.obs {
             o.emit(
@@ -538,12 +528,7 @@ impl CoopServer {
 
     /// Apply a new local-buffer capacity (dynamic memory allocation);
     /// evictions forced by a shrink are flushed in the background.
-    pub fn resize_buffer(
-        &mut self,
-        now: SimTime,
-        pages: usize,
-        remote: Option<&mut RemoteStore>,
-    ) {
+    pub fn resize_buffer(&mut self, now: SimTime, pages: usize, remote: Option<&mut RemoteStore>) {
         let ev = self.buffer.set_capacity(pages);
         self.issue_flushes(now, &ev, remote);
     }
@@ -562,11 +547,7 @@ impl CoopServer {
     /// Local-failure recovery, step 2-3: replay the peer's remote-buffer
     /// snapshot into the SSD. Returns the time the replay occupied the SSD.
     /// The caller then purges the peer's store (step 4).
-    pub fn recover_from_snapshot(
-        &mut self,
-        now: SimTime,
-        snapshot: &[(u64, u64)],
-    ) -> SimDuration {
+    pub fn recover_from_snapshot(&mut self, now: SimTime, snapshot: &[(u64, u64)]) -> SimDuration {
         if snapshot.is_empty() {
             return SimDuration::ZERO;
         }
@@ -641,7 +622,12 @@ impl CoopServer {
             let committed_ok = self.committed.get(&lpn).map(|&c| c >= ver).unwrap_or(false);
             let buffered_ok = self.buffer.lookup(lpn) == Some(true);
             let replicated_ok = peer_store
-                .and_then(|s| s.snapshot().iter().find(|&&(l, _)| l == lpn).map(|&(_, v)| v))
+                .and_then(|s| {
+                    s.snapshot()
+                        .iter()
+                        .find(|&&(l, _)| l == lpn)
+                        .map(|&(_, v)| v)
+                })
                 .map(|v| v >= ver)
                 .unwrap_or(false);
             if !committed_ok && !buffered_ok && !replicated_ok {
@@ -669,10 +655,7 @@ mod tests {
             Scheme::FlashCoop(p) => p,
             Scheme::Baseline => PolicyKind::Lar,
         };
-        CoopServer::new(
-            FlashCoopConfig::tiny(FtlKind::PageLevel, policy),
-            scheme,
-        )
+        CoopServer::new(FlashCoopConfig::tiny(FtlKind::PageLevel, policy), scheme)
     }
 
     fn lar() -> Scheme {
@@ -709,7 +692,7 @@ mod tests {
         let mut remote = RemoteStore::new(1024);
         let t1 = s.handle_read(SimTime::ZERO, 9, 1, Some(&mut remote));
         assert!(t1 >= SimDuration::from_micros(100)); // at least the bus transfer
-        // Second read of the same page hits DRAM.
+                                                      // Second read of the same page hits DRAM.
         let t2 = s.handle_read(SimTime::from_millis(1), 9, 1, Some(&mut remote));
         assert!(t2 < t1);
     }

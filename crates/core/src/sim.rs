@@ -87,11 +87,7 @@ pub fn replay_with_obs(
         server.ssd().logical_pages()
     );
 
-    let span_ns = trace
-        .requests
-        .last()
-        .map(|r| r.at.as_nanos())
-        .unwrap_or(0);
+    let span_ns = trace.requests.last().map(|r| r.at.as_nanos()).unwrap_or(0);
     let mut scheduler = obs.map(|o| {
         server.attach_obs(o);
         o.set_sim_now(0);
@@ -197,7 +193,12 @@ mod tests {
             now += SimDuration::from_micros(500 + rng.below(1000));
             let lpn = rng.below(pages - 4);
             let op = if i % 3 == 0 { Op::Read } else { Op::Write };
-            t.push(IoRequest { at: now, lpn, pages: 1 + (i as u32 % 3), op });
+            t.push(IoRequest {
+                at: now,
+                lpn,
+                pages: 1 + (i as u32 % 3),
+                op,
+            });
         }
         t
     }
@@ -226,7 +227,10 @@ mod tests {
         let server = CoopServer::new(cfg.clone(), Scheme::Baseline);
         let pages = server.ssd().logical_pages();
         let trace = small_trace(pages, 500, 2);
-        let pre = Some(Preconditioning { fill: 0.8, sequential: 0.5 });
+        let pre = Some(Preconditioning {
+            fill: 0.8,
+            sequential: 0.5,
+        });
         let fc = replay(&trace, &cfg, Scheme::FlashCoop(PolicyKind::Lar), pre, 7);
         let base = replay(&trace, &cfg, Scheme::Baseline, pre, 7);
         assert!(
@@ -257,7 +261,10 @@ mod tests {
         let pages = server.ssd().logical_pages();
         let trace = small_trace(pages, 300, 6);
         let (obs, ring) = fc_obs::Obs::ring(16_384);
-        let pre = Some(Preconditioning { fill: 0.8, sequential: 0.5 });
+        let pre = Some(Preconditioning {
+            fill: 0.8,
+            sequential: 0.5,
+        });
         let r = replay_with_obs(
             &trace,
             &cfg,
@@ -270,10 +277,7 @@ mod tests {
         // Bracketing events present; the stream is schema-valid JSONL.
         assert_eq!(events.first().unwrap().kind, "run_start");
         assert_eq!(events.last().unwrap().kind, "run_end");
-        let jsonl: String = events
-            .iter()
-            .map(|e| e.to_json() + "\n")
-            .collect();
+        let jsonl: String = events.iter().map(|e| e.to_json() + "\n").collect();
         assert_eq!(fc_obs::validate_jsonl(&jsonl).unwrap(), events.len());
         // Periodic snapshots fired.
         assert!(events.iter().filter(|e| e.kind == "snapshot").count() >= 2);

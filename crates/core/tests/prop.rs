@@ -50,7 +50,12 @@ fn check_eviction_well_formed(ev: &Eviction) -> Result<(), TestCaseError> {
         // per-block, Section III.B.1).
         let first_block = run.lpn / PPB as u64;
         let last_block = (run.end_lpn() - 1) / PPB as u64;
-        prop_assert_eq!(first_block, last_block, "run crosses block boundary: {:?}", run);
+        prop_assert_eq!(
+            first_block,
+            last_block,
+            "run crosses block boundary: {:?}",
+            run
+        );
     }
     Ok(())
 }

@@ -1,0 +1,140 @@
+//! Write coalescing.
+//!
+//! The scheduler merges a session's pipelined writes into block-aligned
+//! runs before they hit the node. Two effects, both straight from the
+//! paper's observation that destage cost is dominated by *partial-block*
+//! writes:
+//!
+//! * **Last-writer-wins dedup** — a page overwritten twice inside one
+//!   batch window is submitted once, with the newest payload.
+//! * **Contiguity** — adjacent pages are grouped into one run per logical
+//!   block, so the node's buffer sees sequential insertions and the
+//!   destage path can pick fuller blocks (Section III.B's sequential-
+//!   window logic gets real sequences to find).
+//!
+//! A run never spans a block boundary: blocks are the destage unit, and a
+//! run that crossed one would tie two blocks' fates together.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// One contiguous, block-confined run of pages ready for
+/// [`fc_cluster::Node::write_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRun {
+    /// First logical page of the run.
+    pub lpn: u64,
+    /// Payloads for `lpn`, `lpn+1`, … in order.
+    pub pages: Vec<Bytes>,
+}
+
+impl WriteRun {
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// Coalesce `(lpn, payload)` writes — in arrival order — into sorted,
+/// deduplicated, block-confined runs.
+///
+/// Later writes to the same lpn replace earlier ones (last-writer-wins).
+/// Output runs are sorted by lpn and never cross a multiple of
+/// `pages_per_block`.
+pub fn coalesce(writes: Vec<(u64, Bytes)>, pages_per_block: u32) -> Vec<WriteRun> {
+    let ppb = u64::from(pages_per_block.max(1));
+    // BTreeMap gives both last-writer-wins (insert replaces) and sorted
+    // iteration for run detection.
+    let mut newest: BTreeMap<u64, Bytes> = BTreeMap::new();
+    for (lpn, data) in writes {
+        newest.insert(lpn, data);
+    }
+    let mut runs: Vec<WriteRun> = Vec::new();
+    for (lpn, data) in newest {
+        match runs.last_mut() {
+            Some(run) if lpn == run.lpn + run.pages.len() as u64 && lpn / ppb == run.lpn / ppb => {
+                run.pages.push(data);
+            }
+            _ => runs.push(WriteRun {
+                lpn,
+                pages: vec![data],
+            }),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+
+    #[test]
+    fn adjacent_writes_merge_into_one_run() {
+        let runs = coalesce(vec![(2, b("c")), (0, b("a")), (1, b("b"))], 4);
+        assert_eq!(
+            runs,
+            vec![WriteRun {
+                lpn: 0,
+                pages: vec![b("a"), b("b"), b("c")],
+            }]
+        );
+    }
+
+    #[test]
+    fn gaps_split_runs() {
+        let runs = coalesce(vec![(0, b("a")), (2, b("c"))], 4);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].lpn, 0);
+        assert_eq!(runs[1].lpn, 2);
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let runs = coalesce(vec![(5, b("old")), (5, b("new"))], 4);
+        assert_eq!(
+            runs,
+            vec![WriteRun {
+                lpn: 5,
+                pages: vec![b("new")],
+            }]
+        );
+    }
+
+    #[test]
+    fn runs_never_cross_block_boundaries() {
+        // Pages 2..6 with 4-page blocks: [2,3] in block 0, [4,5] in block 1.
+        let runs = coalesce(
+            vec![(2, b("p2")), (3, b("p3")), (4, b("p4")), (5, b("p5"))],
+            4,
+        );
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].lpn, runs[0].len()), (2, 2));
+        assert_eq!((runs[1].lpn, runs[1].len()), (4, 2));
+    }
+
+    #[test]
+    fn empty_input_and_degenerate_block_size() {
+        assert!(coalesce(Vec::new(), 4).is_empty());
+        // pages_per_block == 0 is clamped to 1: every page its own block.
+        let runs = coalesce(vec![(0, b("a")), (1, b("b"))], 0);
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn dedup_is_counted_by_page_totals() {
+        let input = vec![(0, b("x")), (1, b("y")), (0, b("z")), (8, b("w"))];
+        let in_pages = input.len();
+        let runs = coalesce(input, 4);
+        let out_pages: usize = runs.iter().map(WriteRun::len).sum();
+        assert_eq!(in_pages - out_pages, 1, "one overwrite merged away");
+        // The surviving page 0 carries the newest payload.
+        assert_eq!(runs[0].pages[0], b("z"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Synchronous gateway client.
+//!
+//! One [`GatewayClient`] is one session: a Hello handshake, then
+//! request/reply I/O. The blocking helpers ([`GatewayClient::write`],
+//! [`GatewayClient::read`], …) issue one request and wait for its reply;
+//! the pipelined half ([`GatewayClient::send_write`] /
+//! [`GatewayClient::recv_reply`]) lets a load generator keep many requests
+//! in flight — the gateway replies in receive order per session, so ids
+//! come back in issue order.
+
+use std::io::Write as _;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::conn::MemClientConn;
+use crate::proto::{decode_reply, encode_request, ErrorCode, Reply, Request, PROTO_VERSION};
+
+/// Client-side failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The gateway shed this request (admission control). Retry later.
+    Busy,
+    /// The gateway refused the request outright.
+    Rejected(ErrorCode),
+    /// No reply within the client's timeout.
+    TimedOut,
+    /// Transport gone: gateway shut down or socket error.
+    Disconnected,
+    /// The gateway answered with a reply that doesn't match the request.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Busy => write!(f, "shed by admission control"),
+            ClientError::Rejected(c) => write!(f, "rejected: {}", c.name()),
+            ClientError::TimedOut => write!(f, "timed out waiting for reply"),
+            ClientError::Disconnected => write!(f, "gateway disconnected"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Outcome of an acknowledged write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteAck {
+    /// Pages made durable.
+    pub pages: u32,
+    /// True when every page was replicated to the peer's remote buffer.
+    pub replicated: bool,
+}
+
+enum Conn {
+    Mem(MemClientConn),
+    Tcp {
+        stream: Mutex<TcpStream>,
+        rx: Receiver<Reply>,
+        dead: Arc<AtomicBool>,
+    },
+}
+
+/// One client session against a gateway.
+pub struct GatewayClient {
+    conn: Conn,
+    client_id: u64,
+    next_id: u64,
+    timeout: Duration,
+}
+
+impl GatewayClient {
+    /// Wrap the client half of an in-memory session (see
+    /// [`Gateway::connect_mem`](crate::Gateway::connect_mem)).
+    pub fn from_mem(conn: MemClientConn, client_id: u64) -> GatewayClient {
+        GatewayClient {
+            conn: Conn::Mem(conn),
+            client_id,
+            next_id: 1,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Connect over TCP to a gateway started with
+    /// [`Gateway::listen_tcp`](crate::Gateway::listen_tcp).
+    pub fn connect_tcp(
+        addr: std::net::SocketAddr,
+        client_id: u64,
+    ) -> std::io::Result<GatewayClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let (tx, rx) = unbounded();
+        let dead = Arc::new(AtomicBool::new(false));
+        {
+            let dead = dead.clone();
+            std::thread::Builder::new()
+                .name("fc-gw-client-rx".into())
+                .spawn(move || reply_read_loop(reader, tx, dead))
+                .expect("spawn client reader");
+        }
+        Ok(GatewayClient {
+            conn: Conn::Tcp {
+                stream: Mutex::new(stream),
+                rx,
+                dead,
+            },
+            client_id,
+            next_id: 1,
+            timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// Reply-wait budget for the blocking helpers (default 10 s).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// The id this session presents to the gateway.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    fn send(&self, req: &Request) -> Result<(), ClientError> {
+        match &self.conn {
+            Conn::Mem(m) => {
+                m.tx.send(req.clone())
+                    .map_err(|_| ClientError::Disconnected)
+            }
+            Conn::Tcp { stream, dead, .. } => {
+                if dead.load(Ordering::SeqCst) {
+                    return Err(ClientError::Disconnected);
+                }
+                let mut buf = BytesMut::new();
+                encode_request(req, &mut buf);
+                stream.lock().write_all(&buf).map_err(|_| {
+                    dead.store(true, Ordering::SeqCst);
+                    ClientError::Disconnected
+                })
+            }
+        }
+    }
+
+    /// Receive the next reply, waiting up to `timeout`.
+    pub fn recv_reply(&self, timeout: Duration) -> Result<Reply, ClientError> {
+        let rx_result = match &self.conn {
+            Conn::Mem(m) => m.rx.recv_timeout(timeout),
+            Conn::Tcp { rx, .. } => rx.recv_timeout(timeout),
+        };
+        match rx_result {
+            Ok(reply) => Ok(reply),
+            Err(RecvTimeoutError::Timeout) => Err(ClientError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(ClientError::Disconnected),
+        }
+    }
+
+    fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
+        let id = req.id();
+        self.send(&req)?;
+        let reply = self.recv_reply(self.timeout)?;
+        if reply.id() != id {
+            return Err(ClientError::Protocol(format!(
+                "reply id {} for request id {id}",
+                reply.id()
+            )));
+        }
+        if let Reply::Error { code, .. } = reply {
+            return Err(match code {
+                ErrorCode::Busy => ClientError::Busy,
+                other => ClientError::Rejected(other),
+            });
+        }
+        Ok(reply)
+    }
+
+    /// Open the session: version handshake. Must be the first call.
+    pub fn hello(&mut self) -> Result<u32, ClientError> {
+        self.send(&Request::Hello {
+            version: PROTO_VERSION,
+            client: self.client_id,
+        })?;
+        match self.recv_reply(self.timeout)? {
+            Reply::HelloOk { max_inflight, .. } => Ok(max_inflight),
+            Reply::Error { code, .. } => Err(ClientError::Rejected(code)),
+            other => Err(ClientError::Protocol(format!(
+                "expected HelloOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    /// Write consecutive pages starting at `lpn`; blocks until durable.
+    pub fn write(&mut self, lpn: u64, pages: Vec<Bytes>) -> Result<WriteAck, ClientError> {
+        let id = self.fresh_id();
+        match self.call(Request::Write { id, lpn, pages })? {
+            Reply::WriteOk {
+                pages, replicated, ..
+            } => Ok(WriteAck { pages, replicated }),
+            other => Err(ClientError::Protocol(format!(
+                "expected WriteOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    /// Read `pages` consecutive pages starting at `lpn`.
+    pub fn read(&mut self, lpn: u64, pages: u32) -> Result<Vec<Option<Bytes>>, ClientError> {
+        let id = self.fresh_id();
+        match self.call(Request::Read { id, lpn, pages })? {
+            Reply::ReadOk { pages, .. } => Ok(pages),
+            other => Err(ClientError::Protocol(format!(
+                "expected ReadOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    /// Trim `pages` consecutive pages starting at `lpn`.
+    pub fn trim(&mut self, lpn: u64, pages: u32) -> Result<u32, ClientError> {
+        let id = self.fresh_id();
+        match self.call(Request::Trim { id, lpn, pages })? {
+            Reply::TrimOk { pages, .. } => Ok(pages),
+            other => Err(ClientError::Protocol(format!(
+                "expected TrimOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    /// Durability barrier; returns the number of pages destaged.
+    pub fn flush(&mut self) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        match self.call(Request::Flush { id })? {
+            Reply::FlushOk { flushed, .. } => Ok(flushed),
+            other => Err(ClientError::Protocol(format!(
+                "expected FlushOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    // -- pipelined half ----------------------------------------------------
+
+    /// Fire-and-forget write: send without waiting. Returns the request id;
+    /// collect the reply later with [`GatewayClient::recv_reply`].
+    pub fn send_write(&mut self, lpn: u64, pages: Vec<Bytes>) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Write { id, lpn, pages })?;
+        Ok(id)
+    }
+
+    /// Fire-and-forget read.
+    pub fn send_read(&mut self, lpn: u64, pages: u32) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Read { id, lpn, pages })?;
+        Ok(id)
+    }
+
+    /// Fire-and-forget trim.
+    pub fn send_trim(&mut self, lpn: u64, pages: u32) -> Result<u64, ClientError> {
+        let id = self.fresh_id();
+        self.send(&Request::Trim { id, lpn, pages })?;
+        Ok(id)
+    }
+}
+
+fn reply_read_loop(mut stream: TcpStream, tx: Sender<Reply>, dead: Arc<AtomicBool>) {
+    use std::io::Read as _;
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match decode_reply(&mut buf) {
+            Ok(Some(reply)) => {
+                if tx.send(reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(_) => break,
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+}
+
+impl Drop for GatewayClient {
+    fn drop(&mut self) {
+        if let Conn::Tcp { stream, dead, .. } = &self.conn {
+            let _ = stream.lock().shutdown(Shutdown::Both);
+            dead.store(true, Ordering::SeqCst);
+        }
+    }
+}

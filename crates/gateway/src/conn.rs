@@ -1,0 +1,239 @@
+//! Session transports: how one client's requests reach the gateway.
+//!
+//! Mirrors `fc_cluster::transport`: a [`SessionLink`] is the gateway-side
+//! view of one client connection, with an in-memory typed-channel
+//! implementation for deterministic tests and a TCP implementation that
+//! runs the real framed protocol from [`crate::proto`].
+//!
+//! The in-memory pair passes typed [`Request`]/[`Reply`] values without
+//! re-framing (the encode/decode path is exercised by the TCP link and the
+//! proto unit tests); that keeps the deterministic e2e variant free of
+//! socket-scheduling noise.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::proto::{decode_request, encode_reply, Reply, Request};
+
+/// The link died: peer hung up, socket error, or protocol corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClosed;
+
+impl std::fmt::Display for LinkClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session link closed")
+    }
+}
+
+impl std::error::Error for LinkClosed {}
+
+/// Gateway-side handle for one client session.
+pub trait SessionLink: Send {
+    /// Send one reply to the client.
+    fn send(&self, reply: Reply) -> Result<(), LinkClosed>;
+    /// Receive the next request. `Ok(None)` on timeout with the link still
+    /// up; `Err` once the client is gone.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Request>, LinkClosed>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory link
+// ---------------------------------------------------------------------------
+
+/// Client half of an in-memory session: send requests, receive replies.
+pub struct MemClientConn {
+    pub(crate) tx: Sender<Request>,
+    pub(crate) rx: Receiver<Reply>,
+}
+
+impl MemClientConn {
+    /// Send one raw request (tests and custom clients; [`crate::GatewayClient`]
+    /// wraps this with the blocking API).
+    pub fn send(&self, req: Request) -> Result<(), LinkClosed> {
+        self.tx.send(req).map_err(|_| LinkClosed)
+    }
+
+    /// Receive the next raw reply. `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Reply>, LinkClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => Ok(Some(reply)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(LinkClosed),
+        }
+    }
+}
+
+/// Gateway half of an in-memory session.
+pub struct MemSessionLink {
+    tx: Sender<Reply>,
+    rx: Receiver<Request>,
+}
+
+/// Build a connected in-memory session: `(client half, gateway half)`.
+pub fn mem_session() -> (MemClientConn, MemSessionLink) {
+    let (req_tx, req_rx) = unbounded();
+    let (reply_tx, reply_rx) = unbounded();
+    (
+        MemClientConn {
+            tx: req_tx,
+            rx: reply_rx,
+        },
+        MemSessionLink {
+            tx: reply_tx,
+            rx: req_rx,
+        },
+    )
+}
+
+impl SessionLink for MemSessionLink {
+    fn send(&self, reply: Reply) -> Result<(), LinkClosed> {
+        self.tx.send(reply).map_err(|_| LinkClosed)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Request>, LinkClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(req) => Ok(Some(req)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(LinkClosed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP link
+// ---------------------------------------------------------------------------
+
+/// Gateway-side TCP session: a reader thread decodes framed requests into
+/// a channel; replies are encoded and written inline.
+pub struct TcpSessionLink {
+    stream: Mutex<TcpStream>,
+    rx: Receiver<Request>,
+    dead: Arc<AtomicBool>,
+}
+
+impl TcpSessionLink {
+    /// Wrap an accepted client socket.
+    pub fn new(stream: TcpStream) -> std::io::Result<TcpSessionLink> {
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        let (tx, rx) = unbounded();
+        let dead = Arc::new(AtomicBool::new(false));
+        {
+            let dead = dead.clone();
+            std::thread::Builder::new()
+                .name("fc-gw-session-rx".into())
+                .spawn(move || request_read_loop(reader, tx, dead))
+                .expect("spawn session reader");
+        }
+        Ok(TcpSessionLink {
+            stream: Mutex::new(stream),
+            rx,
+            dead,
+        })
+    }
+}
+
+fn request_read_loop(mut stream: TcpStream, tx: Sender<Request>, dead: Arc<AtomicBool>) {
+    let mut buf = BytesMut::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match decode_request(&mut buf) {
+            Ok(Some(req)) => {
+                if tx.send(req).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Ok(None) => {}
+            Err(_) => break, // protocol corruption: drop the session
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+}
+
+impl SessionLink for TcpSessionLink {
+    fn send(&self, reply: Reply) -> Result<(), LinkClosed> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(LinkClosed);
+        }
+        let mut buf = BytesMut::new();
+        encode_reply(&reply, &mut buf);
+        let mut stream = self.stream.lock();
+        stream.write_all(&buf).map_err(|_| {
+            self.dead.store(true, Ordering::SeqCst);
+            LinkClosed
+        })
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Request>, LinkClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(req) => Ok(Some(req)),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.dead.load(Ordering::SeqCst) && self.rx.try_recv().is_err() {
+                    Err(LinkClosed)
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(LinkClosed),
+        }
+    }
+}
+
+impl Drop for TcpSessionLink {
+    fn drop(&mut self) {
+        let _ = self.stream.lock().shutdown(Shutdown::Both);
+        self.dead.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ErrorCode;
+
+    #[test]
+    fn mem_session_passes_typed_values() {
+        let (client, server) = mem_session();
+        client
+            .tx
+            .send(Request::Flush { id: 1 })
+            .expect("send request");
+        let got = server
+            .recv_timeout(Duration::from_millis(100))
+            .unwrap()
+            .unwrap();
+        assert_eq!(got, Request::Flush { id: 1 });
+        server
+            .send(Reply::Error {
+                id: 1,
+                code: ErrorCode::Busy,
+            })
+            .unwrap();
+        let reply = client.rx.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(reply.id(), 1);
+    }
+
+    #[test]
+    fn mem_session_timeout_is_not_closure() {
+        let (client, server) = mem_session();
+        assert_eq!(server.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        drop(client);
+        assert_eq!(
+            server.recv_timeout(Duration::from_millis(5)),
+            Err(LinkClosed)
+        );
+    }
+}

@@ -1,0 +1,728 @@
+//! The gateway service: sessions, scheduling, admission, and obs.
+//!
+//! A [`Gateway`] fronts one `fc_cluster::Node` (typically half of a
+//! FlashCoop pair) for many concurrent clients. Each accepted connection
+//! gets its own session thread running [`SessionLink`] I/O:
+//!
+//! 1. **Handshake** — the first message must be a versioned Hello;
+//!    mismatched clients are refused with `BadVersion` before any I/O.
+//! 2. **Admission** — every request passes the per-client token bucket and
+//!    the global in-flight cap ([`crate::admission`]); refused requests get
+//!    an explicit `Busy` reply instead of unbounded queueing.
+//! 3. **Scheduling** — admitted writes open a short batch window: already-
+//!    pipelined writes from the same session are drained (non-blocking)
+//!    and coalesced into block-aligned runs ([`crate::batch`]) before one
+//!    submission to the node, so adjacent pages arrive as the sequences
+//!    the destage policy wants.
+//!
+//! Replies are sent in receive order per session, which is the property
+//! clients rely on for pipelining.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use fc_cluster::Node;
+use fc_obs::{Counter, Gauge, Histogram, Obs};
+use parking_lot::Mutex;
+
+use crate::admission::{Admission, AdmissionConfig, Permit, ShedReason};
+use crate::batch::{coalesce, WriteRun};
+use crate::client::GatewayClient;
+use crate::conn::{mem_session, SessionLink, TcpSessionLink};
+use crate::proto::{ErrorCode, Reply, Request, PROTO_VERSION};
+
+/// Gateway knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Admission gates (token buckets + global in-flight cap).
+    pub admission: AdmissionConfig,
+    /// Block size (pages) used for run alignment — match the node's
+    /// `pages_per_block` so runs map onto destage units.
+    pub pages_per_block: u32,
+    /// Largest page count accepted in one request; larger ⇒ `BadRequest`.
+    pub max_req_pages: u32,
+    /// Max additional pipelined writes drained into one batch window.
+    pub batch_window: usize,
+    /// Session-loop poll interval (also the shutdown latency bound).
+    pub session_poll: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            admission: AdmissionConfig::default(),
+            pages_per_block: 4,
+            max_req_pages: 1024,
+            batch_window: 32,
+            session_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Deterministic test profile: unlimited admission (no shedding), tiny
+    /// blocks to exercise run splitting.
+    pub fn test_profile() -> Self {
+        GatewayConfig {
+            admission: AdmissionConfig::unlimited(),
+            ..GatewayConfig::default()
+        }
+    }
+}
+
+/// Point-in-time snapshot of gateway activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GatewayStats {
+    pub sessions_started: u64,
+    pub sessions_ended: u64,
+    /// Post-handshake requests received (admitted + shed + bad).
+    pub requests: u64,
+    pub admitted: u64,
+    pub shed_total: u64,
+    pub shed_rate_limited: u64,
+    pub shed_queue_full: u64,
+    pub bad_requests: u64,
+    pub writes: u64,
+    pub write_pages: u64,
+    pub reads: u64,
+    pub read_pages: u64,
+    pub read_hits: u64,
+    pub trims: u64,
+    pub flushes: u64,
+    /// Write submissions to the node (one per batch window).
+    pub batches: u64,
+    /// Contiguous runs those batches decomposed into.
+    pub runs: u64,
+    /// Pages merged away by last-writer-wins coalescing.
+    pub coalesced_pages: u64,
+    /// Requests currently in service.
+    pub inflight: u32,
+    /// High-water mark of concurrent admitted requests.
+    pub max_inflight_seen: u32,
+}
+
+impl GatewayStats {
+    /// Fraction of post-handshake requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed_total as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Hot-path instruments. Swapped wholesale by [`Gateway::attach_obs`] —
+/// attach before serving traffic so no increments land in the detached set.
+struct Instruments {
+    sessions_started: Counter,
+    sessions_ended: Counter,
+    requests: Counter,
+    admitted: Counter,
+    shed_total: Counter,
+    shed_rate_limited: Counter,
+    shed_queue_full: Counter,
+    bad_requests: Counter,
+    writes: Counter,
+    write_pages: Counter,
+    reads: Counter,
+    read_pages: Counter,
+    read_hits: Counter,
+    trims: Counter,
+    flushes: Counter,
+    batches: Counter,
+    runs: Counter,
+    coalesced_pages: Counter,
+    inflight_gauge: Gauge,
+    latency_ns: Histogram,
+    obs: Option<Obs>,
+}
+
+impl Instruments {
+    fn detached() -> Instruments {
+        Instruments {
+            sessions_started: Counter::new(),
+            sessions_ended: Counter::new(),
+            requests: Counter::new(),
+            admitted: Counter::new(),
+            shed_total: Counter::new(),
+            shed_rate_limited: Counter::new(),
+            shed_queue_full: Counter::new(),
+            bad_requests: Counter::new(),
+            writes: Counter::new(),
+            write_pages: Counter::new(),
+            reads: Counter::new(),
+            read_pages: Counter::new(),
+            read_hits: Counter::new(),
+            trims: Counter::new(),
+            flushes: Counter::new(),
+            batches: Counter::new(),
+            runs: Counter::new(),
+            coalesced_pages: Counter::new(),
+            inflight_gauge: Gauge::new(),
+            latency_ns: Histogram::new(),
+            obs: None,
+        }
+    }
+
+    fn event(&self, kind: &'static str) -> Option<fc_obs::Event> {
+        self.obs.as_ref().map(|o| o.wall_event("gateway", kind))
+    }
+
+    fn emit(&self, ev: Option<fc_obs::Event>) {
+        if let (Some(obs), Some(ev)) = (self.obs.as_ref(), ev) {
+            obs.emit(ev);
+        }
+    }
+}
+
+/// A running gateway. Create with [`Gateway::new`], connect clients with
+/// [`Gateway::connect_mem`] or [`Gateway::listen_tcp`] +
+/// [`GatewayClient::connect_tcp`](crate::GatewayClient::connect_tcp).
+pub struct Gateway {
+    cfg: GatewayConfig,
+    node: Arc<Node>,
+    admission: Admission,
+    instruments: Mutex<Arc<Instruments>>,
+    next_mem_client: AtomicU64,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    acceptors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Gateway {
+    /// Wrap a node. The node keeps its own lifecycle (pump thread,
+    /// replication); the gateway only adds the client-facing front end.
+    pub fn new(cfg: GatewayConfig, node: Arc<Node>) -> Arc<Gateway> {
+        Arc::new(Gateway {
+            admission: Admission::new(cfg.admission),
+            cfg,
+            node,
+            instruments: Mutex::new(Arc::new(Instruments::detached())),
+            next_mem_client: AtomicU64::new(1),
+            epoch: Instant::now(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            sessions: Mutex::new(Vec::new()),
+            acceptors: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The node behind this gateway.
+    pub fn node(&self) -> &Arc<Node> {
+        &self.node
+    }
+
+    /// Register `gateway.*` metrics (counters seeded with current values,
+    /// the `gateway.inflight` gauge, the `gateway.latency_ns` histogram)
+    /// and start emitting wall-stamped `gateway` events (`session_start` /
+    /// `session_end` / `shed` / `bad_request` / `flush`). Attach *before*
+    /// serving traffic: histogram samples recorded earlier are not carried
+    /// over.
+    pub fn attach_obs(&self, obs: &Obs) {
+        let reg = obs.registry();
+        let old = self.instruments.lock().clone();
+        let seed = |name: &str, from: &Counter| {
+            let c = reg.counter(name);
+            c.store(from.get());
+            c
+        };
+        let next = Instruments {
+            sessions_started: seed("gateway.sessions_started", &old.sessions_started),
+            sessions_ended: seed("gateway.sessions_ended", &old.sessions_ended),
+            requests: seed("gateway.requests", &old.requests),
+            admitted: seed("gateway.admitted", &old.admitted),
+            shed_total: seed("gateway.shed_total", &old.shed_total),
+            shed_rate_limited: seed("gateway.shed_rate_limited", &old.shed_rate_limited),
+            shed_queue_full: seed("gateway.shed_queue_full", &old.shed_queue_full),
+            bad_requests: seed("gateway.bad_requests", &old.bad_requests),
+            writes: seed("gateway.writes", &old.writes),
+            write_pages: seed("gateway.write_pages", &old.write_pages),
+            reads: seed("gateway.reads", &old.reads),
+            read_pages: seed("gateway.read_pages", &old.read_pages),
+            read_hits: seed("gateway.read_hits", &old.read_hits),
+            trims: seed("gateway.trims", &old.trims),
+            flushes: seed("gateway.flushes", &old.flushes),
+            batches: seed("gateway.batches", &old.batches),
+            runs: seed("gateway.runs", &old.runs),
+            coalesced_pages: seed("gateway.coalesced_pages", &old.coalesced_pages),
+            inflight_gauge: reg.gauge("gateway.inflight"),
+            latency_ns: reg.histogram("gateway.latency_ns"),
+            obs: Some(obs.clone()),
+        };
+        *self.instruments.lock() = Arc::new(next);
+    }
+
+    fn instruments(&self) -> Arc<Instruments> {
+        self.instruments.lock().clone()
+    }
+
+    /// Monotonic nanoseconds since gateway start — the admission clock.
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Snapshot of gateway activity.
+    pub fn stats(&self) -> GatewayStats {
+        let ins = self.instruments();
+        GatewayStats {
+            sessions_started: ins.sessions_started.get(),
+            sessions_ended: ins.sessions_ended.get(),
+            requests: ins.requests.get(),
+            admitted: ins.admitted.get(),
+            shed_total: ins.shed_total.get(),
+            shed_rate_limited: ins.shed_rate_limited.get(),
+            shed_queue_full: ins.shed_queue_full.get(),
+            bad_requests: ins.bad_requests.get(),
+            writes: ins.writes.get(),
+            write_pages: ins.write_pages.get(),
+            reads: ins.reads.get(),
+            read_pages: ins.read_pages.get(),
+            read_hits: ins.read_hits.get(),
+            trims: ins.trims.get(),
+            flushes: ins.flushes.get(),
+            batches: ins.batches.get(),
+            runs: ins.runs.get(),
+            coalesced_pages: ins.coalesced_pages.get(),
+            inflight: self.admission.inflight(),
+            max_inflight_seen: self.admission.max_inflight_seen(),
+        }
+    }
+
+    /// Serve one session on its own thread.
+    pub fn serve(self: &Arc<Self>, link: impl SessionLink + 'static) {
+        let gw = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("fc-gw-session".into())
+            .spawn(move || session_loop(gw, Box::new(link)))
+            .expect("spawn gateway session");
+        self.sessions.lock().push(handle);
+    }
+
+    /// Connect an in-memory client: builds a channel pair, serves the
+    /// gateway half, returns a ready (pre-Hello) client for the other.
+    pub fn connect_mem(self: &Arc<Self>) -> GatewayClient {
+        let id = self.next_mem_client.fetch_add(1, Ordering::Relaxed);
+        self.connect_mem_as(id)
+    }
+
+    /// Like [`Gateway::connect_mem`] with a caller-chosen client id.
+    pub fn connect_mem_as(self: &Arc<Self>, client_id: u64) -> GatewayClient {
+        let (client_half, server_half) = mem_session();
+        self.serve(server_half);
+        GatewayClient::from_mem(client_half, client_id)
+    }
+
+    /// Listen for TCP clients; returns the bound address (pass
+    /// `"127.0.0.1:0"` for an ephemeral port).
+    pub fn listen_tcp(self: &Arc<Self>, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        let listener = std::net::TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let gw = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("fc-gw-accept".into())
+            .spawn(move || {
+                while !gw.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            stream.set_nonblocking(false).ok();
+                            match TcpSessionLink::new(stream) {
+                                Ok(link) => gw.serve(link),
+                                Err(_) => continue,
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn gateway acceptor");
+        self.acceptors.lock().push(handle);
+        Ok(local)
+    }
+
+    /// Stop accepting, wind down session threads, and join them. Clients
+    /// observe `Disconnected` afterwards.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for h in self.acceptors.lock().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.sessions.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session loop
+// ---------------------------------------------------------------------------
+
+fn session_loop(gw: Arc<Gateway>, link: Box<dyn SessionLink>) {
+    let ins = gw.instruments();
+    ins.sessions_started.inc();
+    ins.emit(ins.event("session_start"));
+
+    let Some(client) = handshake(&gw, link.as_ref()) else {
+        ins.sessions_ended.inc();
+        ins.emit(ins.event("session_end"));
+        return;
+    };
+
+    let mut carried: Option<Request> = None;
+    while !gw.shutdown.load(Ordering::SeqCst) {
+        let req = match carried.take() {
+            Some(r) => r,
+            None => match link.recv_timeout(gw.cfg.session_poll) {
+                Ok(Some(r)) => r,
+                Ok(None) => continue,
+                Err(_) => break,
+            },
+        };
+        match handle_request(&gw, link.as_ref(), client, req) {
+            Ok(next) => carried = next,
+            Err(_) => break,
+        }
+    }
+
+    let ins = gw.instruments();
+    ins.sessions_ended.inc();
+    ins.emit(
+        ins.event("session_end")
+            .map(|e| e.u64_field("client", client)),
+    );
+}
+
+/// First message must be a matching-version Hello. Returns the client id,
+/// or `None` if the session should be dropped.
+fn handshake(gw: &Arc<Gateway>, link: &dyn SessionLink) -> Option<u64> {
+    let ins = gw.instruments();
+    while !gw.shutdown.load(Ordering::SeqCst) {
+        match link.recv_timeout(gw.cfg.session_poll) {
+            Ok(Some(Request::Hello { version, client })) => {
+                if version != PROTO_VERSION {
+                    ins.bad_requests.inc();
+                    ins.emit(
+                        ins.event("bad_request")
+                            .map(|e| e.str_field("why", "version")),
+                    );
+                    let _ = link.send(Reply::Error {
+                        id: 0,
+                        code: ErrorCode::BadVersion,
+                    });
+                    return None;
+                }
+                let max_inflight = gw.admission.config().max_inflight;
+                link.send(Reply::HelloOk {
+                    version: PROTO_VERSION,
+                    max_inflight,
+                })
+                .ok()?;
+                return Some(client);
+            }
+            Ok(Some(other)) => {
+                // I/O before Hello: refuse, keep waiting for the handshake.
+                ins.bad_requests.inc();
+                link.send(Reply::Error {
+                    id: other.id(),
+                    code: ErrorCode::BadRequest,
+                })
+                .ok()?;
+            }
+            Ok(None) => continue,
+            Err(_) => return None,
+        }
+    }
+    None
+}
+
+fn valid_page_count(gw: &Gateway, pages: u32) -> bool {
+    pages >= 1 && pages <= gw.cfg.max_req_pages
+}
+
+/// Process one request (and, for writes, a drained batch of pipelined
+/// writes behind it). Returns a non-write request drained out of the batch
+/// window, which the caller must process next — preserving reply order.
+fn handle_request(
+    gw: &Arc<Gateway>,
+    link: &dyn SessionLink,
+    client: u64,
+    req: Request,
+) -> Result<Option<Request>, crate::conn::LinkClosed> {
+    let ins = gw.instruments();
+    match req {
+        Request::Hello { .. } => {
+            // Duplicate handshake: harmless, re-ack.
+            link.send(Reply::HelloOk {
+                version: PROTO_VERSION,
+                max_inflight: gw.admission.config().max_inflight,
+            })?;
+            Ok(None)
+        }
+        Request::Write { id, lpn, pages } => write_batch(gw, link, client, id, lpn, pages),
+        Request::Read { id, lpn, pages } => {
+            ins.requests.inc();
+            if !valid_page_count(gw, pages) {
+                ins.bad_requests.inc();
+                link.send(Reply::Error {
+                    id,
+                    code: ErrorCode::BadRequest,
+                })?;
+                return Ok(None);
+            }
+            let Some(permit) = admit(gw, &ins, link, client, id)? else {
+                return Ok(None);
+            };
+            let started = Instant::now();
+            let mut out = Vec::with_capacity(pages as usize);
+            let mut hits = 0u64;
+            for i in 0..u64::from(pages) {
+                match gw.node.read_from(client, lpn + i) {
+                    Some(data) => {
+                        hits += 1;
+                        out.push(Some(Bytes::from(data)));
+                    }
+                    None => out.push(None),
+                }
+            }
+            ins.reads.inc();
+            ins.read_pages.add(u64::from(pages));
+            ins.read_hits.add(hits);
+            finish(gw, &ins, permit, started);
+            link.send(Reply::ReadOk { id, pages: out })?;
+            Ok(None)
+        }
+        Request::Trim { id, lpn, pages } => {
+            ins.requests.inc();
+            if !valid_page_count(gw, pages) {
+                ins.bad_requests.inc();
+                link.send(Reply::Error {
+                    id,
+                    code: ErrorCode::BadRequest,
+                })?;
+                return Ok(None);
+            }
+            let Some(permit) = admit(gw, &ins, link, client, id)? else {
+                return Ok(None);
+            };
+            let started = Instant::now();
+            for i in 0..u64::from(pages) {
+                gw.node.delete_from(client, lpn + i);
+            }
+            ins.trims.inc();
+            finish(gw, &ins, permit, started);
+            link.send(Reply::TrimOk { id, pages })?;
+            Ok(None)
+        }
+        Request::Flush { id } => {
+            ins.requests.inc();
+            let Some(permit) = admit(gw, &ins, link, client, id)? else {
+                return Ok(None);
+            };
+            let started = Instant::now();
+            let flushed = gw.node.flush_dirty();
+            ins.flushes.inc();
+            ins.emit(
+                ins.event("flush")
+                    .map(|e| e.u64_field("client", client).u64_field("pages", flushed)),
+            );
+            finish(gw, &ins, permit, started);
+            link.send(Reply::FlushOk { id, flushed })?;
+            Ok(None)
+        }
+    }
+}
+
+/// Admission gate: `Ok(Some(permit))` admitted, `Ok(None)` shed (Busy sent).
+fn admit(
+    gw: &Gateway,
+    ins: &Instruments,
+    link: &dyn SessionLink,
+    client: u64,
+    id: u64,
+) -> Result<Option<Permit>, crate::conn::LinkClosed> {
+    match gw.admission.try_admit(client, gw.now_nanos()) {
+        Ok(permit) => {
+            ins.admitted.inc();
+            ins.inflight_gauge
+                .set_u64(u64::from(gw.admission.inflight()));
+            Ok(Some(permit))
+        }
+        Err(reason) => {
+            ins.shed_total.inc();
+            match reason {
+                ShedReason::RateLimited => ins.shed_rate_limited.inc(),
+                ShedReason::QueueFull => ins.shed_queue_full.inc(),
+            }
+            ins.emit(ins.event("shed").map(|e| {
+                e.u64_field("client", client)
+                    .str_field("reason", reason.name())
+            }));
+            link.send(Reply::Error {
+                id,
+                code: ErrorCode::Busy,
+            })?;
+            Ok(None)
+        }
+    }
+}
+
+fn finish(gw: &Gateway, ins: &Instruments, permit: Permit, started: Instant) {
+    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+    drop(permit);
+    ins.inflight_gauge
+        .set_u64(u64::from(gw.admission.inflight()));
+}
+
+/// One write received in the current batch window, in receive order.
+/// Replies are deferred and sent strictly in this order after submission —
+/// the in-order reply guarantee clients correlate ids by.
+enum BatchedWrite {
+    Admitted {
+        id: u64,
+        pages: u32,
+        _permit: Permit,
+    },
+    Shed {
+        id: u64,
+    },
+    Bad {
+        id: u64,
+    },
+}
+
+/// Validate + admit the head write, drain up to `batch_window` pipelined
+/// writes behind it (each individually validated and admitted), coalesce
+/// the admitted ones into runs, submit, then reply to every batched write
+/// in receive order.
+fn write_batch(
+    gw: &Arc<Gateway>,
+    link: &dyn SessionLink,
+    client: u64,
+    id: u64,
+    lpn: u64,
+    pages: Vec<Bytes>,
+) -> Result<Option<Request>, crate::conn::LinkClosed> {
+    let ins = gw.instruments();
+    let started = Instant::now();
+    let mut batch: Vec<BatchedWrite> = Vec::new();
+    let mut flat: Vec<(u64, Bytes)> = Vec::new();
+    let mut admitted = 0usize;
+    let mut carried: Option<Request> = None;
+
+    let consider = |req_id: u64,
+                    req_lpn: u64,
+                    req_pages: Vec<Bytes>,
+                    batch: &mut Vec<BatchedWrite>,
+                    flat: &mut Vec<(u64, Bytes)>,
+                    admitted: &mut usize| {
+        ins.requests.inc();
+        if req_pages.is_empty() || req_pages.len() as u32 > gw.cfg.max_req_pages {
+            ins.bad_requests.inc();
+            batch.push(BatchedWrite::Bad { id: req_id });
+            return;
+        }
+        match gw.admission.try_admit(client, gw.now_nanos()) {
+            Ok(permit) => {
+                ins.admitted.inc();
+                ins.inflight_gauge
+                    .set_u64(u64::from(gw.admission.inflight()));
+                let n = req_pages.len() as u32;
+                for (i, data) in req_pages.into_iter().enumerate() {
+                    flat.push((req_lpn + i as u64, data));
+                }
+                *admitted += 1;
+                batch.push(BatchedWrite::Admitted {
+                    id: req_id,
+                    pages: n,
+                    _permit: permit,
+                });
+            }
+            Err(reason) => {
+                ins.shed_total.inc();
+                match reason {
+                    ShedReason::RateLimited => ins.shed_rate_limited.inc(),
+                    ShedReason::QueueFull => ins.shed_queue_full.inc(),
+                }
+                ins.emit(ins.event("shed").map(|e| {
+                    e.u64_field("client", client)
+                        .str_field("reason", reason.name())
+                }));
+                batch.push(BatchedWrite::Shed { id: req_id });
+            }
+        }
+    };
+
+    consider(id, lpn, pages, &mut batch, &mut flat, &mut admitted);
+
+    // Batch window: drain writes the client already pipelined. A non-write
+    // is carried out to the caller so replies stay in receive order.
+    while admitted <= gw.cfg.batch_window {
+        match link.recv_timeout(Duration::ZERO) {
+            Ok(Some(Request::Write { id, lpn, pages })) => {
+                consider(id, lpn, pages, &mut batch, &mut flat, &mut admitted);
+            }
+            Ok(Some(other)) => {
+                carried = Some(other);
+                break;
+            }
+            Ok(None) => break,
+            Err(_) => break, // reply to what we already took first
+        }
+    }
+
+    let in_pages = flat.len() as u64;
+    let runs: Vec<WriteRun> = coalesce(flat, gw.cfg.pages_per_block);
+    let out_pages: u64 = runs.iter().map(|r| r.len() as u64).sum();
+
+    let mut replicated = 0u64;
+    for run in &runs {
+        let outcome = gw.node.write_run(client, run.lpn, &run.pages);
+        replicated += outcome.replicated;
+    }
+    let all_replicated = replicated == out_pages;
+
+    if admitted > 0 {
+        ins.writes.add(admitted as u64);
+        ins.write_pages.add(in_pages);
+        ins.batches.inc();
+        ins.runs.add(runs.len() as u64);
+        ins.coalesced_pages.add(in_pages - out_pages);
+        ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+    }
+
+    for w in &batch {
+        let reply = match w {
+            BatchedWrite::Admitted { id, pages, .. } => Reply::WriteOk {
+                id: *id,
+                pages: *pages,
+                replicated: all_replicated,
+            },
+            BatchedWrite::Shed { id } => Reply::Error {
+                id: *id,
+                code: ErrorCode::Busy,
+            },
+            BatchedWrite::Bad { id } => Reply::Error {
+                id: *id,
+                code: ErrorCode::BadRequest,
+            },
+        };
+        link.send(reply)?;
+    }
+    drop(batch); // releases every admitted permit
+    ins.inflight_gauge
+        .set_u64(u64::from(gw.admission.inflight()));
+    Ok(carried)
+}

@@ -1,0 +1,53 @@
+//! # fc-gateway
+//!
+//! The client-facing front door of a FlashCoop pair. `fc-cluster` gives a
+//! node its *peer*-facing protocol (replication, heartbeats, resync); this
+//! crate gives it a *client*-facing one — the paper's servers are, after
+//! all, storage servers with users.
+//!
+//! * [`proto`] — versioned request/reply wire protocol (Read / Write /
+//!   Trim / Flush plus typed errors), CRC-framed exactly like the peer
+//!   protocol.
+//! * [`conn`] — session transports: in-memory channel pairs for
+//!   deterministic tests, TCP for real deployments.
+//! * [`admission`] — per-client token buckets and a global in-flight cap;
+//!   overload is shed with explicit `Busy` replies, never unbounded queues.
+//! * [`batch`] — per-session write coalescing into block-aligned runs, so
+//!   the node's destage policy sees the sequential windows it looks for.
+//! * [`gateway`] — the service tying it together, with `gateway.*`
+//!   fc-obs metrics and events.
+//!
+//! ```
+//! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
+//! use fc_gateway::{Gateway, GatewayConfig};
+//! use std::sync::Arc;
+//!
+//! let (ta, tb) = mem_pair();
+//! let backend = shared_backend(MemBackend::default());
+//! let a = Arc::new(Node::spawn(NodeConfig::test_profile(0), ta, backend.clone()));
+//! let _b = Node::spawn(NodeConfig::test_profile(1), tb, backend);
+//!
+//! let gw = Gateway::new(GatewayConfig::test_profile(), a);
+//! let mut client = gw.connect_mem();
+//! client.hello().unwrap();
+//! let ack = client.write(0, vec![bytes::Bytes::from_static(b"hello")]).unwrap();
+//! assert_eq!(ack.pages, 1);
+//! assert_eq!(client.read(0, 1).unwrap()[0].as_deref(), Some(&b"hello"[..]));
+//! gw.shutdown();
+//! ```
+
+pub mod admission;
+pub mod batch;
+pub mod client;
+pub mod conn;
+pub mod gateway;
+pub mod proto;
+
+pub use admission::{Admission, AdmissionConfig, Permit, ShedReason, TokenBucket};
+pub use batch::{coalesce, WriteRun};
+pub use client::{ClientError, GatewayClient, WriteAck};
+pub use conn::{
+    mem_session, LinkClosed, MemClientConn, MemSessionLink, SessionLink, TcpSessionLink,
+};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use proto::{ErrorCode, ProtoError, Reply, Request, MAX_FRAME, PROTO_VERSION};

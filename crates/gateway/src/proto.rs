@@ -1,0 +1,610 @@
+//! Client-facing wire protocol.
+//!
+//! Same framing discipline as the peer protocol in `fc_cluster::wire` — a
+//! hand-rolled, length-prefixed binary format over [`bytes`]:
+//!
+//! ```text
+//! [u32 LE: payload length][u32 LE: CRC-32 of payload][u8: message tag][payload…]
+//! ```
+//!
+//! The protocol is *versioned*: every session opens with
+//! [`Request::Hello`] carrying [`PROTO_VERSION`]; the gateway refuses
+//! mismatched clients with [`ErrorCode::BadVersion`] before serving any
+//! I/O, so the format can evolve without silently misreading old clients.
+//!
+//! Requests carry a client-chosen `id` that the gateway echoes in the
+//! matching reply, which is what makes pipelining possible: a client may
+//! have many requests in flight and correlate replies by id, in order —
+//! the gateway always replies in receive order per session.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fc_cluster::wire::crc32;
+
+/// Current protocol version, sent in [`Request::Hello`] and checked by the
+/// gateway before any I/O is served.
+pub const PROTO_VERSION: u16 = 1;
+
+/// Maximum frame payload accepted by either side (16 MiB) — same bound as
+/// the peer protocol, protects against corrupted length prefixes.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Errors from [`decode_request`] / [`decode_reply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Unknown message tag or enum discriminant.
+    BadTag(u8),
+    /// Frame body ended before the message was complete.
+    Truncated,
+    /// Frame checksum mismatch.
+    Checksum { expected: u32, found: u32 },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::FrameTooLarge(n) => write!(f, "frame too large: {n} bytes"),
+            ProtoError::BadTag(t) => write!(f, "bad message tag {t}"),
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Checksum { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#x}, found {found:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Why the gateway refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Shed by admission control (rate limit or queue-depth cap). The
+    /// request was *not* executed; the client may retry after backoff.
+    Busy,
+    /// The client's [`Request::Hello`] carried an unsupported version.
+    BadVersion,
+    /// Malformed request: zero pages, oversized run, or I/O before Hello.
+    BadRequest,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 0,
+            ErrorCode::BadVersion => 1,
+            ErrorCode::BadRequest => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(ErrorCode::Busy),
+            1 => Ok(ErrorCode::BadVersion),
+            2 => Ok(ErrorCode::BadRequest),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+
+    /// Static label used in obs events and loadgen tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Busy => "busy",
+            ErrorCode::BadVersion => "bad_version",
+            ErrorCode::BadRequest => "bad_request",
+        }
+    }
+}
+
+/// Client → gateway messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Session handshake: protocol version + the caller's client id (used
+    /// for per-client admission and stats attribution on the node).
+    Hello { version: u16, client: u64 },
+    /// Read `pages` consecutive logical pages starting at `lpn`.
+    Read { id: u64, lpn: u64, pages: u32 },
+    /// Write consecutive logical pages starting at `lpn`, one payload per
+    /// page.
+    Write {
+        id: u64,
+        lpn: u64,
+        pages: Vec<Bytes>,
+    },
+    /// Discard `pages` consecutive logical pages starting at `lpn`.
+    Trim { id: u64, lpn: u64, pages: u32 },
+    /// Durability barrier: destage every dirty buffered page to the SSD.
+    Flush { id: u64 },
+}
+
+impl Request {
+    /// The request id echoed by the matching reply (0 for Hello).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Hello { .. } => 0,
+            Request::Read { id, .. }
+            | Request::Write { id, .. }
+            | Request::Trim { id, .. }
+            | Request::Flush { id } => *id,
+        }
+    }
+}
+
+/// Gateway → client messages. Every reply echoes the request id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Handshake accepted; echoes the negotiated version and the gateway's
+    /// global in-flight cap (a pipelining hint).
+    HelloOk { version: u16, max_inflight: u32 },
+    /// One entry per requested page, in lpn order; `None` for pages never
+    /// written (or trimmed).
+    ReadOk { id: u64, pages: Vec<Option<Bytes>> },
+    /// All pages durable. `replicated` is true when every page landed in
+    /// the peer's remote buffer (false ⇒ at least one wrote through).
+    WriteOk {
+        id: u64,
+        pages: u32,
+        replicated: bool,
+    },
+    /// Trim applied.
+    TrimOk { id: u64, pages: u32 },
+    /// Flush barrier complete; `flushed` is the number of pages destaged.
+    FlushOk { id: u64, flushed: u64 },
+    /// Request refused; see [`ErrorCode`].
+    Error { id: u64, code: ErrorCode },
+}
+
+impl Reply {
+    /// The id of the request this reply answers (0 for HelloOk).
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::HelloOk { .. } => 0,
+            Reply::ReadOk { id, .. }
+            | Reply::WriteOk { id, .. }
+            | Reply::TrimOk { id, .. }
+            | Reply::FlushOk { id, .. }
+            | Reply::Error { id, .. } => *id,
+        }
+    }
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_READ: u8 = 2;
+const TAG_WRITE: u8 = 3;
+const TAG_TRIM: u8 = 4;
+const TAG_FLUSH: u8 = 5;
+
+const TAG_HELLO_OK: u8 = 129;
+const TAG_READ_OK: u8 = 130;
+const TAG_WRITE_OK: u8 = 131;
+const TAG_TRIM_OK: u8 = 132;
+const TAG_FLUSH_OK: u8 = 133;
+const TAG_ERROR: u8 = 134;
+
+fn begin_frame(out: &mut BytesMut) -> usize {
+    let len_pos = out.len();
+    out.put_u32_le(0); // length, backfilled
+    out.put_u32_le(0); // CRC-32 of the body, backfilled
+    len_pos
+}
+
+fn end_frame(out: &mut BytesMut, len_pos: usize) {
+    let body_start = len_pos + 8;
+    let body_len = out.len() - body_start;
+    let crc = crc32(&out[body_start..]);
+    out[len_pos..len_pos + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[len_pos + 4..len_pos + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Append one framed request to `out`.
+pub fn encode_request(req: &Request, out: &mut BytesMut) {
+    let len_pos = begin_frame(out);
+    match req {
+        Request::Hello { version, client } => {
+            out.put_u8(TAG_HELLO);
+            out.put_u16_le(*version);
+            out.put_u64_le(*client);
+        }
+        Request::Read { id, lpn, pages } => {
+            out.put_u8(TAG_READ);
+            out.put_u64_le(*id);
+            out.put_u64_le(*lpn);
+            out.put_u32_le(*pages);
+        }
+        Request::Write { id, lpn, pages } => {
+            out.put_u8(TAG_WRITE);
+            out.put_u64_le(*id);
+            out.put_u64_le(*lpn);
+            out.put_u32_le(pages.len() as u32);
+            for p in pages {
+                out.put_u32_le(p.len() as u32);
+                out.put_slice(p);
+            }
+        }
+        Request::Trim { id, lpn, pages } => {
+            out.put_u8(TAG_TRIM);
+            out.put_u64_le(*id);
+            out.put_u64_le(*lpn);
+            out.put_u32_le(*pages);
+        }
+        Request::Flush { id } => {
+            out.put_u8(TAG_FLUSH);
+            out.put_u64_le(*id);
+        }
+    }
+    end_frame(out, len_pos);
+}
+
+/// Append one framed reply to `out`.
+pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
+    let len_pos = begin_frame(out);
+    match reply {
+        Reply::HelloOk {
+            version,
+            max_inflight,
+        } => {
+            out.put_u8(TAG_HELLO_OK);
+            out.put_u16_le(*version);
+            out.put_u32_le(*max_inflight);
+        }
+        Reply::ReadOk { id, pages } => {
+            out.put_u8(TAG_READ_OK);
+            out.put_u64_le(*id);
+            out.put_u32_le(pages.len() as u32);
+            for p in pages {
+                match p {
+                    Some(data) => {
+                        out.put_u8(1);
+                        out.put_u32_le(data.len() as u32);
+                        out.put_slice(data);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
+        }
+        Reply::WriteOk {
+            id,
+            pages,
+            replicated,
+        } => {
+            out.put_u8(TAG_WRITE_OK);
+            out.put_u64_le(*id);
+            out.put_u32_le(*pages);
+            out.put_u8(u8::from(*replicated));
+        }
+        Reply::TrimOk { id, pages } => {
+            out.put_u8(TAG_TRIM_OK);
+            out.put_u64_le(*id);
+            out.put_u32_le(*pages);
+        }
+        Reply::FlushOk { id, flushed } => {
+            out.put_u8(TAG_FLUSH_OK);
+            out.put_u64_le(*id);
+            out.put_u64_le(*flushed);
+        }
+        Reply::Error { id, code } => {
+            out.put_u8(TAG_ERROR);
+            out.put_u64_le(*id);
+            out.put_u8(code.to_u8());
+        }
+    }
+    end_frame(out, len_pos);
+}
+
+fn split_frame(buf: &mut BytesMut) -> Result<Option<Bytes>, ProtoError> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::FrameTooLarge(len));
+    }
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let expected = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    buf.advance(8);
+    let body = buf.split_to(len).freeze();
+    let found = crc32(&body);
+    if found != expected {
+        return Err(ProtoError::Checksum { expected, found });
+    }
+    Ok(Some(body))
+}
+
+fn need(body: &Bytes, n: usize) -> Result<(), ProtoError> {
+    if body.remaining() < n {
+        Err(ProtoError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode one request from `buf`, if a complete frame is present.
+/// Consumed bytes are removed from `buf`; `Ok(None)` means "wait for more".
+pub fn decode_request(buf: &mut BytesMut) -> Result<Option<Request>, ProtoError> {
+    let Some(mut body) = split_frame(buf)? else {
+        return Ok(None);
+    };
+    need(&body, 1)?;
+    let tag = body.get_u8();
+    let req = match tag {
+        TAG_HELLO => {
+            need(&body, 2 + 8)?;
+            Request::Hello {
+                version: body.get_u16_le(),
+                client: body.get_u64_le(),
+            }
+        }
+        TAG_READ => {
+            need(&body, 8 + 8 + 4)?;
+            Request::Read {
+                id: body.get_u64_le(),
+                lpn: body.get_u64_le(),
+                pages: body.get_u32_le(),
+            }
+        }
+        TAG_WRITE => {
+            need(&body, 8 + 8 + 4)?;
+            let id = body.get_u64_le();
+            let lpn = body.get_u64_le();
+            let n = body.get_u32_le() as usize;
+            let mut pages = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(&body, 4)?;
+                let dl = body.get_u32_le() as usize;
+                need(&body, dl)?;
+                pages.push(body.split_to(dl));
+            }
+            Request::Write { id, lpn, pages }
+        }
+        TAG_TRIM => {
+            need(&body, 8 + 8 + 4)?;
+            Request::Trim {
+                id: body.get_u64_le(),
+                lpn: body.get_u64_le(),
+                pages: body.get_u32_le(),
+            }
+        }
+        TAG_FLUSH => {
+            need(&body, 8)?;
+            Request::Flush {
+                id: body.get_u64_le(),
+            }
+        }
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    Ok(Some(req))
+}
+
+/// Decode one reply from `buf`, if a complete frame is present.
+pub fn decode_reply(buf: &mut BytesMut) -> Result<Option<Reply>, ProtoError> {
+    let Some(mut body) = split_frame(buf)? else {
+        return Ok(None);
+    };
+    need(&body, 1)?;
+    let tag = body.get_u8();
+    let reply = match tag {
+        TAG_HELLO_OK => {
+            need(&body, 2 + 4)?;
+            Reply::HelloOk {
+                version: body.get_u16_le(),
+                max_inflight: body.get_u32_le(),
+            }
+        }
+        TAG_READ_OK => {
+            need(&body, 8 + 4)?;
+            let id = body.get_u64_le();
+            let n = body.get_u32_le() as usize;
+            let mut pages = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                need(&body, 1)?;
+                match body.get_u8() {
+                    0 => pages.push(None),
+                    1 => {
+                        need(&body, 4)?;
+                        let dl = body.get_u32_le() as usize;
+                        need(&body, dl)?;
+                        pages.push(Some(body.split_to(dl)));
+                    }
+                    other => return Err(ProtoError::BadTag(other)),
+                }
+            }
+            Reply::ReadOk { id, pages }
+        }
+        TAG_WRITE_OK => {
+            need(&body, 8 + 4 + 1)?;
+            Reply::WriteOk {
+                id: body.get_u64_le(),
+                pages: body.get_u32_le(),
+                replicated: body.get_u8() != 0,
+            }
+        }
+        TAG_TRIM_OK => {
+            need(&body, 8 + 4)?;
+            Reply::TrimOk {
+                id: body.get_u64_le(),
+                pages: body.get_u32_le(),
+            }
+        }
+        TAG_FLUSH_OK => {
+            need(&body, 8 + 8)?;
+            Reply::FlushOk {
+                id: body.get_u64_le(),
+                flushed: body.get_u64_le(),
+            }
+        }
+        TAG_ERROR => {
+            need(&body, 8 + 1)?;
+            Reply::Error {
+                id: body.get_u64_le(),
+                code: ErrorCode::from_u8(body.get_u8())?,
+            }
+        }
+        other => return Err(ProtoError::BadTag(other)),
+    };
+    Ok(Some(reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: PROTO_VERSION,
+                client: 7,
+            },
+            Request::Read {
+                id: 1,
+                lpn: 42,
+                pages: 8,
+            },
+            Request::Write {
+                id: 2,
+                lpn: 100,
+                pages: vec![Bytes::from_static(b"page-a"), Bytes::from_static(b"page-b")],
+            },
+            Request::Trim {
+                id: 3,
+                lpn: 5,
+                pages: 2,
+            },
+            Request::Flush { id: 4 },
+        ]
+    }
+
+    fn all_replies() -> Vec<Reply> {
+        vec![
+            Reply::HelloOk {
+                version: PROTO_VERSION,
+                max_inflight: 64,
+            },
+            Reply::ReadOk {
+                id: 1,
+                pages: vec![Some(Bytes::from_static(b"hit")), None],
+            },
+            Reply::WriteOk {
+                id: 2,
+                pages: 2,
+                replicated: true,
+            },
+            Reply::TrimOk { id: 3, pages: 2 },
+            Reply::FlushOk { id: 4, flushed: 17 },
+            Reply::Error {
+                id: 5,
+                code: ErrorCode::Busy,
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let mut buf = BytesMut::new();
+        for r in all_requests() {
+            encode_request(&r, &mut buf);
+        }
+        for want in all_requests() {
+            let got = decode_request(&mut buf).unwrap().unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(decode_request(&mut buf).unwrap().is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let mut buf = BytesMut::new();
+        for r in all_replies() {
+            encode_reply(&r, &mut buf);
+        }
+        for want in all_replies() {
+            let got = decode_reply(&mut buf).unwrap().unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(decode_reply(&mut buf).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let mut full = BytesMut::new();
+        encode_request(
+            &Request::Write {
+                id: 9,
+                lpn: 0,
+                pages: vec![Bytes::from_static(b"abcdef")],
+            },
+            &mut full,
+        );
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert!(
+                decode_request(&mut partial).unwrap().is_none(),
+                "cut at {cut} must be incomplete, not an error"
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_rejected_or_incomplete() {
+        let mut full = BytesMut::new();
+        encode_request(
+            &Request::Write {
+                id: 1,
+                lpn: 3,
+                pages: vec![Bytes::from_static(b"payload-bytes")],
+            },
+            &mut full,
+        );
+        let original = full.clone();
+        for i in 0..full.len() {
+            let mut tampered = BytesMut::from(&original[..]);
+            tampered[i] ^= 0x40;
+            match decode_request(&mut tampered) {
+                Err(_) => {}   // corruption detected
+                Ok(None) => {} // frame no longer complete (length prefix hit)
+                Ok(Some(got)) => {
+                    // A decoded frame must never silently differ from the
+                    // original message.
+                    let mut pristine = BytesMut::from(&original[..]);
+                    let want = decode_request(&mut pristine).unwrap().unwrap();
+                    assert_eq!(got, want, "flip at byte {i} decoded to a different message");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_an_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_FRAME + 1) as u32);
+        buf.put_u32_le(0);
+        assert!(matches!(
+            decode_reply(&mut buf),
+            Err(ProtoError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_echoed() {
+        for r in all_requests() {
+            let id = r.id();
+            match r {
+                Request::Hello { .. } => assert_eq!(id, 0),
+                _ => assert!(id > 0),
+            }
+        }
+        assert_eq!(
+            Reply::Error {
+                id: 77,
+                code: ErrorCode::BadRequest
+            }
+            .id(),
+            77
+        );
+    }
+}

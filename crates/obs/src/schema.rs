@@ -66,7 +66,10 @@ mod tests {
         let (obs, ring) = Obs::ring(8);
         obs.set_sim_now(10);
         obs.emit(obs.event("ssd", "host_write").u64_field("pages", 4));
-        obs.emit(obs.wall_event("cluster", "repl_send").bool_field("dup", false));
+        obs.emit(
+            obs.wall_event("cluster", "repl_send")
+                .bool_field("dup", false),
+        );
         // The pair-lifecycle events are all-string-field; make sure that
         // shape round-trips the validator too.
         obs.emit(

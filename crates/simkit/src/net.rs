@@ -58,8 +58,7 @@ impl LinkModel {
             return SimDuration::ZERO;
         }
         // ceil(bytes * 1e9 / bw) without overflow for realistic sizes.
-        let ns = (bytes as u128 * 1_000_000_000u128)
-            .div_ceil(self.bandwidth_bytes_per_sec as u128);
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(self.bandwidth_bytes_per_sec as u128);
         SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
     }
 
@@ -108,10 +107,7 @@ mod tests {
             link.serialization_time(1_000_000),
             SimDuration::from_micros(1_000)
         );
-        assert_eq!(
-            link.transfer_time(2_000_000),
-            SimDuration::from_millis(2)
-        );
+        assert_eq!(link.transfer_time(2_000_000), SimDuration::from_millis(2));
     }
 
     #[test]

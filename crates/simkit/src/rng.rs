@@ -157,7 +157,6 @@ impl Zipf {
             head + tail
         }
     }
-
 }
 
 #[cfg(test)]
@@ -193,7 +192,9 @@ mod tests {
         }
         let mut parent3 = DetRng::new(7);
         let mut other = parent3.fork(4);
-        let a: Vec<u64> = (0..16).map(|_| DetRng::new(7).fork(3).below(1 << 40)).collect();
+        let a: Vec<u64> = (0..16)
+            .map(|_| DetRng::new(7).fork(3).below(1 << 40))
+            .collect();
         let b: Vec<u64> = (0..16).map(|_| other.below(1 << 40)).collect();
         assert_ne!(a, b);
     }

@@ -76,10 +76,7 @@ impl BastFtl {
             data_map: vec![None; logical_blocks],
             logs: HashMap::new(),
             log_fifo: VecDeque::new(),
-            pool: FreePool::new(
-                (0..geo.blocks_total()).map(BlockId),
-                cfg.wear_aware_alloc,
-            ),
+            pool: FreePool::new((0..geo.blocks_total()).map(BlockId), cfg.wear_aware_alloc),
             max_logs: cfg.log_blocks.max(2),
             logical_pages,
             stats: FtlStats::default(),
@@ -182,9 +179,9 @@ impl BastFtl {
                 .map(|p| self.geo.ppn(lb.phys, p))
                 .filter(|&ppn| self.nand.page_state(ppn) == PageState::Valid)
                 .or_else(|| {
-                    old_data.map(|db| self.geo.ppn(db, off)).filter(|&ppn| {
-                        self.nand.page_state(ppn) == PageState::Valid
-                    })
+                    old_data
+                        .map(|db| self.geo.ppn(db, off))
+                        .filter(|&ppn| self.nand.page_state(ppn) == PageState::Valid)
                 });
             if let Some(src) = src {
                 let lpn = Lpn(lbn * n as u64 + off as u64);
@@ -363,8 +360,8 @@ mod tests {
     fn sequential_full_block_write_causes_switch_merge() {
         let mut f = ftl();
         let n = f.geo.pages_per_block; // 4
-        // Two full sequential passes over block 0: first fills the log
-        // (switch-merged when it must accept the next round), second ditto.
+                                       // Two full sequential passes over block 0: first fills the log
+                                       // (switch-merged when it must accept the next round), second ditto.
         f.write(Lpn(0), n);
         f.write(Lpn(0), n);
         // The second pass forced a merge of the first full sequential log.
@@ -440,11 +437,7 @@ mod tests {
             written.insert(lpn);
         }
         for &lpn in &written {
-            assert_eq!(
-                valid_copy(&f, Lpn(lpn)),
-                Some(Lpn(lpn)),
-                "lost page {lpn}"
-            );
+            assert_eq!(valid_copy(&f, Lpn(lpn)), Some(Lpn(lpn)), "lost page {lpn}");
         }
     }
 
@@ -454,7 +447,7 @@ mod tests {
         let n = f.geo.pages_per_block;
         f.write(Lpn(0), n); // full sequential log
         f.write(Lpn(0), 1); // merge, then page 0 in fresh log
-        // Page 0 served from log, pages 1..n from data block.
+                            // Page 0 served from log, pages 1..n from data block.
         let c = f.read(Lpn(0), n);
         assert_eq!(c.total_reads() as u32, n);
         // Unwritten block: bus-only.
@@ -484,6 +477,9 @@ mod tests {
         }
         // The next new block forces an eviction + full merge.
         let cost = f.write(Lpn(f.max_logs as u64 * n + 1), 1);
-        assert!(cost.total_erases() >= 1, "merge erase not charged: {cost:?}");
+        assert!(
+            cost.total_erases() >= 1,
+            "merge erase not charged: {cost:?}"
+        );
     }
 }

@@ -114,7 +114,13 @@ impl DftlFtl {
                         self.translation_writes += 1;
                     }
                 }
-                self.cmt.insert(group, CmtEntry { stamp, dirty: update });
+                self.cmt.insert(
+                    group,
+                    CmtEntry {
+                        stamp,
+                        dirty: update,
+                    },
+                );
                 self.lru.insert((stamp, group));
             }
         }
@@ -226,7 +232,10 @@ mod tests {
             "only {} translation reads",
             f.translation_reads()
         );
-        assert!(f.translation_writes() > 0, "dirty evictions must write back");
+        assert!(
+            f.translation_writes() > 0,
+            "dirty evictions must write back"
+        );
         assert!(f.cmt_groups() <= 2);
     }
 

@@ -60,10 +60,7 @@ impl FastFtl {
             rw_active: None,
             rw_full: VecDeque::new(),
             page_map: HashMap::new(),
-            pool: FreePool::new(
-                (0..geo.blocks_total()).map(BlockId),
-                cfg.wear_aware_alloc,
-            ),
+            pool: FreePool::new((0..geo.blocks_total()).map(BlockId), cfg.wear_aware_alloc),
             max_rw: cfg.log_blocks.saturating_sub(1).max(1),
             logical_pages,
             stats: FtlStats::default(),
@@ -275,10 +272,7 @@ impl FastFtl {
         }
         let blk = self.rw_active.expect("just ensured");
         self.invalidate_current(lpn);
-        let ppn = self
-            .nand
-            .program_append(blk, lpn)
-            .expect("RW log has room");
+        let ppn = self.nand.program_append(blk, lpn).expect("RW log has room");
         self.page_map.insert(lpn.0, ppn);
         cost.bus(1);
         cost.program_on(self.geo.plane_of_block(blk));
@@ -477,7 +471,7 @@ mod tests {
         let n = f.geo.pages_per_block;
         f.write(Lpn(0), n); // switch-merged data block
         f.write(Lpn(2), 1); // RW overwrite of offset 2
-        // Exactly one valid copy of page 2.
+                            // Exactly one valid copy of page 2.
         check(&f, 2);
         let db = f.data_map[0].unwrap();
         let data_page = f.geo.ppn(db, 2);

@@ -45,8 +45,12 @@ impl FtlKind {
     pub const ALL: [FtlKind; 3] = [FtlKind::Bast, FtlKind::Fast, FtlKind::PageLevel];
 
     /// The paper's FTLs plus the DFTL extension.
-    pub const ALL_EXTENDED: [FtlKind; 4] =
-        [FtlKind::Bast, FtlKind::Fast, FtlKind::PageLevel, FtlKind::Dftl];
+    pub const ALL_EXTENDED: [FtlKind; 4] = [
+        FtlKind::Bast,
+        FtlKind::Fast,
+        FtlKind::PageLevel,
+        FtlKind::Dftl,
+    ];
 
     /// Short display name matching the paper's figure captions.
     pub fn name(self) -> &'static str {
@@ -281,10 +285,7 @@ mod tests {
         let spare = cfg.spare_blocks(&geo);
         // 12% of 2048 = 245.
         assert_eq!(spare, 245);
-        assert_eq!(
-            cfg.logical_pages(&geo),
-            (2048 - 245) as u64 * 64
-        );
+        assert_eq!(cfg.logical_pages(&geo), (2048 - 245) as u64 * 64);
     }
 
     #[test]

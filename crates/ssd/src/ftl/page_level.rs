@@ -352,10 +352,7 @@ mod tests {
         f.write(Lpn(5), 1);
         let second = f.lookup(Lpn(5)).unwrap();
         assert_ne!(first, second);
-        assert_eq!(
-            f.nand.page_state(first),
-            crate::nand::PageState::Invalid
-        );
+        assert_eq!(f.nand.page_state(first), crate::nand::PageState::Invalid);
     }
 
     #[test]
@@ -400,8 +397,7 @@ mod tests {
         for _ in 0..host_writes {
             f.write(Lpn(rng.below(logical)), 1);
         }
-        let wa_random =
-            f.nand.total_programs() as f64 / host_writes as f64;
+        let wa_random = f.nand.total_programs() as f64 / host_writes as f64;
 
         // Pure sequential wraps.
         let mut f2 = PageFtl::new(geo, cfg);

@@ -75,7 +75,10 @@ impl std::fmt::Display for NandError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NandError::ProgramNotFree { ppn } => {
-                write!(f, "program of non-free page {ppn:?} (in-place update attempted)")
+                write!(
+                    f,
+                    "program of non-free page {ppn:?} (in-place update attempted)"
+                )
             }
             NandError::BlockFull { block } => write!(f, "append to full block {block:?}"),
             NandError::EraseWithValidPages { block, valid } => {
@@ -402,7 +405,10 @@ mod tests {
         a.invalidate(ppn);
         assert_eq!(a.read(ppn), Err(NandError::ReadInvalid { ppn }));
         let free_ppn = a.geometry().ppn(b, 3);
-        assert_eq!(a.read(free_ppn), Err(NandError::ReadInvalid { ppn: free_ppn }));
+        assert_eq!(
+            a.read(free_ppn),
+            Err(NandError::ReadInvalid { ppn: free_ppn })
+        );
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl fc_obs::StatSource for SsdStats {
             .store(self.host_read_requests);
         reg.counter("ssd.host_pages_written")
             .store(self.host_pages_written);
-        reg.counter("ssd.host_pages_read").store(self.host_pages_read);
+        reg.counter("ssd.host_pages_read")
+            .store(self.host_pages_read);
         reg.counter("ssd.flash_page_programs")
             .store(self.flash_page_programs);
         reg.counter("ssd.flash_page_reads")
@@ -104,8 +105,10 @@ impl fc_obs::StatSource for SsdStats {
         reg.counter("ssd.trims").store(self.trims);
         reg.counter("ssd.trimmed_pages").store(self.trimmed_pages);
         reg.gauge("ssd.write_amp").set(self.write_amplification());
-        reg.gauge("ssd.mean_write_pages").set(self.mean_write_pages());
-        self.write_service.emit_with_prefix("ssd.write_service", reg);
+        reg.gauge("ssd.mean_write_pages")
+            .set(self.mean_write_pages());
+        self.write_service
+            .emit_with_prefix("ssd.write_service", reg);
         self.read_service.emit_with_prefix("ssd.read_service", reg);
     }
 }

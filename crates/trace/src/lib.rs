@@ -10,6 +10,8 @@
 //!   (Fin1, Fin2, Mix) with Zipf block-level temporal locality and optional
 //!   interleaved sequential streams (Figure 2).
 //! * [`stats`] — recompute the Table I columns from any trace.
+//! * [`sched`] — open-loop arrival-schedule export for load generators
+//!   (per-request offsets from the first arrival, with a rate knob).
 //!
 //! ```
 //! use fc_trace::{SyntheticSpec, TraceStats};
@@ -20,11 +22,13 @@
 //! ```
 
 pub mod record;
+pub mod sched;
 pub mod spc;
 pub mod stats;
 pub mod synth;
 
 pub use record::{IoRequest, Op, Trace};
+pub use sched::ArrivalSchedule;
 pub use spc::{parse_spc, write_spc, SpcConfig, SpcParseError};
 pub use stats::TraceStats;
 pub use synth::SyntheticSpec;

@@ -233,7 +233,10 @@ mod tests {
         use fc_simkit::{SimDuration, SimTime};
         let mut t = Trace::new("rt");
         let mut at = SimTime::ZERO;
-        for (i, op) in [Op::Write, Op::Read, Op::Trim, Op::Write].iter().enumerate() {
+        for (i, op) in [Op::Write, Op::Read, Op::Trim, Op::Write]
+            .iter()
+            .enumerate()
+        {
             at += SimDuration::from_millis(10);
             t.push(IoRequest {
                 at,

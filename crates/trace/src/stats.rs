@@ -100,7 +100,11 @@ impl TraceStats {
     pub fn table1_row(&self) -> String {
         format!(
             "{:<6} {:>12} {:>14.2} {:>9.1} {:>8.2} {:>22.2}",
-            self.name, self.requests, self.avg_req_kb, self.write_pct, self.seq_pct,
+            self.name,
+            self.requests,
+            self.avg_req_kb,
+            self.write_pct,
+            self.seq_pct,
             self.avg_interarrival_ms
         )
     }

@@ -138,9 +138,8 @@ impl SyntheticSpec {
     /// Builder: scale arrival intensity (2.0 = twice the arrival rate).
     pub fn with_rate_factor(mut self, factor: f64) -> Self {
         let f = factor.max(1e-6);
-        self.mean_interarrival = SimDuration::from_secs_f64(
-            self.mean_interarrival.as_secs_f64() / f,
-        );
+        self.mean_interarrival =
+            SimDuration::from_secs_f64(self.mean_interarrival.as_secs_f64() / f);
         self
     }
 
@@ -203,14 +202,21 @@ impl SyntheticSpec {
             if let Some(s) = used_stream {
                 // Advance the stream; restart it elsewhere when it nears the
                 // end of the address space.
-                cursors[s] = Some(if end + self.pages_per_block as u64 * 2 < self.address_pages {
-                    end
-                } else {
-                    self.random_lpn_at(&zipf, &mut rng, epoch)
-                });
+                cursors[s] = Some(
+                    if end + self.pages_per_block as u64 * 2 < self.address_pages {
+                        end
+                    } else {
+                        self.random_lpn_at(&zipf, &mut rng, epoch)
+                    },
+                );
             }
             prev_end = Some(end % self.address_pages);
-            trace.push(IoRequest { at: now, lpn, pages, op });
+            trace.push(IoRequest {
+                at: now,
+                lpn,
+                pages,
+                op,
+            });
         }
         trace
     }
@@ -290,17 +296,32 @@ impl ShortLivedSpec {
                     break;
                 }
                 pending.pop();
-                trace.push(IoRequest { at: due, lpn, pages, op: Op::Trim });
+                trace.push(IoRequest {
+                    at: due,
+                    lpn,
+                    pages,
+                    op: Op::Trim,
+                });
             }
             if rng.chance(self.background_frac) {
                 // Long-lived background write (never deleted).
                 let lpn = rng.below(self.address_pages - self.file_pages as u64);
-                trace.push(IoRequest { at: now, lpn, pages: 1, op: Op::Write });
+                trace.push(IoRequest {
+                    at: now,
+                    lpn,
+                    pages: 1,
+                    op: Op::Write,
+                });
                 continue;
             }
             let slot = rng.below(slots);
             let lpn = slot * self.file_pages as u64;
-            trace.push(IoRequest { at: now, lpn, pages: self.file_pages, op: Op::Write });
+            trace.push(IoRequest {
+                at: now,
+                lpn,
+                pages: self.file_pages,
+                op: Op::Write,
+            });
             let due = now + SimDuration::from_secs_f64(rng.exp(self.lifetime.as_secs_f64()));
             pending.push(std::cmp::Reverse((due, lpn, self.file_pages)));
         }
@@ -308,7 +329,12 @@ impl ShortLivedSpec {
         let mut rest: Vec<_> = pending.into_iter().map(|r| r.0).collect();
         rest.sort_unstable();
         for (due, lpn, pages) in rest {
-            trace.push(IoRequest { at: due.max(now), lpn, pages, op: Op::Trim });
+            trace.push(IoRequest {
+                at: due.max(now),
+                lpn,
+                pages,
+                op: Op::Trim,
+            });
         }
         trace
     }
@@ -332,6 +358,52 @@ mod tests {
     }
 
     #[test]
+    fn zero_request_trace_is_valid() {
+        for spec in SyntheticSpec::table1(SPACE) {
+            let t = spec.with_requests(0).generate(1);
+            assert!(t.is_empty());
+            assert_eq!(t.duration(), fc_simkit::SimDuration::ZERO);
+            let s = TraceStats::from_trace(&t);
+            assert_eq!(s.requests, 0);
+            // Every Table-I column is a defined number, never NaN.
+            for v in [
+                s.avg_req_kb,
+                s.avg_req_pages,
+                s.write_pct,
+                s.seq_pct,
+                s.avg_interarrival_ms,
+                s.trim_pct,
+            ] {
+                assert!(v.is_finite(), "{}: non-finite stat {v}", s.name);
+                assert_eq!(v, 0.0, "{}: empty trace must report 0.0", s.name);
+            }
+            assert_eq!(s.unique_pages, 0);
+            assert_eq!(s.footprint_pages, 0);
+        }
+    }
+
+    #[test]
+    fn single_request_trace_is_valid() {
+        for spec in SyntheticSpec::table1(SPACE) {
+            let t = spec.with_requests(1).generate(2);
+            assert_eq!(t.len(), 1);
+            let s = TraceStats::from_trace(&t);
+            assert_eq!(s.requests, 1);
+            // One request has no interarrival gap: the stat is a defined
+            // 0.0, not NaN (0/0) and not negative.
+            assert!(s.avg_interarrival_ms.is_finite());
+            assert_eq!(s.avg_interarrival_ms, 0.0);
+            assert!(s.avg_req_pages >= 1.0);
+            assert!(s.avg_req_kb.is_finite());
+            // write_pct is exactly 0 or 100 for a single request.
+            assert!(s.write_pct == 0.0 || s.write_pct == 100.0);
+            assert_eq!(s.seq_pct, 0.0, "a lone request cannot be sequential");
+            assert!(s.unique_pages >= 1);
+            assert!(s.footprint_pages <= SPACE);
+        }
+    }
+
+    #[test]
     fn fin1_matches_table1_marginals() {
         let t = SyntheticSpec::fin1(SPACE).with_requests(20_000).generate(1);
         let s = TraceStats::from_trace(&t);
@@ -342,7 +414,11 @@ mod tests {
             "interarrival {}",
             s.avg_interarrival_ms
         );
-        assert!(s.avg_req_kb >= 4.0 && s.avg_req_kb < 6.5, "req kb {}", s.avg_req_kb);
+        assert!(
+            s.avg_req_kb >= 4.0 && s.avg_req_kb < 6.5,
+            "req kb {}",
+            s.avg_req_kb
+        );
     }
 
     #[test]
@@ -432,7 +508,10 @@ mod tests {
             }
             let mut v: Vec<(u64, u64)> = counts.into_iter().map(|(b, c)| (c, b)).collect();
             v.sort_unstable_by(|a, b| b.cmp(a));
-            v.into_iter().take(50).map(|(_, b)| b).collect::<std::collections::HashSet<_>>()
+            v.into_iter()
+                .take(50)
+                .map(|(_, b)| b)
+                .collect::<std::collections::HashSet<_>>()
         };
         let overlap = |t: &crate::record::Trace| {
             let n = t.requests.len();

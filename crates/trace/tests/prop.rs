@@ -6,14 +6,14 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
     (
-        0.0f64..1.0,          // write_frac
-        0.0f64..0.9,          // seq_frac
-        1.0f64..4.0,          // mean_req_pages
-        1u64..200,            // interarrival ms
-        0.0f64..0.99,         // zipf theta
-        1usize..5,            // streams
-        1usize..6,            // drift epochs
-        512u64..32_768,       // address pages
+        0.0f64..1.0,    // write_frac
+        0.0f64..0.9,    // seq_frac
+        1.0f64..4.0,    // mean_req_pages
+        1u64..200,      // interarrival ms
+        0.0f64..0.99,   // zipf theta
+        1usize..5,      // streams
+        1usize..6,      // drift epochs
+        512u64..32_768, // address pages
     )
         .prop_map(
             |(write_frac, seq_frac, mean_req_pages, ia, zipf_theta, streams, drift, pages)| {

@@ -56,8 +56,14 @@ fn main() {
     let recover_at = traces[4].requests[4_000].at;
     let mut injections = vec![Vec::new(); 4];
     injections[2] = vec![
-        Injection { at: crash_at, event: PairEvent::Crash(0) },
-        Injection { at: recover_at, event: PairEvent::Recover(0) },
+        Injection {
+            at: crash_at,
+            event: PairEvent::Crash(0),
+        },
+        Injection {
+            at: recover_at,
+            event: PairEvent::Recover(0),
+        },
     ];
     println!("injecting: pair 2 / server 0 crashes at {crash_at}, recovers at {recover_at}\n");
 
@@ -89,6 +95,10 @@ fn main() {
     println!(
         "acknowledged writes lost anywhere (including the crashed pair): {} {}",
         report.unrecoverable,
-        if report.unrecoverable == 0 { "✓" } else { "✗" }
+        if report.unrecoverable == 0 {
+            "✓"
+        } else {
+            "✗"
+        }
     );
 }

@@ -70,7 +70,11 @@ fn main() {
     let log = pair.theta_log(0);
     let early: f64 = log.iter().take(log.len() / 3).map(|s| s.theta).sum::<f64>()
         / (log.len() / 3).max(1) as f64;
-    let late: f64 = log.iter().skip(2 * log.len() / 3).map(|s| s.theta).sum::<f64>()
+    let late: f64 = log
+        .iter()
+        .skip(2 * log.len() / 3)
+        .map(|s| s.theta)
+        .sum::<f64>()
         / (log.len() - 2 * log.len() / 3).max(1) as f64;
     println!(
         "\nmean theta, first third: {:.1}% → last third: {:.1}% \

@@ -51,7 +51,9 @@ fn simulated_failover() {
     cfg.buffer_pages = 64;
     let pages = {
         use flashcoop::{CoopServer, Scheme};
-        CoopServer::new(cfg.clone(), Scheme::Baseline).ssd().logical_pages()
+        CoopServer::new(cfg.clone(), Scheme::Baseline)
+            .ssd()
+            .logical_pages()
     };
     let t0 = write_trace(pages, 800, 1, "victim");
     let t1 = write_trace(pages, 800, 2, "survivor");
@@ -67,8 +69,14 @@ fn simulated_failover() {
     pair.replay(
         [&t0, &t1],
         &[
-            Injection { at: crash_at, event: PairEvent::Crash(0) },
-            Injection { at: recover_at, event: PairEvent::Recover(0) },
+            Injection {
+                at: crash_at,
+                event: PairEvent::Crash(0),
+            },
+            Injection {
+                at: recover_at,
+                event: PairEvent::Recover(0),
+            },
         ],
     );
     println!(
@@ -129,7 +137,11 @@ fn real_failover() {
 
     let hosted = b.export_remote();
     b.shutdown(); // old endpoint retired; its own dirty data flushed
-    let b2 = Node::spawn(NodeConfig::test_profile(1), b2_t, shared_backend(MemBackend::new()));
+    let b2 = Node::spawn(
+        NodeConfig::test_profile(1),
+        b2_t,
+        shared_backend(MemBackend::new()),
+    );
     b2.import_remote(&hosted);
 
     let a2 = Node::spawn(NodeConfig::test_profile(0), a2_t, backend_a.clone());

@@ -59,7 +59,10 @@ fn run(seed: u64, quiet: bool) -> (Vec<String>, FaultStats) {
         .map(|r| format!("#{:<3} {:?}", r.index, r.action))
         .collect();
     if !quiet {
-        println!("seed {seed}: {replicated}/32 writes replicated, B hosts {} pages", sb.remote_pages);
+        println!(
+            "seed {seed}: {replicated}/32 writes replicated, B hosts {} pages",
+            sb.remote_pages
+        );
         println!(
             "  A retries: {:>2}   B dups_dropped: {:>2}, reorders_healed: {:>2}",
             sa.repl.retries, sb.repl.dups_dropped, sb.repl.reorders_healed
@@ -89,7 +92,10 @@ fn main() {
     stats2.passthrough = 0;
     assert_eq!(stats1, stats2, "same seed must replay the same schedule");
     assert_eq!(trace1, trace2);
-    println!("\nsecond run, same seed: {} identical fault decisions ✓", trace1.len());
+    println!(
+        "\nsecond run, same seed: {} identical fault decisions ✓",
+        trace1.len()
+    );
     println!("first few decisions:");
     for line in trace1.iter().take(6) {
         println!("  {line}");

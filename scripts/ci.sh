@@ -7,6 +7,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt (check only)"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --offline
 
@@ -35,5 +38,14 @@ cargo run --release --offline --example quickstart -- --obs "$obs_out" \
   | grep -q "schema OK"
 test -s "$obs_out"
 rm -rf "$(dirname "$obs_out")"
+
+echo "==> gateway smoke: 4 concurrent clients through the front door"
+cargo run --release --offline --example gateway_demo \
+  | grep -q "gateway demo complete"
+
+echo "==> loadgen smoke: closed-loop mix workload, 8 clients"
+cargo run --release --offline -p fc-bench --bin loadgen -- \
+  --clients 8 --trace mix --seed 42 --requests 400 \
+  | grep -q "p999"
 
 echo "CI OK"

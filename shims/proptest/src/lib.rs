@@ -449,7 +449,9 @@ macro_rules! prop_assert_ne {
         if l == r {
             return Err($crate::TestCaseError(format!(
                 "assertion failed: {} != {}\n  both: {:?}",
-                stringify!($left), stringify!($right), l
+                stringify!($left),
+                stringify!($right),
+                l
             )));
         }
     }};

@@ -173,7 +173,10 @@ fn three_drops_cost_three_retries_then_replicate() {
     assert_eq!(a.write(7, b"fourth-time-lucky"), WriteOutcome::Replicated);
     let stats = a.stats();
     assert_eq!(stats.repl.retries, 3, "one retry per dropped attempt");
-    assert_eq!(stats.write_through, 0, "no fallback to local-only durability");
+    assert_eq!(
+        stats.write_through, 0,
+        "no fallback to local-only durability"
+    );
     assert_eq!(stats.replicated_pages, 1);
     assert!(!a.is_degraded());
     wait_until(|| b.hosted_remote_pages() == vec![7]);

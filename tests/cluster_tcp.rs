@@ -4,9 +4,7 @@
 //! buffer manager → backend, including the Section III.D recovery handshake
 //! with actual page data.
 
-use fc_cluster::{
-    shared_backend, MemBackend, Node, NodeConfig, TcpTransport, WriteOutcome,
-};
+use fc_cluster::{shared_backend, MemBackend, Node, NodeConfig, TcpTransport, WriteOutcome};
 use std::net::TcpListener;
 use std::time::Duration;
 
@@ -23,7 +21,11 @@ fn replicated_writes_and_reads_over_tcp() {
     let (ta, tb) = tcp_pair();
     let ba = shared_backend(MemBackend::new());
     let a = Node::spawn(NodeConfig::test_profile(0), ta, ba);
-    let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+    let b = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb,
+        shared_backend(MemBackend::new()),
+    );
 
     for i in 0..32u64 {
         assert_eq!(
@@ -53,7 +55,11 @@ fn full_crash_recovery_cycle_over_tcp() {
     let (ta, tb) = tcp_pair();
     let backend_a = shared_backend(MemBackend::new());
     let a = Node::spawn(NodeConfig::test_profile(0), ta, backend_a.clone());
-    let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+    let b = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb,
+        shared_backend(MemBackend::new()),
+    );
 
     for i in 0..16u64 {
         assert_eq!(
@@ -70,11 +76,17 @@ fn full_crash_recovery_cycle_over_tcp() {
     let hosted = b.export_remote();
     assert_eq!(hosted.len(), 16);
     b.shutdown();
-    let b2 = Node::spawn(NodeConfig::test_profile(1), tb2, shared_backend(MemBackend::new()));
+    let b2 = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb2,
+        shared_backend(MemBackend::new()),
+    );
     b2.import_remote(&hosted);
     let a2 = Node::spawn(NodeConfig::test_profile(0), ta2, backend_a.clone());
 
-    let n = a2.recover_from_peer(Duration::from_secs(3)).expect("recovery");
+    let n = a2
+        .recover_from_peer(Duration::from_secs(3))
+        .expect("recovery");
     assert_eq!(n, 16);
     // Every page is durable on A's backend with the right contents.
     {
@@ -103,7 +115,11 @@ fn peer_death_degrades_writer_but_keeps_durability() {
     let (ta, tb) = tcp_pair();
     let backend_a = shared_backend(MemBackend::new());
     let a = Node::spawn(NodeConfig::test_profile(0), ta, backend_a.clone());
-    let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+    let b = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb,
+        shared_backend(MemBackend::new()),
+    );
 
     assert_eq!(a.write(1, b"before"), WriteOutcome::Replicated);
     b.crash(); // connection drops with it
@@ -131,7 +147,11 @@ fn concurrent_writers_on_one_node_are_safe() {
         ta,
         backend_a.clone(),
     ));
-    let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+    let b = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb,
+        shared_backend(MemBackend::new()),
+    );
 
     let mut handles = Vec::new();
     for t in 0..4u64 {
@@ -168,7 +188,11 @@ fn overwrites_keep_latest_version_after_recovery() {
     let (ta, tb) = tcp_pair();
     let backend_a = shared_backend(MemBackend::new());
     let a = Node::spawn(NodeConfig::test_profile(0), ta, backend_a.clone());
-    let b = Node::spawn(NodeConfig::test_profile(1), tb, shared_backend(MemBackend::new()));
+    let b = Node::spawn(
+        NodeConfig::test_profile(1),
+        tb,
+        shared_backend(MemBackend::new()),
+    );
 
     a.write(5, b"old");
     a.write(5, b"mid");

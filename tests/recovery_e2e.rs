@@ -12,9 +12,7 @@
 use fc_simkit::{DetRng, SimDuration, SimTime};
 use fc_ssd::FtlKind;
 use fc_trace::{IoRequest, Op, Trace};
-use flashcoop::{
-    CoopPair, CoopServer, FlashCoopConfig, Injection, PairEvent, PolicyKind, Scheme,
-};
+use flashcoop::{CoopPair, CoopServer, FlashCoopConfig, Injection, PairEvent, PolicyKind, Scheme};
 
 fn cfg() -> FlashCoopConfig {
     let mut c = FlashCoopConfig::tiny(FtlKind::PageLevel, PolicyKind::Lar);
@@ -23,7 +21,9 @@ fn cfg() -> FlashCoopConfig {
 }
 
 fn device_pages() -> u64 {
-    CoopServer::new(cfg(), Scheme::Baseline).ssd().logical_pages()
+    CoopServer::new(cfg(), Scheme::Baseline)
+        .ssd()
+        .logical_pages()
 }
 
 fn trace(pages: u64, n: usize, write_frac: f64, seed: u64) -> Trace {
@@ -32,7 +32,11 @@ fn trace(pages: u64, n: usize, write_frac: f64, seed: u64) -> Trace {
     let mut now = SimTime::ZERO;
     for _ in 0..n {
         now += SimDuration::from_millis(10 + rng.below(20));
-        let op = if rng.chance(write_frac) { Op::Write } else { Op::Read };
+        let op = if rng.chance(write_frac) {
+            Op::Write
+        } else {
+            Op::Read
+        };
         t.push(IoRequest {
             at: now,
             lpn: rng.below(pages - 2),
@@ -45,7 +49,10 @@ fn trace(pages: u64, n: usize, write_frac: f64, seed: u64) -> Trace {
 
 fn assert_nothing_lost(pair: &CoopPair, label: &str) {
     let lost = pair.unrecoverable();
-    assert!(lost.is_empty(), "{label}: lost acknowledged writes {lost:?}");
+    assert!(
+        lost.is_empty(),
+        "{label}: lost acknowledged writes {lost:?}"
+    );
 }
 
 #[test]
@@ -79,12 +86,21 @@ fn crash_then_recovery_restores_service_and_data() {
     pair.replay(
         [&t0, &t1],
         &[
-            Injection { at: crash_at, event: PairEvent::Crash(0) },
-            Injection { at: recover_at, event: PairEvent::Recover(0) },
+            Injection {
+                at: crash_at,
+                event: PairEvent::Crash(0),
+            },
+            Injection {
+                at: recover_at,
+                event: PairEvent::Recover(0),
+            },
         ],
     );
     assert!(pair.is_alive(0));
-    assert!(!pair.server(1).is_degraded(), "peer must resume replication");
+    assert!(
+        !pair.server(1).is_degraded(),
+        "peer must resume replication"
+    );
     // The recovered server served requests after its reboot.
     assert!(pair.server(0).metrics().writes > 0);
     assert_nothing_lost(&pair, "crash+recover");
@@ -101,7 +117,10 @@ fn repeated_crash_recover_cycles_stay_consistent() {
     // "same as RAID 1"): each victim recovers before the next crash.
     for (i, victim) in [0usize, 1, 0].iter().enumerate() {
         let at = start + SimDuration::from_secs(5 + 8 * i as u64);
-        injections.push(Injection { at, event: PairEvent::Crash(*victim) });
+        injections.push(Injection {
+            at,
+            event: PairEvent::Crash(*victim),
+        });
         injections.push(Injection {
             at: at + SimDuration::from_secs(4),
             event: PairEvent::Recover(*victim),
@@ -129,10 +148,16 @@ fn randomised_injection_schedules_never_lose_data() {
         for _ in 0..4 {
             let victim = rng.below(2) as usize;
             if alive[victim] && alive[1 - victim] {
-                injections.push(Injection { at, event: PairEvent::Crash(victim) });
+                injections.push(Injection {
+                    at,
+                    event: PairEvent::Crash(victim),
+                });
                 alive[victim] = false;
             } else if !alive[victim] {
-                injections.push(Injection { at, event: PairEvent::Recover(victim) });
+                injections.push(Injection {
+                    at,
+                    event: PairEvent::Recover(victim),
+                });
                 alive[victim] = true;
             }
             at += SimDuration::from_secs(10 + rng.below(30));
@@ -152,7 +177,10 @@ fn degraded_mode_writes_are_immediately_durable() {
     let mut pair = CoopPair::new(cfg(), cfg(), false);
     pair.replay(
         [&t0, &t1],
-        &[Injection { at: crash_at, event: PairEvent::Crash(1) }],
+        &[Injection {
+            at: crash_at,
+            event: PairEvent::Crash(1),
+        }],
     );
     // Server 0 finished the run degraded; every write it acknowledged after
     // the crash is already on its own SSD (write-through), so even the loss
@@ -174,8 +202,14 @@ fn dynamic_allocation_keeps_consistency_under_failures() {
     pair.replay(
         [&t0, &t1],
         &[
-            Injection { at: crash_at, event: PairEvent::Crash(1) },
-            Injection { at: recover_at, event: PairEvent::Recover(1) },
+            Injection {
+                at: crash_at,
+                event: PairEvent::Crash(1),
+            },
+            Injection {
+                at: recover_at,
+                event: PairEvent::Recover(1),
+            },
         ],
     );
     assert!(!pair.theta_log(0).is_empty(), "allocation loop ran");
@@ -247,8 +281,7 @@ mod threaded {
         // go Solo; B (the survivor hosting A's pages) destages them.
         assert!(
             wait_until(
-                || a.lifecycle_state() == PairState::Solo
-                    && b.lifecycle_state() == PairState::Solo,
+                || a.lifecycle_state() == PairState::Solo && b.lifecycle_state() == PairState::Solo,
                 Duration::from_secs(2)
             ),
             "partition never took the pair solo: a={:?} b={:?}",

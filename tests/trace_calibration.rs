@@ -14,7 +14,11 @@ fn stats_for(spec: SyntheticSpec) -> TraceStats {
 #[test]
 fn fin1_matches_paper_table1() {
     let s = stats_for(SyntheticSpec::fin1(SPACE));
-    assert!((s.avg_req_kb - 4.38).abs() < 0.25, "req size {}", s.avg_req_kb);
+    assert!(
+        (s.avg_req_kb - 4.38).abs() < 0.25,
+        "req size {}",
+        s.avg_req_kb
+    );
     assert!((s.write_pct - 91.0).abs() < 1.5, "write% {}", s.write_pct);
     assert!((s.seq_pct - 2.0).abs() < 1.0, "seq% {}", s.seq_pct);
     assert!(
@@ -27,7 +31,11 @@ fn fin1_matches_paper_table1() {
 #[test]
 fn fin2_matches_paper_table1() {
     let s = stats_for(SyntheticSpec::fin2(SPACE));
-    assert!((s.avg_req_kb - 4.84).abs() < 0.25, "req size {}", s.avg_req_kb);
+    assert!(
+        (s.avg_req_kb - 4.84).abs() < 0.25,
+        "req size {}",
+        s.avg_req_kb
+    );
     assert!((s.write_pct - 10.0).abs() < 1.5, "write% {}", s.write_pct);
     assert!(s.seq_pct < 1.0, "seq% {}", s.seq_pct);
     assert!(
@@ -41,7 +49,11 @@ fn fin2_matches_paper_table1() {
 fn mix_matches_paper_table1() {
     let s = stats_for(SyntheticSpec::mix(SPACE));
     // 3.16 KB quantises to one 4 KB page — the documented deviation.
-    assert!((s.avg_req_kb - 4.0).abs() < 0.1, "req size {}", s.avg_req_kb);
+    assert!(
+        (s.avg_req_kb - 4.0).abs() < 0.1,
+        "req size {}",
+        s.avg_req_kb
+    );
     assert!((s.write_pct - 50.0).abs() < 1.5, "write% {}", s.write_pct);
     assert!((s.seq_pct - 50.0).abs() < 2.5, "seq% {}", s.seq_pct);
     assert!(
