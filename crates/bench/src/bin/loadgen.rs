@@ -5,6 +5,7 @@
 //! loadgen --clients 8 --trace mix --seed 42
 //! loadgen --clients 8 --trace fin1 --mode open --rate 50 --max-inflight 16
 //! loadgen --clients 4 --transport mem --requests 500
+//! loadgen --clients 8 --transport mem --shards 4
 //! ```
 //!
 //! All driving logic lives in `fc_bench::loadgen` (unit-tested); this
@@ -32,6 +33,9 @@ FLAGS:
   --max-inflight Q   global queue-depth cap            (default 64)
   --pages P          lpn window per client             (default 16384)
   --page-bytes B     payload bytes per page            (default 512)
+  --shards N         cooperative pairs behind the
+                     gateway; >1 routes by hash ring
+                     and reports per-shard lines       (default 1)
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -73,6 +77,7 @@ fn run() -> Result<(), String> {
         rate_factor: parse_or(flag_value(&args, "--rate"), defaults.rate_factor)?,
         pages_per_client: parse_or(flag_value(&args, "--pages"), defaults.pages_per_client)?,
         page_bytes: parse_or(flag_value(&args, "--page-bytes"), defaults.page_bytes)?,
+        shards: parse_or(flag_value(&args, "--shards"), defaults.shards)?,
         ..defaults
     };
     spec.admission.per_client_rate = parse_or(

@@ -25,9 +25,31 @@ use bytes::Bytes;
 use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
 use fc_gateway::{
     AdmissionConfig, ClientError, Gateway, GatewayClient, GatewayConfig, GatewayStats, Reply,
+    ShardStats, ShardStatsSum, ShardedGateway,
 };
-use fc_obs::Histogram;
+use fc_obs::{Counter, Histogram};
+use fc_ring::{Ring, RingConfig};
 use fc_trace::{Op, SyntheticSpec, Trace};
+
+/// Ring placement seed for loadgen-built clusters. Fixed (not derived from
+/// the workload seed) so the shard layout is part of the tool's identity:
+/// two runs of any spec agree on placement, and per-shard lines are
+/// comparable across seeds.
+pub const RING_SEED: u64 = 0x10AD_4E4E_F1A5_C009;
+
+/// The ring a loadgen-built cluster of `shards` pairs routes by — exposed
+/// so tests and reports can attribute lpns to shards exactly like the
+/// gateway does.
+pub fn cluster_ring(shards: u16, pages_per_block: u32) -> Ring {
+    Ring::with_pairs(
+        RingConfig {
+            seed: RING_SEED,
+            block_pages: pages_per_block,
+            ..RingConfig::default()
+        },
+        shards,
+    )
+}
 
 /// Which workload personality each client replays.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +153,10 @@ pub struct LoadgenSpec {
     pub admission: AdmissionConfig,
     /// Payload bytes per page.
     pub page_bytes: usize,
+    /// Cooperative pairs behind the gateway. 1 = the classic single-pair
+    /// front end; >1 spawns a [`ShardedGateway`] routing by
+    /// [`cluster_ring`] and the report grows a per-shard breakdown.
+    pub shards: u16,
 }
 
 impl Default for LoadgenSpec {
@@ -146,6 +172,7 @@ impl Default for LoadgenSpec {
             rate_factor: 1.0,
             admission: AdmissionConfig::default(),
             page_bytes: 512,
+            shards: 1,
         }
     }
 }
@@ -167,10 +194,27 @@ pub struct LoadReport {
     pub latency: Histogram,
     /// Gateway-side view at the end of the run.
     pub gateway: GatewayStats,
-    /// FNV-1a digest over the node's final data state across every client
-    /// window — two runs of the same spec must produce the same digest
-    /// (the determinism contract of the in-memory variant).
+    /// FNV-1a digest over the cluster's final data state across every
+    /// client window (routed reads in sharded mode) — two runs of the same
+    /// spec must produce the same digest (the determinism contract of the
+    /// in-memory variant).
     pub state_digest: u64,
+    /// Client-side per-shard breakdown (empty when `shards == 1`):
+    /// acked requests and latency attributed to the shard owning each
+    /// request's head lpn, via the same ring the gateway routes by.
+    pub shard_lines: Vec<ShardLine>,
+    /// Gateway-side per-shard counters (empty when `shards == 1`).
+    pub shard_stats: Vec<ShardStats>,
+}
+
+/// One shard's client-observed share of a sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardLine {
+    pub shard: u16,
+    /// Acked requests whose head lpn this shard owns.
+    pub acked: u64,
+    /// Latency of those requests (issue → reply), nanoseconds.
+    pub latency: Histogram,
 }
 
 impl LoadReport {
@@ -191,6 +235,20 @@ impl LoadReport {
         } else {
             self.shed as f64 / self.issued as f64
         }
+    }
+
+    /// The counter-sum identity for a sharded run: every per-shard
+    /// `gateway.shard.*` page counter must sum exactly to its aggregate
+    /// `gateway.*` twin. Trivially `Ok` for a single-pair run.
+    pub fn verify_shard_sums(&self) -> Result<(), String> {
+        if self.shard_stats.is_empty() {
+            return Ok(());
+        }
+        ShardStatsSum::of(&self.shard_stats)
+            .matches(&self.gateway)
+            .map_err(|(name, sum, total)| {
+                format!("shard sum mismatch: Σ shard.{name} = {sum} != gateway.{name} = {total}")
+            })
     }
 }
 
@@ -237,12 +295,55 @@ struct ClientTally {
     errors: u64,
 }
 
+/// Shared per-shard attribution for client threads: each acked request is
+/// credited to the shard owning its head lpn, resolved through the same
+/// ring the gateway routes by (placement is deterministic, so client-side
+/// and gateway-side attribution agree).
+struct ShardAttr {
+    ring: Ring,
+    acked: Vec<Counter>,
+    latency: Vec<Histogram>,
+}
+
+impl ShardAttr {
+    fn new(shards: u16, pages_per_block: u32) -> ShardAttr {
+        ShardAttr {
+            ring: cluster_ring(shards, pages_per_block),
+            acked: (0..shards).map(|_| Counter::new()).collect(),
+            latency: (0..shards).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    fn shard_of(&self, lpn: u64) -> usize {
+        usize::from(self.ring.shard_of_lpn(lpn))
+    }
+
+    fn record(&self, shard: usize, ns: u64) {
+        self.acked[shard].inc();
+        self.latency[shard].record(ns);
+    }
+
+    fn lines(&self) -> Vec<ShardLine> {
+        self.acked
+            .iter()
+            .zip(&self.latency)
+            .enumerate()
+            .map(|(i, (acked, latency))| ShardLine {
+                shard: i as u16,
+                acked: acked.get(),
+                latency: latency.clone(),
+            })
+            .collect()
+    }
+}
+
 fn drive_closed(
     client: &mut GatewayClient,
     trace: &Trace,
     base: u64,
     page_bytes: usize,
     latency: &Histogram,
+    attr: Option<&ShardAttr>,
 ) -> ClientTally {
     let mut t = ClientTally::default();
     let cid = client.client_id();
@@ -263,7 +364,11 @@ fn drive_closed(
         match outcome {
             Ok(()) => {
                 t.acked += 1;
-                latency.record(started.elapsed().as_nanos() as u64);
+                let ns = started.elapsed().as_nanos() as u64;
+                latency.record(ns);
+                if let Some(attr) = attr {
+                    attr.record(attr.shard_of(base + req.lpn), ns);
+                }
             }
             Err(ClientError::Busy) => t.shed += 1,
             Err(_) => {
@@ -282,13 +387,15 @@ fn drive_open(
     page_bytes: usize,
     rate_factor: f64,
     latency: &Histogram,
+    attr: Option<&ShardAttr>,
 ) -> ClientTally {
     let mut t = ClientTally::default();
     let cid = client.client_id();
     let schedule = trace.arrival_schedule().scaled(rate_factor);
     let origin = Instant::now();
-    // id → send instant, for latency once the (in-order) reply arrives.
-    let mut inflight: std::collections::VecDeque<(u64, Instant)> =
+    // id → (send instant, owning shard), for latency + shard attribution
+    // once the (in-order) reply arrives.
+    let mut inflight: std::collections::VecDeque<(u64, Instant, usize)> =
         std::collections::VecDeque::new();
 
     for (seq, req) in trace.requests.iter().enumerate() {
@@ -302,16 +409,17 @@ fn drive_open(
                     break;
                 }
                 let wait = (due - elapsed).min(Duration::from_micros(200));
-                if !drain_replies(client, &mut inflight, &mut t, latency, wait) {
+                if !drain_replies(client, &mut inflight, &mut t, latency, attr, wait) {
                     return t;
                 }
             }
         }
-        if !drain_replies(client, &mut inflight, &mut t, latency, Duration::ZERO) {
+        if !drain_replies(client, &mut inflight, &mut t, latency, attr, Duration::ZERO) {
             return t;
         }
         let pages = req.pages.max(1);
         t.issued += 1;
+        let shard = attr.map_or(0, |a| a.shard_of(base + req.lpn));
         let sent = Instant::now();
         let result = match req.op {
             Op::Write => {
@@ -324,7 +432,7 @@ fn drive_open(
             Op::Trim => client.send_trim(base + req.lpn, pages),
         };
         match result {
-            Ok(id) => inflight.push_back((id, sent)),
+            Ok(id) => inflight.push_back((id, sent, shard)),
             Err(_) => {
                 t.errors += 1;
                 return t;
@@ -338,6 +446,7 @@ fn drive_open(
             &mut inflight,
             &mut t,
             latency,
+            attr,
             Duration::from_secs(5),
         ) {
             break;
@@ -350,15 +459,16 @@ fn drive_open(
 /// without waiting. Returns false on a protocol/transport failure.
 fn drain_replies(
     client: &GatewayClient,
-    inflight: &mut std::collections::VecDeque<(u64, Instant)>,
+    inflight: &mut std::collections::VecDeque<(u64, Instant, usize)>,
     t: &mut ClientTally,
     latency: &Histogram,
+    attr: Option<&ShardAttr>,
     budget: Duration,
 ) -> bool {
     loop {
         match client_recv(client, budget) {
             RecvOutcome::Reply(reply) => {
-                let Some((id, sent)) = inflight.pop_front() else {
+                let Some((id, sent, shard)) = inflight.pop_front() else {
                     t.errors += 1;
                     return false;
                 };
@@ -370,7 +480,11 @@ fn drain_replies(
                     t.shed += 1;
                 } else {
                     t.acked += 1;
-                    latency.record(sent.elapsed().as_nanos() as u64);
+                    let ns = sent.elapsed().as_nanos() as u64;
+                    latency.record(ns);
+                    if let Some(attr) = attr {
+                        attr.record(shard, ns);
+                    }
                 }
                 if budget == Duration::ZERO {
                     continue;
@@ -400,22 +514,48 @@ fn client_recv(client: &GatewayClient, timeout: Duration) -> RecvOutcome {
     }
 }
 
-/// Build a gateway-fronted pair, run the spec, and report.
+/// Build a gateway-fronted cluster — one pair, or `spec.shards` pairs
+/// behind a consistent-hash ring — run the spec, and report.
 pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
-    let (ta, tb) = mem_pair();
-    let backend = shared_backend(MemBackend::default());
-    let node_a = Arc::new(Node::spawn(
-        NodeConfig::test_profile(0),
-        ta,
-        backend.clone(),
-    ));
-    let node_b = Node::spawn(NodeConfig::test_profile(1), tb, backend);
-
+    if spec.shards == 0 {
+        return Err("shards must be >= 1".into());
+    }
     let gw_cfg = GatewayConfig {
         admission: spec.admission,
         ..GatewayConfig::default()
     };
-    let gateway = Gateway::new(gw_cfg, node_a);
+    let pages_per_block = gw_cfg.pages_per_block;
+
+    // Keep-alive for whatever backs the gateway: the single pair's B side,
+    // or the whole sharded cluster (pairs + secondaries).
+    enum Backing {
+        Single(Node),
+        Sharded(ShardedGateway),
+    }
+
+    let (gateway, backing): (Arc<Gateway>, Backing) = if spec.shards == 1 {
+        let (ta, tb) = mem_pair();
+        let backend = shared_backend(MemBackend::default());
+        let node_a = Arc::new(Node::spawn(
+            NodeConfig::test_profile(0),
+            ta,
+            backend.clone(),
+        ));
+        let node_b = Node::spawn(NodeConfig::test_profile(1), tb, backend);
+        (Gateway::new(gw_cfg, node_a), Backing::Single(node_b))
+    } else {
+        let ring_cfg = RingConfig {
+            seed: RING_SEED,
+            block_pages: pages_per_block,
+            ..RingConfig::default()
+        };
+        let sg = ShardedGateway::spawn_mem(gw_cfg, ring_cfg, spec.shards);
+        (Arc::clone(sg.gateway()), Backing::Sharded(sg))
+    };
+
+    // Client-side shard attribution, shared across client threads.
+    let attr: Option<Arc<ShardAttr>> =
+        (spec.shards > 1).then(|| Arc::new(ShardAttr::new(spec.shards, pages_per_block)));
 
     let tcp_addr = match spec.transport {
         TransportKind::Tcp => Some(
@@ -441,6 +581,7 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
             TransportKind::Mem => gateway.connect_mem_as(idx as u64 + 1),
         };
         let latency = latency.clone();
+        let attr = attr.clone();
         let mode = spec.mode;
         let page_bytes = spec.page_bytes;
         let rate_factor = spec.rate_factor;
@@ -449,13 +590,20 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
                 .name(format!("fc-loadgen-{idx}"))
                 .spawn(move || {
                     client.hello().map_err(|e| format!("hello: {e}"))?;
+                    let attr = attr.as_deref();
                     Ok::<ClientTally, String>(match mode {
                         Mode::Closed => {
-                            drive_closed(&mut client, &trace, base, page_bytes, &latency)
+                            drive_closed(&mut client, &trace, base, page_bytes, &latency, attr)
                         }
-                        Mode::Open => {
-                            drive_open(&mut client, &trace, base, page_bytes, rate_factor, &latency)
-                        }
+                        Mode::Open => drive_open(
+                            &mut client,
+                            &trace,
+                            base,
+                            page_bytes,
+                            rate_factor,
+                            &latency,
+                            attr,
+                        ),
                     })
                 })
                 .map_err(|e| format!("spawn: {e}"))?,
@@ -479,19 +627,29 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         std::thread::sleep(Duration::from_millis(1));
     }
     let gateway_stats = gateway.stats();
-    let digest = state_digest(gateway.node(), spec.clients as u64 * spec.pages_per_client);
+    let shard_stats = if spec.shards > 1 {
+        gateway.shard_stats()
+    } else {
+        Vec::new()
+    };
+    let shard_lines = attr.as_deref().map(ShardAttr::lines).unwrap_or_default();
+    let digest = state_digest(&gateway, spec.clients as u64 * spec.pages_per_client);
     gateway.shutdown();
-    drop(node_b);
+    match backing {
+        Backing::Single(node_b) => drop(node_b),
+        Backing::Sharded(sg) => sg.shutdown(),
+    }
 
     Ok(LoadReport {
         spec_line: format!(
-            "trace={} clients={} seed={} requests={} mode={} transport={}",
+            "trace={} clients={} seed={} requests={} mode={} transport={} shards={}",
             spec.workload.name(),
             spec.clients,
             spec.seed,
             spec.requests,
             spec.mode.name(),
             spec.transport.name(),
+            spec.shards,
         ),
         issued: total.issued,
         acked: total.acked,
@@ -501,16 +659,19 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         latency,
         gateway: gateway_stats,
         state_digest: digest,
+        shard_lines,
+        shard_stats,
     })
 }
 
-/// FNV-1a fold of every present page in `[0, total_pages)` — the node's
-/// observable final state for determinism comparisons.
-fn state_digest(node: &Node, total_pages: u64) -> u64 {
+/// FNV-1a fold of every present page in `[0, total_pages)` — the
+/// cluster's observable final state for determinism comparisons. Reads go
+/// through the gateway's routing, so the digest covers every shard.
+fn state_digest(gateway: &Gateway, total_pages: u64) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for lpn in 0..total_pages {
-        if let Some(data) = node.read(lpn) {
+        if let Some(data) = gateway.read_page(lpn) {
             h ^= lpn.wrapping_add(1);
             h = h.wrapping_mul(PRIME);
             for &b in &data {
@@ -560,6 +721,29 @@ pub fn report_text(r: &LoadReport) -> String {
         r.gateway.max_inflight_seen,
         r.gateway.inflight,
     ));
+    for line in &r.shard_lines {
+        let share = if r.acked == 0 {
+            0.0
+        } else {
+            100.0 * line.acked as f64 / r.acked as f64
+        };
+        let mut row = format!(
+            "  shard {:<6} acked {:>8} ({:>5.1}%)   p50 {:>9.1} µs   p99 {:>9.1} µs",
+            line.shard,
+            line.acked,
+            share,
+            us(line.latency.p50()),
+            us(line.latency.p99()),
+        );
+        if let Some(s) = r.shard_stats.iter().find(|s| s.shard == line.shard) {
+            row.push_str(&format!(
+                "   node ops {}  runs {}  rd {}  wr {}",
+                s.ops, s.runs, s.read_pages, s.write_pages
+            ));
+        }
+        row.push('\n');
+        out.push_str(&row);
+    }
     out.push_str(&format!(
         "  {:<12} {:#018x}\n",
         "state-digest", r.state_digest
@@ -662,5 +846,63 @@ mod tests {
             "client view and gateway counter agree exactly"
         );
         assert!(report.shed_rate() > 0.8);
+    }
+
+    #[test]
+    fn sharded_closed_loop_is_deterministic_and_sums_match() {
+        let spec = LoadgenSpec {
+            clients: 4,
+            requests: 80,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            shards: 4,
+            ..LoadgenSpec::default()
+        };
+        let a = run(&spec).expect("run a");
+        let b = run(&spec).expect("run b");
+
+        assert_eq!(a.errors, 0);
+        assert_eq!(a.issued, 320);
+        assert_eq!(a.acked, 320, "unlimited admission sheds nothing");
+        assert_eq!(
+            a.state_digest, b.state_digest,
+            "mem closed-loop sharded runs are bit-deterministic"
+        );
+
+        // Per-shard gateway counters sum exactly to the aggregates.
+        a.verify_shard_sums().expect("counter-sum identity");
+        b.verify_shard_sums().expect("counter-sum identity");
+
+        // Client-side attribution covers every acked request.
+        assert_eq!(a.shard_lines.len(), 4);
+        let acked_sum: u64 = a.shard_lines.iter().map(|l| l.acked).sum();
+        assert_eq!(acked_sum, a.acked);
+        let samples: u64 = a.shard_lines.iter().map(|l| l.latency.count()).sum();
+        assert_eq!(samples, a.latency.count());
+        // With the default vnode count the 4 shards all see traffic.
+        assert!(a.shard_lines.iter().all(|l| l.acked > 0));
+
+        let text = report_text(&a);
+        assert!(text.contains("shard 0"));
+        assert!(text.contains("shard 3"));
+        assert!(text.contains("shards=4"));
+    }
+
+    #[test]
+    fn single_pair_report_has_no_shard_breakdown() {
+        let spec = LoadgenSpec {
+            clients: 2,
+            requests: 30,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            ..LoadgenSpec::default()
+        };
+        let report = run(&spec).expect("run");
+        assert!(report.shard_lines.is_empty());
+        assert!(report.shard_stats.is_empty());
+        report.verify_shard_sums().expect("vacuously ok");
+        assert!(!report_text(&report).contains("shard 0"));
     }
 }

@@ -45,6 +45,27 @@ impl WriteRun {
 /// Output runs are sorted by lpn and never cross a multiple of
 /// `pages_per_block`.
 pub fn coalesce(writes: Vec<(u64, Bytes)>, pages_per_block: u32) -> Vec<WriteRun> {
+    coalesce_sharded(writes, pages_per_block, |_| 0)
+        .into_iter()
+        .map(|(_, run)| run)
+        .collect()
+}
+
+/// Shard-aware coalescing for the sharded gateway: like [`coalesce`], but
+/// each run is tagged with its owning shard and **never spans a shard
+/// boundary** — a run is broken wherever `shard_of` changes, in addition
+/// to the logical-block breaks.
+///
+/// The extra break matters whenever the router's granularity differs from
+/// the gateway's block size (e.g. a ring routing 2-page blocks under an
+/// 8-page destage block): block-confined runs alone would happily glue
+/// together pages owned by different pairs, and submitting such a run to
+/// one node would write another shard's pages to the wrong pair.
+pub fn coalesce_sharded(
+    writes: Vec<(u64, Bytes)>,
+    pages_per_block: u32,
+    shard_of: impl Fn(u64) -> u16,
+) -> Vec<(u16, WriteRun)> {
     let ppb = u64::from(pages_per_block.max(1));
     // BTreeMap gives both last-writer-wins (insert replaces) and sorted
     // iteration for run detection.
@@ -52,16 +73,24 @@ pub fn coalesce(writes: Vec<(u64, Bytes)>, pages_per_block: u32) -> Vec<WriteRun
     for (lpn, data) in writes {
         newest.insert(lpn, data);
     }
-    let mut runs: Vec<WriteRun> = Vec::new();
+    let mut runs: Vec<(u16, WriteRun)> = Vec::new();
     for (lpn, data) in newest {
+        let shard = shard_of(lpn);
         match runs.last_mut() {
-            Some(run) if lpn == run.lpn + run.pages.len() as u64 && lpn / ppb == run.lpn / ppb => {
+            Some((s, run))
+                if *s == shard
+                    && lpn == run.lpn + run.pages.len() as u64
+                    && lpn / ppb == run.lpn / ppb =>
+            {
                 run.pages.push(data);
             }
-            _ => runs.push(WriteRun {
-                lpn,
-                pages: vec![data],
-            }),
+            _ => runs.push((
+                shard,
+                WriteRun {
+                    lpn,
+                    pages: vec![data],
+                },
+            )),
         }
     }
     runs
@@ -125,6 +154,80 @@ mod tests {
         // pages_per_block == 0 is clamped to 1: every page its own block.
         let runs = coalesce(vec![(0, b("a")), (1, b("b"))], 0);
         assert_eq!(runs.len(), 2);
+    }
+
+    /// Regression for the sharded scheduler: an adjacent LPN run inside
+    /// ONE logical block whose pages belong to TWO shards (router finer
+    /// than the block size) must be split at every shard change — block
+    /// boundaries alone would have produced a single run and routed half
+    /// its pages to the wrong pair.
+    #[test]
+    fn runs_never_cross_shard_boundaries() {
+        // 8-page blocks, but a router that alternates shards every 2 pages:
+        // pages 0..8 are one block yet belong to shards 0,0,1,1,0,0,1,1.
+        let shard_of = |lpn: u64| ((lpn / 2) % 2) as u16;
+        let writes: Vec<(u64, Bytes)> = (0..8u64).map(|l| (l, b("p"))).collect();
+
+        // The shard-blind coalescer glues everything into one run…
+        let blind = coalesce(writes.clone(), 8);
+        assert_eq!(blind.len(), 1, "precondition: one block ⇒ one blind run");
+
+        // …the shard-aware one must break at every ownership change.
+        let runs = coalesce_sharded(writes, 8, shard_of);
+        assert_eq!(runs.len(), 4);
+        for (shard, run) in &runs {
+            assert_eq!(run.len(), 2);
+            for i in 0..run.len() as u64 {
+                assert_eq!(
+                    shard_of(run.lpn + i),
+                    *shard,
+                    "run at lpn {} leaked into another shard",
+                    run.lpn
+                );
+            }
+        }
+        // Pages survive intact: 4 runs × 2 pages = the 8 input pages.
+        let total: usize = runs.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn sharded_coalesce_still_dedups_and_blocks_still_split() {
+        let shard_of = |lpn: u64| (lpn / 4) as u16;
+        // Pages 2..6 with 4-page blocks and a block-aligned router:
+        // the block boundary and shard boundary coincide at 4.
+        let runs = coalesce_sharded(
+            vec![
+                (2, b("old2")),
+                (3, b("p3")),
+                (4, b("p4")),
+                (5, b("p5")),
+                (2, b("new2")),
+            ],
+            4,
+            shard_of,
+        );
+        assert_eq!(runs.len(), 2);
+        assert_eq!(
+            runs[0],
+            (
+                0,
+                WriteRun {
+                    lpn: 2,
+                    pages: vec![b("new2"), b("p3")]
+                }
+            )
+        );
+        assert_eq!(
+            runs[1],
+            (
+                1,
+                WriteRun {
+                    lpn: 4,
+                    pages: vec![b("p4"), b("p5")]
+                }
+            )
+        );
     }
 
     #[test]

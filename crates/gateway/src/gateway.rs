@@ -26,13 +26,15 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use fc_cluster::Node;
 use fc_obs::{Counter, Gauge, Histogram, Obs};
+use fc_ring::Ring;
 use parking_lot::Mutex;
 
 use crate::admission::{Admission, AdmissionConfig, Permit, ShedReason};
-use crate::batch::{coalesce, WriteRun};
+use crate::batch::{coalesce, coalesce_sharded, WriteRun};
 use crate::client::GatewayClient;
 use crate::conn::{mem_session, SessionLink, TcpSessionLink};
 use crate::proto::{ErrorCode, Reply, Request, PROTO_VERSION};
+use crate::shard::{ShardInstruments, ShardStats};
 
 /// Gateway knobs.
 #[derive(Debug, Clone)]
@@ -91,7 +93,12 @@ pub struct GatewayStats {
     pub read_pages: u64,
     pub read_hits: u64,
     pub trims: u64,
+    /// Pages covered by trim requests (partitions exactly over shards).
+    pub trim_pages: u64,
     pub flushes: u64,
+    /// Dirty pages destaged by flush requests, summed over every node the
+    /// flush fanned out to.
+    pub flushed_pages: u64,
     /// Write submissions to the node (one per batch window).
     pub batches: u64,
     /// Contiguous runs those batches decomposed into.
@@ -132,7 +139,9 @@ struct Instruments {
     read_pages: Counter,
     read_hits: Counter,
     trims: Counter,
+    trim_pages: Counter,
     flushes: Counter,
+    flushed_pages: Counter,
     batches: Counter,
     runs: Counter,
     coalesced_pages: Counter,
@@ -158,7 +167,9 @@ impl Instruments {
             read_pages: Counter::new(),
             read_hits: Counter::new(),
             trims: Counter::new(),
+            trim_pages: Counter::new(),
             flushes: Counter::new(),
+            flushed_pages: Counter::new(),
             batches: Counter::new(),
             runs: Counter::new(),
             coalesced_pages: Counter::new(),
@@ -179,14 +190,29 @@ impl Instruments {
     }
 }
 
-/// A running gateway. Create with [`Gateway::new`], connect clients with
+/// Where admitted requests go: one pair, or N pairs behind a consistent-
+/// hash ring.
+enum Backend {
+    /// The original single-pair mode: every request hits this node.
+    Single(Arc<Node>),
+    /// Sharded mode: `ring` maps logical blocks to an index into `nodes`
+    /// (pair `i`'s client-facing primary).
+    Sharded { ring: Ring, nodes: Vec<Arc<Node>> },
+}
+
+/// A running gateway. Create with [`Gateway::new`] (one pair) or
+/// [`Gateway::new_sharded`] (N pairs behind a ring; usually via
+/// [`crate::ShardedGateway`]), connect clients with
 /// [`Gateway::connect_mem`] or [`Gateway::listen_tcp`] +
 /// [`GatewayClient::connect_tcp`](crate::GatewayClient::connect_tcp).
 pub struct Gateway {
     cfg: GatewayConfig,
-    node: Arc<Node>,
+    backend: Backend,
     admission: Admission,
     instruments: Mutex<Arc<Instruments>>,
+    /// One entry per shard (empty in single mode). Swapped wholesale by
+    /// `attach_obs`, same discipline as `instruments`.
+    shard_instruments: Mutex<Arc<Vec<ShardInstruments>>>,
     next_mem_client: AtomicU64,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
@@ -198,11 +224,34 @@ impl Gateway {
     /// Wrap a node. The node keeps its own lifecycle (pump thread,
     /// replication); the gateway only adds the client-facing front end.
     pub fn new(cfg: GatewayConfig, node: Arc<Node>) -> Arc<Gateway> {
+        Gateway::with_backend(cfg, Backend::Single(node), 0)
+    }
+
+    /// Front `nodes[i]` (pair i's primary) for ring shard `i`. The ring
+    /// must contain exactly the pairs `0..nodes.len()` so every lookup
+    /// resolves to a node.
+    pub fn new_sharded(cfg: GatewayConfig, ring: Ring, nodes: Vec<Arc<Node>>) -> Arc<Gateway> {
+        assert!(!nodes.is_empty(), "sharded gateway needs at least one pair");
+        let expected: Vec<u16> = (0..nodes.len() as u16).collect();
+        assert_eq!(
+            ring.pairs(),
+            expected.as_slice(),
+            "ring membership must be exactly 0..{}",
+            nodes.len()
+        );
+        let shards = nodes.len();
+        Gateway::with_backend(cfg, Backend::Sharded { ring, nodes }, shards)
+    }
+
+    fn with_backend(cfg: GatewayConfig, backend: Backend, shards: usize) -> Arc<Gateway> {
         Arc::new(Gateway {
             admission: Admission::new(cfg.admission),
             cfg,
-            node,
+            backend,
             instruments: Mutex::new(Arc::new(Instruments::detached())),
+            shard_instruments: Mutex::new(Arc::new(
+                (0..shards).map(|_| ShardInstruments::detached()).collect(),
+            )),
             next_mem_client: AtomicU64::new(1),
             epoch: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -211,9 +260,56 @@ impl Gateway {
         })
     }
 
-    /// The node behind this gateway.
+    /// The node behind a single-pair gateway. Panics in sharded mode —
+    /// there is no one node; use [`Gateway::shard_nodes`] or
+    /// [`Gateway::read_page`].
     pub fn node(&self) -> &Arc<Node> {
-        &self.node
+        match &self.backend {
+            Backend::Single(node) => node,
+            Backend::Sharded { .. } => {
+                panic!("Gateway::node() on a sharded gateway; use shard_nodes()/read_page()")
+            }
+        }
+    }
+
+    /// Every primary node behind this gateway (one entry in single mode,
+    /// index = shard id in sharded mode).
+    pub fn shard_nodes(&self) -> &[Arc<Node>] {
+        match &self.backend {
+            Backend::Single(node) => std::slice::from_ref(node),
+            Backend::Sharded { nodes, .. } => nodes,
+        }
+    }
+
+    /// The routing ring (sharded mode only).
+    pub fn ring(&self) -> Option<&Ring> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded { ring, .. } => Some(ring),
+        }
+    }
+
+    /// Read one logical page through the router, without client
+    /// attribution — the primitive behind state digests and scrub-style
+    /// full-space sweeps.
+    pub fn read_page(&self, lpn: u64) -> Option<Vec<u8>> {
+        match &self.backend {
+            Backend::Single(node) => node.read(lpn),
+            Backend::Sharded { ring, nodes } => {
+                nodes[usize::from(ring.shard_of_lpn(lpn))].read(lpn)
+            }
+        }
+    }
+
+    /// Per-shard traffic snapshots, index = shard id. Empty for a
+    /// single-pair gateway.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let shard_ins = self.shard_instruments.lock().clone();
+        shard_ins
+            .iter()
+            .enumerate()
+            .map(|(i, ins)| ins.stats(i as u16))
+            .collect()
     }
 
     /// Register `gateway.*` metrics (counters seeded with current values,
@@ -245,7 +341,9 @@ impl Gateway {
             read_pages: seed("gateway.read_pages", &old.read_pages),
             read_hits: seed("gateway.read_hits", &old.read_hits),
             trims: seed("gateway.trims", &old.trims),
+            trim_pages: seed("gateway.trim_pages", &old.trim_pages),
             flushes: seed("gateway.flushes", &old.flushes),
+            flushed_pages: seed("gateway.flushed_pages", &old.flushed_pages),
             batches: seed("gateway.batches", &old.batches),
             runs: seed("gateway.runs", &old.runs),
             coalesced_pages: seed("gateway.coalesced_pages", &old.coalesced_pages),
@@ -254,10 +352,23 @@ impl Gateway {
             obs: Some(obs.clone()),
         };
         *self.instruments.lock() = Arc::new(next);
+
+        // Per-shard twins under `gateway.shard.{i}.*` (sharded mode only).
+        let old_shards = self.shard_instruments.lock().clone();
+        let next_shards: Vec<ShardInstruments> = old_shards
+            .iter()
+            .enumerate()
+            .map(|(i, old)| ShardInstruments::attached(reg, i, old))
+            .collect();
+        *self.shard_instruments.lock() = Arc::new(next_shards);
     }
 
     fn instruments(&self) -> Arc<Instruments> {
         self.instruments.lock().clone()
+    }
+
+    fn shard_instruments(&self) -> Arc<Vec<ShardInstruments>> {
+        self.shard_instruments.lock().clone()
     }
 
     /// Monotonic nanoseconds since gateway start — the admission clock.
@@ -283,13 +394,157 @@ impl Gateway {
             read_pages: ins.read_pages.get(),
             read_hits: ins.read_hits.get(),
             trims: ins.trims.get(),
+            trim_pages: ins.trim_pages.get(),
             flushes: ins.flushes.get(),
+            flushed_pages: ins.flushed_pages.get(),
             batches: ins.batches.get(),
             runs: ins.runs.get(),
             coalesced_pages: ins.coalesced_pages.get(),
             inflight: self.admission.inflight(),
             max_inflight_seen: self.admission.max_inflight_seen(),
         }
+    }
+
+    /// Read `[lpn, lpn+pages)` through the router. Returns the page
+    /// payloads (present/absent) and the hit count. In sharded mode the
+    /// span is walked as contiguous same-shard segments, each counted and
+    /// timed against its shard's `gateway.shard.*` instruments — a read
+    /// straddling a shard boundary touches every owning pair.
+    fn do_read(&self, client: u64, lpn: u64, pages: u32) -> (Vec<Option<Bytes>>, u64) {
+        let mut out = Vec::with_capacity(pages as usize);
+        let mut hits = 0u64;
+        match &self.backend {
+            Backend::Single(node) => {
+                for i in 0..u64::from(pages) {
+                    match node.read_from(client, lpn + i) {
+                        Some(data) => {
+                            hits += 1;
+                            out.push(Some(Bytes::from(data)));
+                        }
+                        None => out.push(None),
+                    }
+                }
+            }
+            Backend::Sharded { ring, nodes } => {
+                let shard_ins = self.shard_instruments();
+                for (shard, start, count) in segments(ring, lpn, pages) {
+                    let ins = &shard_ins[usize::from(shard)];
+                    let started = Instant::now();
+                    let mut seg_hits = 0u64;
+                    for i in 0..u64::from(count) {
+                        match nodes[usize::from(shard)].read_from(client, start + i) {
+                            Some(data) => {
+                                seg_hits += 1;
+                                out.push(Some(Bytes::from(data)));
+                            }
+                            None => out.push(None),
+                        }
+                    }
+                    ins.ops.inc();
+                    ins.read_pages.add(u64::from(count));
+                    ins.read_hits.add(seg_hits);
+                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    hits += seg_hits;
+                }
+            }
+        }
+        (out, hits)
+    }
+
+    /// Trim `[lpn, lpn+pages)` through the router, segment-counted per
+    /// shard like [`Gateway::do_read`].
+    fn do_trim(&self, client: u64, lpn: u64, pages: u32) {
+        match &self.backend {
+            Backend::Single(node) => {
+                for i in 0..u64::from(pages) {
+                    node.delete_from(client, lpn + i);
+                }
+            }
+            Backend::Sharded { ring, nodes } => {
+                let shard_ins = self.shard_instruments();
+                for (shard, start, count) in segments(ring, lpn, pages) {
+                    let ins = &shard_ins[usize::from(shard)];
+                    let started = Instant::now();
+                    for i in 0..u64::from(count) {
+                        nodes[usize::from(shard)].delete_from(client, start + i);
+                    }
+                    ins.ops.inc();
+                    ins.trim_pages.add(u64::from(count));
+                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                }
+            }
+        }
+    }
+
+    /// Flush dirty pages: one node in single mode, fanned out to every
+    /// pair in sharded mode. Returns total pages destaged.
+    fn do_flush(&self) -> u64 {
+        match &self.backend {
+            Backend::Single(node) => node.flush_dirty(),
+            Backend::Sharded { nodes, .. } => {
+                let shard_ins = self.shard_instruments();
+                let mut total = 0u64;
+                for (i, node) in nodes.iter().enumerate() {
+                    let ins = &shard_ins[i];
+                    let started = Instant::now();
+                    let flushed = node.flush_dirty();
+                    ins.ops.inc();
+                    ins.flushed_pages.add(flushed);
+                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    total += flushed;
+                }
+                total
+            }
+        }
+    }
+
+    /// Coalesce one batch window's pages into runs and submit them. Runs
+    /// never cross a logical-block boundary, and in sharded mode never a
+    /// shard boundary either ([`coalesce_sharded`]) — each run goes whole
+    /// to exactly one pair.
+    fn submit_writes(&self, client: u64, flat: Vec<(u64, Bytes)>) -> Submission {
+        let mut sub = Submission::default();
+        match &self.backend {
+            Backend::Single(node) => {
+                let runs: Vec<WriteRun> = coalesce(flat, self.cfg.pages_per_block);
+                for run in &runs {
+                    sub.out_pages += run.len() as u64;
+                    sub.replicated += node.write_run(client, run.lpn, &run.pages).replicated;
+                }
+                sub.runs = runs.len() as u64;
+            }
+            Backend::Sharded { ring, nodes } => {
+                let shard_ins = self.shard_instruments();
+                // Pre-coalesce attribution: which shard each incoming page
+                // belongs to (duplicates of one lpn always share a shard,
+                // so per-shard dedup accounting stays exact).
+                let mut in_per_shard = vec![0u64; nodes.len()];
+                for (lpn, _) in &flat {
+                    in_per_shard[usize::from(ring.shard_of_lpn(*lpn))] += 1;
+                }
+                let tagged =
+                    coalesce_sharded(flat, self.cfg.pages_per_block, |lpn| ring.shard_of_lpn(lpn));
+                let mut out_per_shard = vec![0u64; nodes.len()];
+                for (shard, run) in &tagged {
+                    let ins = &shard_ins[usize::from(*shard)];
+                    let started = Instant::now();
+                    let outcome = nodes[usize::from(*shard)].write_run(client, run.lpn, &run.pages);
+                    ins.ops.inc();
+                    ins.runs.inc();
+                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    out_per_shard[usize::from(*shard)] += run.len() as u64;
+                    sub.out_pages += run.len() as u64;
+                    sub.replicated += outcome.replicated;
+                }
+                for (i, ins) in shard_ins.iter().enumerate() {
+                    ins.write_pages.add(in_per_shard[i]);
+                    // This shard's share of last-writer-wins dedup.
+                    ins.coalesced_pages.add(in_per_shard[i] - out_per_shard[i]);
+                }
+                sub.runs = tagged.len() as u64;
+            }
+        }
+        sub
     }
 
     /// Serve one session on its own thread.
@@ -364,6 +619,35 @@ impl Drop for Gateway {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
+}
+
+/// Outcome of one batch-window submission.
+#[derive(Debug, Default)]
+struct Submission {
+    /// Post-coalesce pages actually submitted.
+    out_pages: u64,
+    /// Contiguous runs submitted.
+    runs: u64,
+    /// Pages the nodes reported replicated to their peers.
+    replicated: u64,
+}
+
+/// Walk `[lpn, lpn+pages)` as maximal contiguous same-shard segments:
+/// `(shard, start, count)` triples in lpn order. Routing is per ring
+/// block, so segments break exactly at owner changes.
+fn segments(ring: &Ring, lpn: u64, pages: u32) -> Vec<(u16, u64, u32)> {
+    let mut segs: Vec<(u16, u64, u32)> = Vec::new();
+    for i in 0..u64::from(pages) {
+        let page = lpn + i;
+        let shard = ring.shard_of_lpn(page);
+        match segs.last_mut() {
+            Some((s, start, count)) if *s == shard && *start + u64::from(*count) == page => {
+                *count += 1;
+            }
+            _ => segs.push((shard, page, 1)),
+        }
+    }
+    segs
 }
 
 // ---------------------------------------------------------------------------
@@ -486,17 +770,7 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            let mut out = Vec::with_capacity(pages as usize);
-            let mut hits = 0u64;
-            for i in 0..u64::from(pages) {
-                match gw.node.read_from(client, lpn + i) {
-                    Some(data) => {
-                        hits += 1;
-                        out.push(Some(Bytes::from(data)));
-                    }
-                    None => out.push(None),
-                }
-            }
+            let (out, hits) = gw.do_read(client, lpn, pages);
             ins.reads.inc();
             ins.read_pages.add(u64::from(pages));
             ins.read_hits.add(hits);
@@ -518,10 +792,9 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            for i in 0..u64::from(pages) {
-                gw.node.delete_from(client, lpn + i);
-            }
+            gw.do_trim(client, lpn, pages);
             ins.trims.inc();
+            ins.trim_pages.add(u64::from(pages));
             finish(gw, &ins, permit, started);
             link.send(Reply::TrimOk { id, pages })?;
             Ok(None)
@@ -532,8 +805,9 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            let flushed = gw.node.flush_dirty();
+            let flushed = gw.do_flush();
             ins.flushes.inc();
+            ins.flushed_pages.add(flushed);
             ins.emit(
                 ins.event("flush")
                     .map(|e| e.u64_field("client", client).u64_field("pages", flushed)),
@@ -684,22 +958,15 @@ fn write_batch(
     }
 
     let in_pages = flat.len() as u64;
-    let runs: Vec<WriteRun> = coalesce(flat, gw.cfg.pages_per_block);
-    let out_pages: u64 = runs.iter().map(|r| r.len() as u64).sum();
-
-    let mut replicated = 0u64;
-    for run in &runs {
-        let outcome = gw.node.write_run(client, run.lpn, &run.pages);
-        replicated += outcome.replicated;
-    }
-    let all_replicated = replicated == out_pages;
+    let sub = gw.submit_writes(client, flat);
+    let all_replicated = sub.replicated == sub.out_pages;
 
     if admitted > 0 {
         ins.writes.add(admitted as u64);
         ins.write_pages.add(in_pages);
         ins.batches.inc();
-        ins.runs.add(runs.len() as u64);
-        ins.coalesced_pages.add(in_pages - out_pages);
+        ins.runs.add(sub.runs);
+        ins.coalesced_pages.add(in_pages - sub.out_pages);
         ins.latency_ns.record(started.elapsed().as_nanos() as u64);
     }
 

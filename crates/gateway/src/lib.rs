@@ -16,6 +16,10 @@
 //!   the node's destage policy sees the sequential windows it looks for.
 //! * [`gateway`] — the service tying it together, with `gateway.*`
 //!   fc-obs metrics and events.
+//! * [`shard`] — scale-out: a [`ShardedGateway`] fronts N cooperative
+//!   pairs behind one endpoint, routing by an `fc-ring` consistent-hash
+//!   ring with per-shard `gateway.shard.*` counters that sum exactly to
+//!   the aggregate gateway counters.
 //!
 //! ```
 //! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
@@ -42,12 +46,14 @@ pub mod client;
 pub mod conn;
 pub mod gateway;
 pub mod proto;
+pub mod shard;
 
 pub use admission::{Admission, AdmissionConfig, Permit, ShedReason, TokenBucket};
-pub use batch::{coalesce, WriteRun};
+pub use batch::{coalesce, coalesce_sharded, WriteRun};
 pub use client::{ClientError, GatewayClient, WriteAck};
 pub use conn::{
     mem_session, LinkClosed, MemClientConn, MemSessionLink, SessionLink, TcpSessionLink,
 };
 pub use gateway::{Gateway, GatewayConfig, GatewayStats};
 pub use proto::{ErrorCode, ProtoError, Reply, Request, MAX_FRAME, PROTO_VERSION};
+pub use shard::{ShardStats, ShardStatsSum, ShardedGateway};

@@ -1,0 +1,279 @@
+//! Sharded (multi-pair) gateway mode.
+//!
+//! A [`ShardedGateway`] fronts N cooperative pairs behind ONE client
+//! protocol endpoint: an [`fc_ring::Ring`] maps each logical block to a
+//! pair, the session scheduler splits batched write runs at shard
+//! boundaries ([`crate::batch::coalesce_sharded`]), reads and trims are
+//! routed per block segment, and `Flush` fans out to every pair.
+//!
+//! ## Counter-sum identity
+//!
+//! Every page-granular gateway counter partitions exactly over shards:
+//! for each of `read_pages`, `read_hits`, `write_pages`,
+//! `coalesced_pages`, `runs`, `trim_pages`, and `flushed_pages`,
+//!
+//! ```text
+//! Σ_i gateway.shard.{i}.<name>  ==  gateway.<name>
+//! ```
+//!
+//! The identity is exact (not approximate) because both sides are
+//! incremented on the same code path, per routed segment — asserted by
+//! [`ShardStatsSum::matches`] in the e2e suite. Request-granular counters
+//! (`requests`, `admitted`, `writes`, …) deliberately have no per-shard
+//! twin: one request may straddle shards, so request counts do not
+//! partition.
+
+use std::sync::Arc;
+
+use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
+use fc_obs::{Counter, Histogram, Registry};
+use fc_ring::{Ring, RingConfig};
+
+use crate::client::GatewayClient;
+use crate::gateway::{Gateway, GatewayConfig, GatewayStats};
+
+/// Hot-path per-shard instruments. Like the gateway-level `Instruments`,
+/// these are swapped wholesale on `attach_obs`.
+pub(crate) struct ShardInstruments {
+    /// Node submissions routed to this shard (runs + read/trim segments +
+    /// flush fan-outs).
+    pub(crate) ops: Counter,
+    pub(crate) read_pages: Counter,
+    pub(crate) read_hits: Counter,
+    /// Pre-coalesce write pages routed here.
+    pub(crate) write_pages: Counter,
+    pub(crate) coalesced_pages: Counter,
+    pub(crate) runs: Counter,
+    pub(crate) trim_pages: Counter,
+    pub(crate) flushed_pages: Counter,
+    /// Per-submission service latency at this shard's node.
+    pub(crate) latency_ns: Histogram,
+}
+
+impl ShardInstruments {
+    pub(crate) fn detached() -> ShardInstruments {
+        ShardInstruments {
+            ops: Counter::new(),
+            read_pages: Counter::new(),
+            read_hits: Counter::new(),
+            write_pages: Counter::new(),
+            coalesced_pages: Counter::new(),
+            runs: Counter::new(),
+            trim_pages: Counter::new(),
+            flushed_pages: Counter::new(),
+            latency_ns: Histogram::new(),
+        }
+    }
+
+    /// Registry-backed replacement, seeded with the detached values so no
+    /// increments are lost across the swap (histogram samples excepted,
+    /// same caveat as the gateway-level instruments).
+    pub(crate) fn attached(
+        reg: &Registry,
+        shard: usize,
+        old: &ShardInstruments,
+    ) -> ShardInstruments {
+        let seed = |name: &str, from: &Counter| {
+            let c = reg.counter(&format!("gateway.shard.{shard}.{name}"));
+            c.store(from.get());
+            c
+        };
+        ShardInstruments {
+            ops: seed("ops", &old.ops),
+            read_pages: seed("read_pages", &old.read_pages),
+            read_hits: seed("read_hits", &old.read_hits),
+            write_pages: seed("write_pages", &old.write_pages),
+            coalesced_pages: seed("coalesced_pages", &old.coalesced_pages),
+            runs: seed("runs", &old.runs),
+            trim_pages: seed("trim_pages", &old.trim_pages),
+            flushed_pages: seed("flushed_pages", &old.flushed_pages),
+            latency_ns: reg.histogram(&format!("gateway.shard.{shard}.latency_ns")),
+        }
+    }
+
+    pub(crate) fn stats(&self, shard: u16) -> ShardStats {
+        ShardStats {
+            shard,
+            ops: self.ops.get(),
+            read_pages: self.read_pages.get(),
+            read_hits: self.read_hits.get(),
+            write_pages: self.write_pages.get(),
+            coalesced_pages: self.coalesced_pages.get(),
+            runs: self.runs.get(),
+            trim_pages: self.trim_pages.get(),
+            flushed_pages: self.flushed_pages.get(),
+            latency_samples: self.latency_ns.count(),
+            latency_sum_ns: self.latency_ns.sum(),
+        }
+    }
+}
+
+/// Point-in-time snapshot of one shard's share of gateway traffic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub shard: u16,
+    /// Node submissions routed to this shard.
+    pub ops: u64,
+    pub read_pages: u64,
+    pub read_hits: u64,
+    /// Pre-coalesce write pages routed to this shard.
+    pub write_pages: u64,
+    pub coalesced_pages: u64,
+    pub runs: u64,
+    pub trim_pages: u64,
+    pub flushed_pages: u64,
+    /// Latency samples recorded at this shard (one per submission).
+    pub latency_samples: u64,
+    pub latency_sum_ns: u64,
+}
+
+/// Column-wise sum of [`ShardStats`] — the left-hand side of the
+/// counter-sum identity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStatsSum {
+    pub read_pages: u64,
+    pub read_hits: u64,
+    pub write_pages: u64,
+    pub coalesced_pages: u64,
+    pub runs: u64,
+    pub trim_pages: u64,
+    pub flushed_pages: u64,
+}
+
+impl ShardStatsSum {
+    /// Fold per-shard snapshots into their column sums.
+    pub fn of(shards: &[ShardStats]) -> ShardStatsSum {
+        let mut s = ShardStatsSum::default();
+        for sh in shards {
+            s.read_pages += sh.read_pages;
+            s.read_hits += sh.read_hits;
+            s.write_pages += sh.write_pages;
+            s.coalesced_pages += sh.coalesced_pages;
+            s.runs += sh.runs;
+            s.trim_pages += sh.trim_pages;
+            s.flushed_pages += sh.flushed_pages;
+        }
+        s
+    }
+
+    /// The counter-sum identity: every column equals its aggregate
+    /// gateway counter. Returns the first mismatch as
+    /// `Err((name, shard_sum, gateway_total))`.
+    pub fn matches(&self, g: &GatewayStats) -> Result<(), (&'static str, u64, u64)> {
+        let checks: [(&'static str, u64, u64); 7] = [
+            ("read_pages", self.read_pages, g.read_pages),
+            ("read_hits", self.read_hits, g.read_hits),
+            ("write_pages", self.write_pages, g.write_pages),
+            ("coalesced_pages", self.coalesced_pages, g.coalesced_pages),
+            ("runs", self.runs, g.runs),
+            ("trim_pages", self.trim_pages, g.trim_pages),
+            ("flushed_pages", self.flushed_pages, g.flushed_pages),
+        ];
+        for (name, sum, total) in checks {
+            if sum != total {
+                return Err((name, sum, total));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A gateway fronting N cooperative pairs, plus ownership of the pairs'
+/// secondary nodes (which would otherwise shut down when dropped).
+///
+/// The primaries live inside the wrapped [`Gateway`]; this wrapper only
+/// adds construction helpers and keeps the B-sides alive for the
+/// gateway's lifetime.
+pub struct ShardedGateway {
+    gateway: Arc<Gateway>,
+    /// B-side of each pair, index = shard id. Kept alive, never routed to
+    /// directly: replication reaches them through their pair link.
+    secondaries: Vec<Node>,
+}
+
+impl ShardedGateway {
+    /// Front `primaries[i]` (pair i's client-facing node) for ring shard
+    /// `i`, keeping `secondaries` alive alongside. The ring must contain
+    /// exactly the pairs `0..primaries.len()`.
+    pub fn from_pairs(
+        cfg: GatewayConfig,
+        ring: Ring,
+        primaries: Vec<Arc<Node>>,
+        secondaries: Vec<Node>,
+    ) -> ShardedGateway {
+        ShardedGateway {
+            gateway: Gateway::new_sharded(cfg, ring, primaries),
+            secondaries,
+        }
+    }
+
+    /// Spawn `pairs` in-memory cooperative pairs (each A/B over a
+    /// crossbeam link, sharing one backend per pair, node ids `2i`/`2i+1`)
+    /// and front them with a sharded gateway. The node block geometry is
+    /// aligned with `cfg.pages_per_block`.
+    pub fn spawn_mem(cfg: GatewayConfig, ring_cfg: RingConfig, pairs: u16) -> ShardedGateway {
+        assert!(pairs >= 1, "a cluster needs at least one pair");
+        let mut primaries = Vec::with_capacity(pairs as usize);
+        let mut secondaries = Vec::with_capacity(pairs as usize);
+        for i in 0..pairs {
+            let (ta, tb) = mem_pair();
+            let backend = shared_backend(MemBackend::default());
+            let mut cfg_a = NodeConfig::test_profile((2 * i) as u8);
+            cfg_a.pages_per_block = cfg.pages_per_block;
+            let mut cfg_b = NodeConfig::test_profile((2 * i + 1) as u8);
+            cfg_b.pages_per_block = cfg.pages_per_block;
+            primaries.push(Arc::new(Node::spawn(cfg_a, ta, backend.clone())));
+            secondaries.push(Node::spawn(cfg_b, tb, backend));
+        }
+        let ring = Ring::with_pairs(ring_cfg, pairs);
+        ShardedGateway::from_pairs(cfg, ring, primaries, secondaries)
+    }
+
+    /// The wrapped gateway (serve sessions, attach obs, snapshot stats).
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// Pair `shard`'s client-facing (primary) node.
+    pub fn primary(&self, shard: u16) -> &Arc<Node> {
+        &self.gateway.shard_nodes()[shard as usize]
+    }
+
+    /// Pair `shard`'s secondary node.
+    pub fn secondary(&self, shard: u16) -> &Node {
+        &self.secondaries[shard as usize]
+    }
+
+    /// Number of pairs behind the gateway.
+    pub fn shards(&self) -> u16 {
+        self.gateway.shard_nodes().len() as u16
+    }
+
+    /// Connect an in-memory client (see [`Gateway::connect_mem`]).
+    pub fn connect_mem(&self) -> GatewayClient {
+        self.gateway.connect_mem()
+    }
+
+    /// Connect an in-memory client with a chosen id.
+    pub fn connect_mem_as(&self, client_id: u64) -> GatewayClient {
+        self.gateway.connect_mem_as(client_id)
+    }
+
+    /// Aggregate gateway stats.
+    pub fn stats(&self) -> GatewayStats {
+        self.gateway.stats()
+    }
+
+    /// Per-shard stats, index = shard id.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.gateway.shard_stats()
+    }
+
+    /// Shut down the gateway sessions, then every pair node.
+    pub fn shutdown(self) {
+        self.gateway.shutdown();
+        for node in self.secondaries {
+            node.shutdown();
+        }
+    }
+}

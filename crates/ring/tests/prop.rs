@@ -1,0 +1,134 @@
+//! Property tests for the consistent-hash ring — the three contracts the
+//! sharded gateway leans on:
+//!
+//! 1. **Stability** — routing is a pure function of (seed, membership):
+//!    independently built rings agree on every key.
+//! 2. **Balance** — virtual nodes keep per-pair shares inside a stated
+//!    bound (each of 4 pairs holds 15–35 % of 1k keys at 128 vnodes; a
+//!    looser 5–60 % bound holds for any 2–8 pairs at ≥64 vnodes).
+//! 3. **Minimal reassignment** — membership changes move only the keys
+//!    they must: removal moves exactly the victim's keys, addition moves
+//!    keys only onto the newcomer.
+
+use fc_ring::{Ring, RingConfig};
+use proptest::prelude::*;
+
+fn cfg(seed: u64, vnodes: u32) -> RingConfig {
+    RingConfig {
+        vnodes,
+        seed,
+        ..RingConfig::default()
+    }
+}
+
+proptest! {
+    /// Stability: two rings built from the same seed and membership (in
+    /// different insertion orders) route 1k random keys identically, and
+    /// routing is repeatable within one ring.
+    #[test]
+    fn key_to_shard_is_stable_under_seed(
+        seed in any::<u64>(),
+        pairs in 1u16..9,
+        keys in prop::collection::vec(any::<u64>(), 100..300),
+    ) {
+        let a = Ring::with_pairs(cfg(seed, 64), pairs);
+        let mut b = Ring::new(cfg(seed, 64));
+        for id in (0..pairs).rev() {
+            b.add_pair(id);
+        }
+        for &k in &keys {
+            let owner = a.shard_of_block(k);
+            prop_assert!(owner < pairs);
+            prop_assert_eq!(owner, b.shard_of_block(k), "insertion order changed routing");
+            prop_assert_eq!(owner, a.shard_of_block(k), "routing not repeatable");
+        }
+    }
+
+    /// Balance at the deployment shape the issue names: 4 pairs, 1k
+    /// sequential block keys, default 128 vnodes — every pair holds
+    /// 15–35 % of the keyspace (fair share 25 %).
+    #[test]
+    fn four_pairs_balance_within_bound_across_1k_keys(seed in any::<u64>()) {
+        let ring = Ring::with_pairs(cfg(seed, 128), 4);
+        let counts = ring.assignment_counts(1_000);
+        prop_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u64>(), 1_000);
+        for (pair, count) in counts {
+            prop_assert!(
+                (150..=350).contains(&count),
+                "pair {} holds {}/1000 keys, outside the 15-35% bound (seed {})",
+                pair, count, seed
+            );
+        }
+    }
+
+    /// Looser balance bound across cluster sizes: with ≥64 vnodes no pair
+    /// is starved below a fifth of fair share or bloated past 2.4x of it.
+    #[test]
+    fn any_membership_balances_coarsely(seed in any::<u64>(), pairs in 2u16..9) {
+        let ring = Ring::with_pairs(cfg(seed, 64), pairs);
+        let fair = 1_000.0 / f64::from(pairs);
+        for (pair, count) in ring.assignment_counts(1_000) {
+            prop_assert!(
+                (count as f64) > fair * 0.2 && (count as f64) < fair * 2.4,
+                "pair {} holds {} keys vs fair share {:.0} (seed {}, pairs {})",
+                pair, count, fair, seed, pairs
+            );
+        }
+    }
+
+    /// Minimal reassignment on removal: keys the victim did not own keep
+    /// their owner; the victim's keys all land on surviving pairs.
+    #[test]
+    fn removal_reassigns_only_the_removed_pairs_keys(
+        seed in any::<u64>(),
+        pairs in 2u16..9,
+        victim_pick in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 100..300),
+    ) {
+        let victim = (victim_pick % u64::from(pairs)) as u16;
+        let before = Ring::with_pairs(cfg(seed, 64), pairs);
+        let mut after = before.clone();
+        after.remove_pair(victim);
+        for &k in &keys {
+            let was = before.shard_of_block(k);
+            let now = after.shard_of_block(k);
+            if was == victim {
+                prop_assert_ne!(now, victim);
+            } else {
+                prop_assert_eq!(
+                    was, now,
+                    "key {} moved {} -> {} though pair {} never owned it",
+                    k, was, now, victim
+                );
+            }
+        }
+    }
+
+    /// Minimal reassignment on addition: every key that changes owner
+    /// moves *to* the new pair, and re-removing it restores the original
+    /// routing exactly.
+    #[test]
+    fn addition_moves_keys_only_onto_the_new_pair(
+        seed in any::<u64>(),
+        pairs in 1u16..8,
+        keys in prop::collection::vec(any::<u64>(), 100..300),
+    ) {
+        let before = Ring::with_pairs(cfg(seed, 64), pairs);
+        let newcomer = pairs;
+        let mut after = before.clone();
+        after.add_pair(newcomer);
+        for &k in &keys {
+            let was = before.shard_of_block(k);
+            let now = after.shard_of_block(k);
+            prop_assert!(
+                was == now || now == newcomer,
+                "key {} moved {} -> {}, not onto new pair {}",
+                k, was, now, newcomer
+            );
+        }
+        after.remove_pair(newcomer);
+        for &k in &keys {
+            prop_assert_eq!(before.shard_of_block(k), after.shard_of_block(k));
+        }
+    }
+}

@@ -28,6 +28,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> lifecycle chaos suite (partitions, crash/corrupt-during-resync)"
 cargo test -q --offline --test chaos_replication --test recovery_e2e
 
+echo "==> sharded cluster: ring proptests + model/chaos/split-run e2e"
+cargo test -q --offline -p fc-ring
+cargo test -q --offline --test sharded_e2e
+
 echo "==> failover smoke: full fail → takeover → resync → rejoin loop"
 cargo run --release --offline --example failover \
   | grep -q "lifecycle loop complete"
@@ -47,5 +51,14 @@ echo "==> loadgen smoke: closed-loop mix workload, 8 clients"
 cargo run --release --offline -p fc-bench --bin loadgen -- \
   --clients 8 --trace mix --seed 42 --requests 400 \
   | grep -q "p999"
+
+echo "==> sharded loadgen smoke: 4 pairs behind one gateway, per-shard lines"
+cargo run --release --offline -p fc-bench --bin loadgen -- \
+  --clients 8 --trace mix --seed 42 --requests 400 --transport mem --shards 4 \
+  | grep -q "shard 3"
+
+echo "==> cluster-scale smoke: sim cluster + 1-pair vs 4-pair gateway"
+cargo run --release --offline --example cluster_scale \
+  | grep -q "cluster scale complete"
 
 echo "CI OK"
