@@ -36,6 +36,13 @@ FLAGS:
   --shards N         cooperative pairs behind the
                      gateway; >1 routes by hash ring
                      and reports per-shard lines       (default 1)
+  --kill-primary-at N  crash the victim shard's primary
+                     N ms after start (needs --shards
+                     >= 2); adds per-phase lines       (default off)
+  --restart-after M  restart the crashed primary M ms
+                     after the kill; traffic then
+                     drives failback                   (default off)
+  --victim-shard S   shard whose primary is killed     (default 0)
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -78,6 +85,15 @@ fn run() -> Result<(), String> {
         pages_per_client: parse_or(flag_value(&args, "--pages"), defaults.pages_per_client)?,
         page_bytes: parse_or(flag_value(&args, "--page-bytes"), defaults.page_bytes)?,
         shards: parse_or(flag_value(&args, "--shards"), defaults.shards)?,
+        kill_primary_at: flag_value(&args, "--kill-primary-at")
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad number {s:?}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis),
+        restart_after: flag_value(&args, "--restart-after")
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad number {s:?}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis),
+        victim_shard: parse_or(flag_value(&args, "--victim-shard"), defaults.victim_shard)?,
         ..defaults
     };
     spec.admission.per_client_rate = parse_or(

@@ -157,6 +157,15 @@ pub struct LoadgenSpec {
     /// front end; >1 spawns a [`ShardedGateway`] routing by
     /// [`cluster_ring`] and the report grows a per-shard breakdown.
     pub shards: u16,
+    /// Fault schedule: crash the victim shard's primary this long after
+    /// the clients start (sharded runs only — the gateway fails the shard
+    /// over to its secondary and the report grows per-phase lines).
+    pub kill_primary_at: Option<Duration>,
+    /// Restart the crashed primary this long after the kill; traffic then
+    /// drives failback. Requires `kill_primary_at`.
+    pub restart_after: Option<Duration>,
+    /// Which shard's primary the fault schedule targets.
+    pub victim_shard: u16,
 }
 
 impl Default for LoadgenSpec {
@@ -173,6 +182,9 @@ impl Default for LoadgenSpec {
             admission: AdmissionConfig::default(),
             page_bytes: 512,
             shards: 1,
+            kill_primary_at: None,
+            restart_after: None,
+            victim_shard: 0,
         }
     }
 }
@@ -187,6 +199,9 @@ pub struct LoadReport {
     pub acked: u64,
     /// `Busy` replies observed by clients.
     pub shed: u64,
+    /// `Unavailable` replies observed by clients (shard had no live
+    /// replica within the gateway's retry deadline; 0 without faults).
+    pub unavailable: u64,
     /// Requests lost to disconnect/timeout (should be 0).
     pub errors: u64,
     pub wall: Duration,
@@ -205,6 +220,23 @@ pub struct LoadReport {
     pub shard_lines: Vec<ShardLine>,
     /// Gateway-side per-shard counters (empty when `shards == 1`).
     pub shard_stats: Vec<ShardStats>,
+    /// Per-phase breakdown of a fault-schedule run (empty without
+    /// `kill_primary_at`): acked requests bucketed by the phase their
+    /// reply arrived in — pre-kill, outage, and (with `restart_after`)
+    /// post-restart.
+    pub phase_lines: Vec<PhaseLine>,
+}
+
+/// One fault-schedule phase's client-observed share of a run.
+#[derive(Debug, Clone)]
+pub struct PhaseLine {
+    pub name: &'static str,
+    /// Offset from client start at which the phase begins.
+    pub start: Duration,
+    /// Acked requests whose reply arrived during this phase.
+    pub acked: u64,
+    /// Latency of those requests (issue → reply), nanoseconds.
+    pub latency: Histogram,
 }
 
 /// One shard's client-observed share of a sharded run.
@@ -292,6 +324,7 @@ struct ClientTally {
     issued: u64,
     acked: u64,
     shed: u64,
+    unavailable: u64,
     errors: u64,
 }
 
@@ -337,13 +370,89 @@ impl ShardAttr {
     }
 }
 
+/// Phase bucketing for fault-schedule runs, shared across client threads:
+/// each acked request is credited to the phase its reply arrived in,
+/// measured against the same origin instant the fault controller's
+/// schedule counts from.
+struct PhaseAttr {
+    origin: Instant,
+    /// `(name, start offset)`, ascending by offset, first at zero.
+    bounds: Vec<(&'static str, Duration)>,
+    acked: Vec<Counter>,
+    latency: Vec<Histogram>,
+}
+
+impl PhaseAttr {
+    fn new(origin: Instant, kill_at: Duration, restart_after: Option<Duration>) -> PhaseAttr {
+        let mut bounds = vec![("pre-kill", Duration::ZERO), ("outage", kill_at)];
+        if let Some(r) = restart_after {
+            bounds.push(("post-restart", kill_at + r));
+        }
+        let n = bounds.len();
+        PhaseAttr {
+            origin,
+            bounds,
+            acked: (0..n).map(|_| Counter::new()).collect(),
+            latency: (0..n).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let elapsed = self.origin.elapsed();
+        let idx = self
+            .bounds
+            .iter()
+            .rposition(|(_, start)| elapsed >= *start)
+            .unwrap_or(0);
+        self.acked[idx].inc();
+        self.latency[idx].record(ns);
+    }
+
+    fn lines(&self) -> Vec<PhaseLine> {
+        self.bounds
+            .iter()
+            .zip(self.acked.iter().zip(&self.latency))
+            .map(|(&(name, start), (acked, latency))| PhaseLine {
+                name,
+                start,
+                acked: acked.get(),
+                latency: latency.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Client-observed recording sinks shared across driver threads.
+#[derive(Clone, Copy)]
+struct Sinks<'a> {
+    latency: &'a Histogram,
+    attr: Option<&'a ShardAttr>,
+    phases: Option<&'a PhaseAttr>,
+}
+
+impl Sinks<'_> {
+    fn record(&self, lpn: u64, ns: u64) {
+        let shard = self.attr.map_or(0, |a| a.shard_of(lpn));
+        self.record_at_shard(shard, ns);
+    }
+
+    fn record_at_shard(&self, shard: usize, ns: u64) {
+        self.latency.record(ns);
+        if let Some(attr) = self.attr {
+            attr.record(shard, ns);
+        }
+        if let Some(phases) = self.phases {
+            phases.record(ns);
+        }
+    }
+}
+
 fn drive_closed(
     client: &mut GatewayClient,
     trace: &Trace,
     base: u64,
     page_bytes: usize,
-    latency: &Histogram,
-    attr: Option<&ShardAttr>,
+    sinks: Sinks<'_>,
 ) -> ClientTally {
     let mut t = ClientTally::default();
     let cid = client.client_id();
@@ -364,13 +473,12 @@ fn drive_closed(
         match outcome {
             Ok(()) => {
                 t.acked += 1;
-                let ns = started.elapsed().as_nanos() as u64;
-                latency.record(ns);
-                if let Some(attr) = attr {
-                    attr.record(attr.shard_of(base + req.lpn), ns);
-                }
+                sinks.record(base + req.lpn, started.elapsed().as_nanos() as u64);
             }
             Err(ClientError::Busy) => t.shed += 1,
+            // A shard with no live replica degrades to a typed reply, not
+            // a hang — count it and keep driving the surviving shards.
+            Err(ClientError::Unavailable { .. }) => t.unavailable += 1,
             Err(_) => {
                 t.errors += 1;
                 break;
@@ -386,8 +494,7 @@ fn drive_open(
     base: u64,
     page_bytes: usize,
     rate_factor: f64,
-    latency: &Histogram,
-    attr: Option<&ShardAttr>,
+    sinks: Sinks<'_>,
 ) -> ClientTally {
     let mut t = ClientTally::default();
     let cid = client.client_id();
@@ -409,17 +516,17 @@ fn drive_open(
                     break;
                 }
                 let wait = (due - elapsed).min(Duration::from_micros(200));
-                if !drain_replies(client, &mut inflight, &mut t, latency, attr, wait) {
+                if !drain_replies(client, &mut inflight, &mut t, sinks, wait) {
                     return t;
                 }
             }
         }
-        if !drain_replies(client, &mut inflight, &mut t, latency, attr, Duration::ZERO) {
+        if !drain_replies(client, &mut inflight, &mut t, sinks, Duration::ZERO) {
             return t;
         }
         let pages = req.pages.max(1);
         t.issued += 1;
-        let shard = attr.map_or(0, |a| a.shard_of(base + req.lpn));
+        let shard = sinks.attr.map_or(0, |a| a.shard_of(base + req.lpn));
         let sent = Instant::now();
         let result = match req.op {
             Op::Write => {
@@ -441,14 +548,7 @@ fn drive_open(
     }
     // Collect the tail.
     while !inflight.is_empty() {
-        if !drain_replies(
-            client,
-            &mut inflight,
-            &mut t,
-            latency,
-            attr,
-            Duration::from_secs(5),
-        ) {
+        if !drain_replies(client, &mut inflight, &mut t, sinks, Duration::from_secs(5)) {
             break;
         }
     }
@@ -461,8 +561,7 @@ fn drain_replies(
     client: &GatewayClient,
     inflight: &mut std::collections::VecDeque<(u64, Instant, usize)>,
     t: &mut ClientTally,
-    latency: &Histogram,
-    attr: Option<&ShardAttr>,
+    sinks: Sinks<'_>,
     budget: Duration,
 ) -> bool {
     loop {
@@ -478,13 +577,11 @@ fn drain_replies(
                 }
                 if matches!(reply, Reply::Error { .. }) {
                     t.shed += 1;
+                } else if matches!(reply, Reply::Unavailable { .. }) {
+                    t.unavailable += 1;
                 } else {
                     t.acked += 1;
-                    let ns = sent.elapsed().as_nanos() as u64;
-                    latency.record(ns);
-                    if let Some(attr) = attr {
-                        attr.record(shard, ns);
-                    }
+                    sinks.record_at_shard(shard, sent.elapsed().as_nanos() as u64);
                 }
                 if budget == Duration::ZERO {
                     continue;
@@ -519,6 +616,23 @@ fn client_recv(client: &GatewayClient, timeout: Duration) -> RecvOutcome {
 pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     if spec.shards == 0 {
         return Err("shards must be >= 1".into());
+    }
+    if spec.kill_primary_at.is_some() {
+        if spec.shards < 2 {
+            return Err(
+                "fault schedule requires --shards >= 2 (a single pair has no shard-level \
+                 secondary to fail over to)"
+                    .into(),
+            );
+        }
+        if spec.victim_shard >= spec.shards {
+            return Err(format!(
+                "victim shard {} out of range (shards = {})",
+                spec.victim_shard, spec.shards
+            ));
+        }
+    } else if spec.restart_after.is_some() {
+        return Err("--restart-after requires --kill-primary-at".into());
     }
     let gw_cfg = GatewayConfig {
         admission: spec.admission,
@@ -568,6 +682,41 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
 
     let latency = Histogram::new();
     let started = Instant::now();
+
+    // Fault controller: crash (and optionally restart) the victim shard's
+    // primary on the spec's schedule, counted from the same origin the
+    // phase buckets use.
+    let phases: Option<Arc<PhaseAttr>> = spec
+        .kill_primary_at
+        .map(|kill_at| Arc::new(PhaseAttr::new(started, kill_at, spec.restart_after)));
+    let fault = match (&backing, spec.kill_primary_at) {
+        (Backing::Sharded(sg), Some(kill_at)) => {
+            let victim = Arc::clone(sg.primary(spec.victim_shard));
+            let restart_after = spec.restart_after;
+            let sleep_until = move |t: Instant| {
+                let now = Instant::now();
+                if t > now {
+                    std::thread::sleep(t - now);
+                }
+            };
+            Some(
+                std::thread::Builder::new()
+                    .name("fc-loadgen-fault".into())
+                    .spawn(move || {
+                        let kill_time = started + kill_at;
+                        sleep_until(kill_time);
+                        victim.fail();
+                        if let Some(after) = restart_after {
+                            sleep_until(kill_time + after);
+                            victim.restart();
+                        }
+                    })
+                    .map_err(|e| format!("spawn fault controller: {e}"))?,
+            )
+        }
+        _ => None,
+    };
+
     let mut handles = Vec::new();
     for idx in 0..spec.clients {
         let trace = client_trace(spec, idx);
@@ -582,6 +731,7 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         };
         let latency = latency.clone();
         let attr = attr.clone();
+        let phases = phases.clone();
         let mode = spec.mode;
         let page_bytes = spec.page_bytes;
         let rate_factor = spec.rate_factor;
@@ -590,20 +740,16 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
                 .name(format!("fc-loadgen-{idx}"))
                 .spawn(move || {
                     client.hello().map_err(|e| format!("hello: {e}"))?;
-                    let attr = attr.as_deref();
+                    let sinks = Sinks {
+                        latency: &latency,
+                        attr: attr.as_deref(),
+                        phases: phases.as_deref(),
+                    };
                     Ok::<ClientTally, String>(match mode {
-                        Mode::Closed => {
-                            drive_closed(&mut client, &trace, base, page_bytes, &latency, attr)
+                        Mode::Closed => drive_closed(&mut client, &trace, base, page_bytes, sinks),
+                        Mode::Open => {
+                            drive_open(&mut client, &trace, base, page_bytes, rate_factor, sinks)
                         }
-                        Mode::Open => drive_open(
-                            &mut client,
-                            &trace,
-                            base,
-                            page_bytes,
-                            rate_factor,
-                            &latency,
-                            attr,
-                        ),
                     })
                 })
                 .map_err(|e| format!("spawn: {e}"))?,
@@ -616,7 +762,13 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         total.issued += tally.issued;
         total.acked += tally.acked;
         total.shed += tally.shed;
+        total.unavailable += tally.unavailable;
         total.errors += tally.errors;
+    }
+    if let Some(fault) = fault {
+        fault
+            .join()
+            .map_err(|_| "fault controller thread panicked")?;
     }
     let wall = started.elapsed();
     // The final permit is released just *after* the last reply is sent;
@@ -640,20 +792,33 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         Backing::Sharded(sg) => sg.shutdown(),
     }
 
+    let mut spec_line = format!(
+        "trace={} clients={} seed={} requests={} mode={} transport={} shards={}",
+        spec.workload.name(),
+        spec.clients,
+        spec.seed,
+        spec.requests,
+        spec.mode.name(),
+        spec.transport.name(),
+        spec.shards,
+    );
+    if let Some(kill_at) = spec.kill_primary_at {
+        spec_line.push_str(&format!(
+            " kill-primary(shard {})@{}ms",
+            spec.victim_shard,
+            kill_at.as_millis()
+        ));
+        if let Some(after) = spec.restart_after {
+            spec_line.push_str(&format!(" restart+{}ms", after.as_millis()));
+        }
+    }
+
     Ok(LoadReport {
-        spec_line: format!(
-            "trace={} clients={} seed={} requests={} mode={} transport={} shards={}",
-            spec.workload.name(),
-            spec.clients,
-            spec.seed,
-            spec.requests,
-            spec.mode.name(),
-            spec.transport.name(),
-            spec.shards,
-        ),
+        spec_line,
         issued: total.issued,
         acked: total.acked,
         shed: total.shed,
+        unavailable: total.unavailable,
         errors: total.errors,
         wall,
         latency,
@@ -661,6 +826,7 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         state_digest: digest,
         shard_lines,
         shard_stats,
+        phase_lines: phases.as_deref().map(PhaseAttr::lines).unwrap_or_default(),
     })
 }
 
@@ -697,6 +863,12 @@ pub fn report_text(r: &LoadReport) -> String {
         100.0 * r.shed_rate(),
         r.gateway.shed_total
     ));
+    if r.unavailable > 0 || !r.phase_lines.is_empty() {
+        out.push_str(&format!(
+            "  {:<12} {:>12}   (gateway.unavailable={})\n",
+            "unavailable", r.unavailable, r.gateway.unavailable
+        ));
+    }
     out.push_str(&format!("  {:<12} {:>12}\n", "errors", r.errors));
     out.push_str(&format!(
         "  {:<12} {:>12.1} req/s over {:.3} s\n",
@@ -721,6 +893,26 @@ pub fn report_text(r: &LoadReport) -> String {
         r.gateway.max_inflight_seen,
         r.gateway.inflight,
     ));
+    if !r.phase_lines.is_empty() {
+        out.push_str(&format!(
+            "  {:<12} failovers {}  failbacks {}  retries {}  unavailable {}\n",
+            "health",
+            r.gateway.failovers,
+            r.gateway.failbacks,
+            r.gateway.retries,
+            r.gateway.unavailable,
+        ));
+    }
+    for line in &r.phase_lines {
+        out.push_str(&format!(
+            "  phase {:<12} from {:>6} ms   acked {:>8}   p50 {:>9.1} µs   p99 {:>9.1} µs\n",
+            line.name,
+            line.start.as_millis(),
+            line.acked,
+            us(line.latency.p50()),
+            us(line.latency.p99()),
+        ));
+    }
     for line in &r.shard_lines {
         let share = if r.acked == 0 {
             0.0
@@ -887,6 +1079,66 @@ mod tests {
         assert!(text.contains("shard 0"));
         assert!(text.contains("shard 3"));
         assert!(text.contains("shards=4"));
+    }
+
+    #[test]
+    fn fault_schedule_fails_over_and_keeps_serving() {
+        let spec = LoadgenSpec {
+            clients: 4,
+            requests: 1_500,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            shards: 2,
+            kill_primary_at: Some(Duration::from_millis(5)),
+            restart_after: Some(Duration::from_millis(40)),
+            ..LoadgenSpec::default()
+        };
+        let report = run(&spec).expect("run");
+        assert_eq!(report.errors, 0, "no client saw a hang or disconnect");
+        assert_eq!(report.issued, 6_000);
+        assert_eq!(
+            report.acked + report.shed + report.unavailable,
+            report.issued,
+            "every request got a typed answer"
+        );
+        assert!(
+            report.gateway.failovers >= 1,
+            "killing the primary mid-run forces a failover"
+        );
+        report.verify_shard_sums().expect("counter-sum identity");
+        assert_eq!(report.phase_lines.len(), 3);
+        assert_eq!(report.phase_lines[0].name, "pre-kill");
+        assert_eq!(report.phase_lines[2].name, "post-restart");
+        let acked_by_phase: u64 = report.phase_lines.iter().map(|p| p.acked).sum();
+        assert_eq!(acked_by_phase, report.acked);
+        let text = report_text(&report);
+        assert!(text.contains("phase pre-kill"));
+        assert!(text.contains("kill-primary(shard 0)@5ms"));
+        assert!(text.contains("restart+40ms"));
+        assert!(text.contains("failovers"));
+    }
+
+    #[test]
+    fn fault_schedule_validation() {
+        let single = LoadgenSpec {
+            kill_primary_at: Some(Duration::from_millis(1)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&single).is_err(), "single pair has no shard failover");
+        let bad_victim = LoadgenSpec {
+            shards: 2,
+            victim_shard: 5,
+            kill_primary_at: Some(Duration::from_millis(1)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&bad_victim).is_err());
+        let orphan_restart = LoadgenSpec {
+            shards: 2,
+            restart_after: Some(Duration::from_millis(1)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&orphan_restart).is_err());
     }
 
     #[test]

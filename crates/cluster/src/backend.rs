@@ -74,6 +74,11 @@ impl StorageBackend for MemBackend {
     fn pages(&self) -> usize {
         self.pages.len()
     }
+
+    fn version_of(&self, lpn: u64) -> Option<u64> {
+        // Hot path for the node's version clock: no page-content clone.
+        self.pages.get(&lpn).map(|(v, _)| *v)
+    }
 }
 
 /// A backend that stores contents in memory but drives the `fc-ssd`
@@ -117,6 +122,10 @@ impl StorageBackend for SimSsdBackend {
 
     fn pages(&self) -> usize {
         self.mem.pages()
+    }
+
+    fn version_of(&self, lpn: u64) -> Option<u64> {
+        self.mem.version_of(lpn)
     }
 }
 

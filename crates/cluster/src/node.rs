@@ -106,6 +106,11 @@ pub struct NodeConfig {
     /// Pages this node will host for its peer (the credit pool it
     /// advertises in acks and heartbeats).
     pub remote_capacity: usize,
+    /// Per-client exactly-once window: how many recent tagged write runs
+    /// ([`Node::try_write_run`]) are remembered per client so a gateway
+    /// retry of an already-applied run returns the cached outcome instead
+    /// of applying twice.
+    pub dedup_window: usize,
 }
 
 impl Default for NodeConfig {
@@ -124,6 +129,7 @@ impl Default for NodeConfig {
             journal_entries: 4096,
             resync_batch: 64,
             remote_capacity: 8192,
+            dedup_window: 1024,
         }
     }
 }
@@ -143,6 +149,7 @@ impl NodeConfig {
             journal_entries: 256,
             resync_batch: 8,
             remote_capacity: 512,
+            dedup_window: 64,
         }
     }
 
@@ -242,11 +249,32 @@ impl NodeConfigBuilder {
         self
     }
 
+    /// Per-client exactly-once window (tagged write runs remembered).
+    pub fn dedup_window(mut self, runs: usize) -> Self {
+        self.cfg.dedup_window = runs.max(1);
+        self
+    }
+
     /// Finish the configuration.
     pub fn build(self) -> NodeConfig {
         self.cfg
     }
 }
+
+/// The node is halted ([`Node::fail`]) and cannot serve the request. The
+/// fallible gateway entry points (`try_*`) return this instead of touching
+/// a dead node's state, so a front end can fail the shard over to the
+/// surviving replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDown;
+
+impl std::fmt::Display for NodeDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node is down")
+    }
+}
+
+impl std::error::Error for NodeDown {}
 
 /// How a write was made durable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,6 +307,9 @@ pub struct NodeStats {
     pub remote_pages: u64,
     /// Pages currently waiting in the catch-up journal.
     pub journal_pages: u64,
+    /// Tagged write runs answered from the exactly-once window instead of
+    /// re-applying (gateway retries of already-applied runs).
+    pub dedup_hits: u64,
     /// Fault-tolerance counters (retries, dedup, reorders, destages,
     /// takeover, resync, integrity, backpressure).
     pub repl: ReplicationStats,
@@ -308,6 +339,8 @@ impl fc_obs::StatSource for NodeStats {
         reg.counter("cluster.node.flushed_pages")
             .store(self.flushed_pages);
         reg.counter("cluster.node.deletes").store(self.deletes);
+        reg.counter("cluster.node.dedup_hits")
+            .store(self.dedup_hits);
         reg.gauge("cluster.node.remote_pages")
             .set_u64(self.remote_pages);
         reg.gauge("cluster.node.journal_pages")
@@ -407,6 +440,29 @@ struct ResyncRun {
     pages: u64,
 }
 
+/// One client's exactly-once window: outcomes of its most recent tagged
+/// write runs, evicted FIFO at `cfg.dedup_window` entries.
+#[derive(Default)]
+struct DedupWindow {
+    /// Insertion order, oldest first (drives eviction).
+    order: std::collections::VecDeque<u64>,
+    /// tag → outcome of the run when it was first applied.
+    seen: HashMap<u64, RunOutcome>,
+}
+
+impl DedupWindow {
+    fn record(&mut self, tag: u64, outcome: RunOutcome, cap: usize) {
+        if self.seen.insert(tag, outcome).is_none() {
+            self.order.push_back(tag);
+        }
+        while self.order.len() > cap.max(1) {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+    }
+}
+
 struct Inner {
     cfg: NodeConfig,
     buffer: BufferManager,
@@ -449,6 +505,8 @@ struct Inner {
     /// Per-origin counters, keyed by the client id the gateway passed to a
     /// `*_from` entry point.
     clients: HashMap<u64, PerClientStats>,
+    /// Per-client exactly-once windows for tagged write runs.
+    dedup: HashMap<u64, DedupWindow>,
     obs: Option<NodeObs>,
 }
 
@@ -467,6 +525,20 @@ impl Inner {
                 .str_field("to", tr.to.name())
                 .str_field("cause", tr.cause)
         });
+    }
+
+    /// Advance the version clock past a version observed from the peer (a
+    /// hosted replica, a resync entry, a discard bound, a recovered
+    /// snapshot) or from the shared backend. Both halves of a pair stamp
+    /// writes from their own counter; with every observation folded in,
+    /// any *new* write gets a version above every version of that page the
+    /// pair has produced so far — which is what lets the backend's
+    /// `version >= stored` guard arbitrate correctly when a failover
+    /// makes both nodes write the same lpn space.
+    fn observe_version(&mut self, v: u64) {
+        if v >= self.next_version {
+            self.next_version = v + 1;
+        }
     }
 
     /// Remaining hosting credits this node would advertise right now.
@@ -755,6 +827,10 @@ pub struct Node {
     inner: Arc<Mutex<Inner>>,
     transport: Arc<dyn Transport + Sync>,
     shutdown: Arc<AtomicBool>,
+    /// Crash-fault injection ([`Node::fail`] / [`Node::restart`]): while
+    /// set, the pump neither heartbeats nor processes messages, and the
+    /// `try_*` entry points refuse with [`NodeDown`].
+    halted: Arc<AtomicBool>,
     pump: Option<JoinHandle<()>>,
 }
 
@@ -795,23 +871,27 @@ impl Node {
             next_seq: 1,
             stats: NodeStats::default(),
             clients: HashMap::new(),
+            dedup: HashMap::new(),
             obs: None,
         }));
         let transport: Arc<dyn Transport + Sync> = Arc::new(transport);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let halted = Arc::new(AtomicBool::new(false));
         let pump = {
             let inner = inner.clone();
             let transport = transport.clone();
             let shutdown = shutdown.clone();
+            let halted = halted.clone();
             std::thread::Builder::new()
                 .name(format!("fc-node-{}", cfg.id))
-                .spawn(move || pump_loop(cfg, inner, transport, shutdown))
+                .spawn(move || pump_loop(cfg, inner, transport, shutdown, halted))
                 .expect("spawn node pump")
         };
         Node {
             inner,
             transport,
             shutdown,
+            halted,
             pump: Some(pump),
         }
     }
@@ -828,6 +908,13 @@ impl Node {
         let bytes = Bytes::copy_from_slice(data);
         let (seq, version, ack_rx, flushed, nobs) = {
             let mut inner = self.inner.lock();
+            // Never stamp below the shared backend's copy: after a failover
+            // the peer may have written this lpn with its own counter, and a
+            // lower version here would lose to the backend's version guard.
+            let backend_ver = inner.backend.lock().version_of(lpn);
+            if let Some(bv) = backend_ver {
+                inner.observe_version(bv);
+            }
             let version = inner.next_version;
             inner.next_version += 1;
             inner.versions.insert(lpn, version);
@@ -1136,7 +1223,8 @@ impl Node {
         inner.buffer.read(lpn, 1);
         let fetched = inner.backend.lock().read_page(lpn);
         match fetched {
-            Some((_, data)) => {
+            Some((ver, data)) => {
+                inner.observe_version(ver);
                 let bytes = Bytes::from(data.clone());
                 inner.page_crc.insert(lpn, crc32(&bytes));
                 inner.data.insert(lpn, bytes);
@@ -1207,6 +1295,140 @@ impl Node {
         self.inner.lock().clients.entry(client).or_default().trims += 1;
     }
 
+    // -- crash-fault injection and the fallible front-end API ---------------
+
+    /// Inject a crash fault *in place*: the pump stops heartbeating and
+    /// processing messages (so the peer's failure detector walks the pair
+    /// to Solo/takeover), volatile state is dropped exactly like
+    /// [`Node::crash`], and every `try_*` entry point refuses with
+    /// [`NodeDown`] until [`Node::restart`]. Unlike `crash`, the node
+    /// object survives — a gateway holding an `Arc<Node>` can route around
+    /// it and later route back.
+    pub fn fail(&self) {
+        self.halted.store(true, Ordering::SeqCst);
+        let mut inner = self.inner.lock();
+        inner.buffer.clear();
+        inner.data.clear();
+        inner.page_crc.clear();
+        inner.remote.clear();
+        inner.taken_over.clear();
+        inner.journal.clear();
+        inner.journal_overflowed = false;
+        inner.resync = None;
+        inner.scrub_waiters.clear();
+        inner.dedup.clear();
+        // Blocked writers fail fast (their ack channel drops) instead of
+        // waiting out the full ack timeout against a dead node.
+        inner.pending_acks.clear();
+        inner.note("fail", |e| e);
+    }
+
+    /// Undo [`Node::fail`]: the pump resumes. The node's own heartbeat
+    /// monitor then observes the outage gap and walks it Solo; the peer's
+    /// returning heartbeats drive the normal resync/rejoin machinery until
+    /// the pair re-forms.
+    pub fn restart(&self) {
+        {
+            let mut inner = self.inner.lock();
+            inner.credits = None;
+            inner.note("restart", |e| e);
+        }
+        self.halted.store(false, Ordering::SeqCst);
+    }
+
+    /// True while crash-faulted ([`Node::fail`] without [`Node::restart`]).
+    pub fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
+    }
+
+    /// In-place clean stop for nodes held behind an `Arc`: flush dirty
+    /// pages and destage hosted peer pages (same data guarantees as
+    /// [`Node::shutdown`]), and tell the pump to exit. The pump thread is
+    /// joined later by `Drop`.
+    pub fn quiesce(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.inner.lock().enter_solo("shutdown");
+    }
+
+    /// [`Node::read_from`], refusing with [`NodeDown`] while halted.
+    pub fn try_read_from(&self, client: u64, lpn: u64) -> Result<Option<Vec<u8>>, NodeDown> {
+        if self.is_halted() {
+            return Err(NodeDown);
+        }
+        Ok(self.read_tracked(Some(client), lpn))
+    }
+
+    /// [`Node::delete_from`], refusing with [`NodeDown`] while halted.
+    pub fn try_delete_from(&self, client: u64, lpn: u64) -> Result<(), NodeDown> {
+        if self.is_halted() {
+            return Err(NodeDown);
+        }
+        self.delete_from(client, lpn);
+        Ok(())
+    }
+
+    /// [`Node::flush_dirty`], refusing with [`NodeDown`] while halted.
+    pub fn try_flush_dirty(&self) -> Result<u64, NodeDown> {
+        if self.is_halted() {
+            return Err(NodeDown);
+        }
+        Ok(self.flush_dirty())
+    }
+
+    /// Exactly-once batched write: like [`Node::write_run`], but stamped
+    /// with a caller-chosen `tag` that is stable across retries. If this
+    /// node already applied a run with the same `(client, tag)` within the
+    /// dedup window, the cached [`RunOutcome`] is returned without writing
+    /// anything — so a front end may resend after an ambiguous failure
+    /// (timeout, failover probe) without double-applying.
+    ///
+    /// Refuses with [`NodeDown`] while halted, including when the node is
+    /// failed mid-run (pages already applied are either on the shared
+    /// durable backend or dropped with the dead buffer; the caller's retry
+    /// re-applies the whole run on whichever replica answers).
+    ///
+    /// Concurrency: duplicates are detected for *sequential* retries (the
+    /// gateway resends from the same session thread). Two racing first
+    /// sends of one tag may both apply.
+    pub fn try_write_run(
+        &self,
+        client: u64,
+        tag: u64,
+        lpn: u64,
+        pages: &[impl AsRef<[u8]>],
+    ) -> Result<RunOutcome, NodeDown> {
+        if self.is_halted() {
+            return Err(NodeDown);
+        }
+        {
+            let mut inner = self.inner.lock();
+            if let Some(prev) = inner.dedup.get(&client).and_then(|w| w.seen.get(&tag)) {
+                let prev = *prev;
+                inner.stats.dedup_hits += 1;
+                inner.note("run_dedup", |e| {
+                    e.u64_field("client", client)
+                        .u64_field("tag", tag)
+                        .u64_field("lpn", lpn)
+                });
+                return Ok(prev);
+            }
+        }
+        let mut out = RunOutcome::default();
+        for (i, page) in pages.iter().enumerate() {
+            if self.is_halted() {
+                return Err(NodeDown);
+            }
+            match self.write_from(client, lpn + i as u64, page.as_ref()) {
+                WriteOutcome::Replicated => out.replicated += 1,
+                WriteOutcome::WriteThrough => out.write_through += 1,
+            }
+        }
+        let mut inner = self.inner.lock();
+        let cap = inner.cfg.dedup_window;
+        inner.dedup.entry(client).or_default().record(tag, out, cap);
+        Ok(out)
+    }
+
     /// Flush every dirty page in the local buffer to the backend (the
     /// client-visible `Flush` barrier): after this returns, all previously
     /// acknowledged writes are on this node's durable medium, independent of
@@ -1250,8 +1472,14 @@ impl Node {
         })?;
         let n = entries.len();
         {
-            let inner = self.inner.lock();
-            let mut backend = inner.backend.lock();
+            let mut inner = self.inner.lock();
+            for (_, ver, _) in &entries {
+                inner.observe_version(*ver);
+            }
+            let backend = inner.backend.clone();
+            let mut backend = backend.lock();
+            // Version-guarded replay: a page the peer rewrote (with a higher
+            // pair-clock version) while we were down keeps its newer copy.
             for (lpn, ver, data) in &entries {
                 backend.write_page(*lpn, *ver, data);
             }
@@ -1409,6 +1637,7 @@ impl Node {
     pub fn import_remote(&self, entries: &[(u64, u64, Vec<u8>)]) {
         let mut inner = self.inner.lock();
         for (lpn, ver, data) in entries {
+            inner.observe_version(*ver);
             let e = inner
                 .remote
                 .entry(*lpn)
@@ -1467,6 +1696,7 @@ fn pump_loop(
     inner: Arc<Mutex<Inner>>,
     transport: Arc<dyn Transport + Sync>,
     shutdown: Arc<AtomicBool>,
+    halted: Arc<AtomicBool>,
 ) {
     let epoch = Instant::now();
     let now_sim = |at: Instant| SimTime::from_nanos(at.duration_since(epoch).as_nanos() as u64);
@@ -1474,6 +1704,17 @@ fn pump_loop(
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
+        }
+        if halted.load(Ordering::SeqCst) {
+            // Crash-faulted: dead nodes send no heartbeats and process no
+            // messages. Drain (and drop) inbound traffic so a later restart
+            // does not replay a backlog from its outage.
+            match transport.recv_timeout(cfg.heartbeat / 2) {
+                Ok(_) => {}
+                Err(TransportError::Timeout) => {}
+                Err(TransportError::Disconnected) => std::thread::sleep(cfg.heartbeat),
+            }
+            continue;
         }
         // Periodic heartbeat, advertising our remaining hosting credits.
         if last_beat.elapsed() >= cfg.heartbeat {
@@ -1572,6 +1813,7 @@ fn handle_message(
                         reason: NackReason::NoCredit,
                     }
                 } else {
+                    g.observe_version(version);
                     match g.peer_seqs.observe(seq) {
                         SeqStatus::Duplicate => {
                             // Retransmission or network duplication: already
@@ -1651,6 +1893,9 @@ fn handle_message(
                         g.stats.repl.reorders_healed += 1;
                     }
                     for (lpn, ver) in pages {
+                        if ver != u64::MAX {
+                            g.observe_version(ver);
+                        }
                         // Version-bounded: a reordered Discard must not
                         // delete a copy newer than the flush it refers to.
                         if g.remote.get(&lpn).is_some_and(|(v, _)| *v <= ver) {
@@ -1710,6 +1955,7 @@ fn handle_message(
                                 g.stats.repl.reorders_healed += 1;
                             }
                             for (lpn, ver, _crc, data) in entries {
+                                g.observe_version(ver);
                                 let fits = g.remote.contains_key(&lpn)
                                     || g.remote.len() < g.cfg.remote_capacity;
                                 if !fits {
@@ -2386,5 +2632,132 @@ mod tests {
         assert_eq!(g, vec![1]);
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn duplicate_tagged_run_applies_once() {
+        let (a, b, _ba, _bb) = pair();
+        let pages: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; 8]).collect();
+        let first = a.try_write_run(7, 42, 100, &pages).unwrap();
+        assert_eq!(first.pages(), 3);
+        let writes_after_first = a.stats().writes;
+        // Same (client, tag): answered from the window, nothing re-applied.
+        let second = a.try_write_run(7, 42, 100, &pages).unwrap();
+        assert_eq!(second, first);
+        let s = a.stats();
+        assert_eq!(s.writes, writes_after_first);
+        assert_eq!(s.dedup_hits, 1);
+        // A different client reusing the tag is a distinct request.
+        let other = a.try_write_run(8, 42, 100, &pages).unwrap();
+        assert_eq!(other.pages(), 3);
+        assert_eq!(a.stats().writes, writes_after_first + 3);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_tag() {
+        let (ta, tb) = mem_pair();
+        let ba = shared_backend(MemBackend::new());
+        let bb = shared_backend(MemBackend::new());
+        let mut cfg = NodeConfig::test_profile(0);
+        cfg.dedup_window = 2;
+        let a = Node::spawn(cfg, ta, ba);
+        let b = Node::spawn(NodeConfig::test_profile(1), tb, bb);
+        let page = [vec![1u8; 8]];
+        a.try_write_run(1, 10, 0, &page).unwrap();
+        a.try_write_run(1, 11, 1, &page).unwrap();
+        a.try_write_run(1, 12, 2, &page).unwrap(); // evicts tag 10
+        let writes = a.stats().writes;
+        // Tags 11 and 12 are still remembered.
+        a.try_write_run(1, 11, 1, &page).unwrap();
+        a.try_write_run(1, 12, 2, &page).unwrap();
+        assert_eq!(a.stats().writes, writes);
+        assert_eq!(a.stats().dedup_hits, 2);
+        // Tag 10 fell out of the window: the resend applies again.
+        a.try_write_run(1, 10, 0, &page).unwrap();
+        assert_eq!(a.stats().writes, writes + 1);
+        assert_eq!(a.stats().dedup_hits, 2);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn failed_node_refuses_and_restart_rejoins() {
+        let (a, b, _ba, _bb) = pair();
+        assert_eq!(a.write(1, b"x"), WriteOutcome::Replicated);
+        b.fail();
+        assert!(b.is_halted());
+        assert_eq!(b.try_read_from(1, 1), Err(NodeDown));
+        assert_eq!(b.try_flush_dirty(), Err(NodeDown));
+        assert_eq!(b.try_write_run(1, 1, 0, &[b"y"]), Err(NodeDown));
+        // The survivor detects the silence and walks to Solo/takeover.
+        assert!(wait_until(
+            || a.lifecycle_state() == PairState::Solo,
+            Duration::from_secs(2)
+        ));
+        assert_eq!(a.write(2, b"solo"), WriteOutcome::WriteThrough);
+        b.restart();
+        assert!(!b.is_halted());
+        // Heartbeats resume and both sides re-form the pair.
+        assert!(wait_until(
+            || {
+                a.lifecycle_state() == PairState::Paired && b.lifecycle_state() == PairState::Paired
+            },
+            Duration::from_secs(5)
+        ));
+        assert_eq!(a.write(3, b"again"), WriteOutcome::Replicated);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    mod dedup_prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            /// Replaying any prefix of an already-applied tagged-run
+            /// sequence (in any prefix order) never double-applies: the
+            /// node's write count does not move and every page still reads
+            /// back with its latest contents.
+            #[test]
+            fn replayed_prefixes_never_double_apply(
+                runs in proptest::collection::vec((0u64..4, 0u64..32, 1usize..4), 1..12),
+                replay_len in 0usize..12,
+            ) {
+                let (a, b, _ba, _bb) = pair();
+                let mut applied: Vec<(u64, u64, u64, Vec<Vec<u8>>)> = Vec::new();
+                for (i, (client, lpn, pages)) in runs.iter().enumerate() {
+                    let tag = i as u64 + 1; // client-stamped, unique per run
+                    let data: Vec<Vec<u8>> = (0..*pages)
+                        .map(|p| format!("r{i}p{p}").into_bytes())
+                        .collect();
+                    a.try_write_run(*client, tag, *lpn, &data).unwrap();
+                    applied.push((*client, tag, *lpn, data));
+                }
+                let writes_before = a.stats().writes;
+                // Replay a prefix of the history, as a retrying gateway
+                // would after an ambiguous failure.
+                for (client, tag, lpn, data) in applied.iter().take(replay_len) {
+                    a.try_write_run(*client, *tag, *lpn, data).unwrap();
+                }
+                let s = a.stats();
+                prop_assert_eq!(s.writes, writes_before, "replay must not re-apply");
+                prop_assert_eq!(s.dedup_hits, replay_len.min(applied.len()) as u64);
+                // Latest writer per page still wins.
+                let mut latest: HashMap<u64, Vec<u8>> = HashMap::new();
+                for (_, _, lpn, data) in &applied {
+                    for (p, d) in data.iter().enumerate() {
+                        latest.insert(lpn + p as u64, d.clone());
+                    }
+                }
+                for (lpn, want) in latest {
+                    prop_assert_eq!(a.read(lpn), Some(want));
+                }
+                a.shutdown();
+                b.shutdown();
+            }
+        }
     }
 }

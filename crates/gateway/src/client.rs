@@ -12,7 +12,7 @@ use std::io::Write as _;
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -26,6 +26,10 @@ use crate::proto::{decode_reply, encode_request, ErrorCode, Reply, Request, PROT
 pub enum ClientError {
     /// The gateway shed this request (admission control). Retry later.
     Busy,
+    /// Every replica of a shard this request touched is down (proto v2);
+    /// retry after the hinted delay — resends are exactly-once at the
+    /// nodes.
+    Unavailable { retry_after_ms: u32 },
     /// The gateway refused the request outright.
     Rejected(ErrorCode),
     /// No reply within the client's timeout.
@@ -40,6 +44,9 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Busy => write!(f, "shed by admission control"),
+            ClientError::Unavailable { retry_after_ms } => {
+                write!(f, "shard unavailable, retry after {retry_after_ms} ms")
+            }
             ClientError::Rejected(c) => write!(f, "rejected: {}", c.name()),
             ClientError::TimedOut => write!(f, "timed out waiting for reply"),
             ClientError::Disconnected => write!(f, "gateway disconnected"),
@@ -167,23 +174,40 @@ impl GatewayClient {
         }
     }
 
+    /// Wait for the reply to request `id`, skipping stale replies. Ids are
+    /// issued monotonically, so a lower id is a late answer to an earlier
+    /// attempt the client already gave up on (timeout, retry) — dropped
+    /// rather than surfaced as a protocol violation.
+    fn recv_matching(&self, id: u64, deadline: Instant) -> Result<Reply, ClientError> {
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let reply = self.recv_reply(remaining)?;
+            if reply.id() < id {
+                continue;
+            }
+            if reply.id() != id {
+                return Err(ClientError::Protocol(format!(
+                    "reply id {} for request id {id}",
+                    reply.id()
+                )));
+            }
+            if let Reply::Error { code, .. } = reply {
+                return Err(match code {
+                    ErrorCode::Busy => ClientError::Busy,
+                    other => ClientError::Rejected(other),
+                });
+            }
+            if let Reply::Unavailable { retry_after_ms, .. } = reply {
+                return Err(ClientError::Unavailable { retry_after_ms });
+            }
+            return Ok(reply);
+        }
+    }
+
     fn call(&mut self, req: Request) -> Result<Reply, ClientError> {
         let id = req.id();
         self.send(&req)?;
-        let reply = self.recv_reply(self.timeout)?;
-        if reply.id() != id {
-            return Err(ClientError::Protocol(format!(
-                "reply id {} for request id {id}",
-                reply.id()
-            )));
-        }
-        if let Reply::Error { code, .. } = reply {
-            return Err(match code {
-                ErrorCode::Busy => ClientError::Busy,
-                other => ClientError::Rejected(other),
-            });
-        }
-        Ok(reply)
+        self.recv_matching(id, Instant::now() + self.timeout)
     }
 
     /// Open the session: version handshake. Must be the first call.
@@ -252,6 +276,86 @@ impl GatewayClient {
         }
     }
 
+    // -- retrying helpers --------------------------------------------------
+
+    /// Issue `req` and wait for its reply, retrying until `deadline`:
+    /// `Busy` backs off briefly, `Unavailable` honors the gateway's
+    /// `retry_after_ms` hint, and a reply timeout resends immediately.
+    /// The request keeps its id across attempts, so a late reply to an
+    /// earlier attempt answers the retry, and resent writes hit the
+    /// node-side dedup window instead of double-applying.
+    pub fn send_with_retry(
+        &mut self,
+        req: Request,
+        deadline: Instant,
+    ) -> Result<Reply, ClientError> {
+        let id = req.id();
+        let mut backoff = Duration::from_millis(1);
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::TimedOut);
+            }
+            self.send(&req)?;
+            let wait = now + self.timeout.min(deadline - now);
+            let pause = match self.recv_matching(id, wait) {
+                Ok(reply) => return Ok(reply),
+                Err(ClientError::TimedOut) => Duration::ZERO,
+                Err(ClientError::Busy) => {
+                    let p = backoff;
+                    backoff = (backoff * 2).min(Duration::from_millis(50));
+                    p
+                }
+                Err(ClientError::Unavailable { retry_after_ms }) => {
+                    Duration::from_millis(u64::from(retry_after_ms))
+                }
+                Err(other) => return Err(other),
+            };
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !pause.is_zero() {
+                std::thread::sleep(pause.min(remaining));
+            }
+        }
+    }
+
+    /// [`GatewayClient::write`] with [`GatewayClient::send_with_retry`]
+    /// semantics: blocks until acked or `deadline`.
+    pub fn write_with_retry(
+        &mut self,
+        lpn: u64,
+        pages: Vec<Bytes>,
+        deadline: Instant,
+    ) -> Result<WriteAck, ClientError> {
+        let id = self.fresh_id();
+        match self.send_with_retry(Request::Write { id, lpn, pages }, deadline)? {
+            Reply::WriteOk {
+                pages, replicated, ..
+            } => Ok(WriteAck { pages, replicated }),
+            other => Err(ClientError::Protocol(format!(
+                "expected WriteOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
+    /// [`GatewayClient::read`] with [`GatewayClient::send_with_retry`]
+    /// semantics: blocks until served or `deadline`.
+    pub fn read_with_retry(
+        &mut self,
+        lpn: u64,
+        pages: u32,
+        deadline: Instant,
+    ) -> Result<Vec<Option<Bytes>>, ClientError> {
+        let id = self.fresh_id();
+        match self.send_with_retry(Request::Read { id, lpn, pages }, deadline)? {
+            Reply::ReadOk { pages, .. } => Ok(pages),
+            other => Err(ClientError::Protocol(format!(
+                "expected ReadOk, got id {}",
+                other.id()
+            ))),
+        }
+    }
+
     // -- pipelined half ----------------------------------------------------
 
     /// Fire-and-forget write: send without waiting. Returns the request id;
@@ -295,6 +399,19 @@ fn reply_read_loop(mut stream: TcpStream, tx: Sender<Reply>, dead: Arc<AtomicBoo
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // A link-level timeout (or signal) is not a dead socket: keep
+            // reading so the session surfaces as `TimedOut` on the
+            // receive path, never a spurious `Disconnected`.
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
             Err(_) => break,
         }
     }

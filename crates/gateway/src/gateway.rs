@@ -23,17 +23,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use std::collections::HashMap;
+
 use bytes::Bytes;
-use fc_cluster::Node;
+use fc_cluster::{Node, NodeDown, PairState};
 use fc_obs::{Counter, Gauge, Histogram, Obs};
 use fc_ring::Ring;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::admission::{Admission, AdmissionConfig, Permit, ShedReason};
 use crate::batch::{coalesce, coalesce_sharded, WriteRun};
 use crate::client::GatewayClient;
 use crate::conn::{mem_session, SessionLink, TcpSessionLink};
-use crate::proto::{ErrorCode, Reply, Request, PROTO_VERSION};
+use crate::health::{BreakerState, Replica, ShardHealth};
+use crate::proto::{ErrorCode, Reply, Request, MIN_PROTO_VERSION, PROTO_VERSION};
 use crate::shard::{ShardInstruments, ShardStats};
 
 /// Gateway knobs.
@@ -50,6 +53,21 @@ pub struct GatewayConfig {
     pub batch_window: usize,
     /// Session-loop poll interval (also the shutdown latency bound).
     pub session_poll: Duration,
+    /// Consecutive `NodeDown` errors on a shard's primary before its
+    /// circuit breaker opens and the route fails over to the secondary.
+    pub breaker_threshold: u32,
+    /// Open-breaker cooldown; doubles as the failback probe cadence and
+    /// the `retry_after_ms` hint in `Unavailable` replies.
+    pub breaker_cooldown: Duration,
+    /// Total in-gateway retry budget for one shard op before giving up
+    /// with `Unavailable` — the bound on how long a request can stall on
+    /// a dead shard.
+    pub retry_deadline: Duration,
+    /// Base retry backoff (exponential with jitter, capped at 100 ms).
+    pub retry_backoff: Duration,
+    /// How long a failback probe waits for the primary's recovery
+    /// snapshot from its peer before re-opening the breaker.
+    pub failback_timeout: Duration,
 }
 
 impl Default for GatewayConfig {
@@ -60,16 +78,25 @@ impl Default for GatewayConfig {
             max_req_pages: 1024,
             batch_window: 32,
             session_poll: Duration::from_millis(25),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(200),
+            retry_deadline: Duration::from_secs(2),
+            retry_backoff: Duration::from_millis(5),
+            failback_timeout: Duration::from_secs(1),
         }
     }
 }
 
 impl GatewayConfig {
     /// Deterministic test profile: unlimited admission (no shedding), tiny
-    /// blocks to exercise run splitting.
+    /// blocks to exercise run splitting, and a fast breaker so chaos tests
+    /// observe failover/failback within a node test-profile outage.
     pub fn test_profile() -> Self {
         GatewayConfig {
             admission: AdmissionConfig::unlimited(),
+            breaker_cooldown: Duration::from_millis(50),
+            retry_deadline: Duration::from_secs(1),
+            retry_backoff: Duration::from_millis(2),
             ..GatewayConfig::default()
         }
     }
@@ -105,6 +132,17 @@ pub struct GatewayStats {
     pub runs: u64,
     /// Pages merged away by last-writer-wins coalescing.
     pub coalesced_pages: u64,
+    /// Route flips away from a dead node (primary→secondary, plus
+    /// emergency secondary→primary reroutes under a double fault).
+    pub failovers: u64,
+    /// Routes restored to a recovered primary after the pair re-formed.
+    pub failbacks: u64,
+    /// Shard-op retries after a `NodeDown` (backoff path, not counting
+    /// the immediate retry a route flip grants).
+    pub retries: u64,
+    /// Shard ops abandoned at the retry deadline with both replicas down
+    /// (one `Unavailable` reply may cover several batched writes).
+    pub unavailable: u64,
     /// Requests currently in service.
     pub inflight: u32,
     /// High-water mark of concurrent admitted requests.
@@ -145,6 +183,10 @@ struct Instruments {
     batches: Counter,
     runs: Counter,
     coalesced_pages: Counter,
+    failovers: Counter,
+    failbacks: Counter,
+    retries: Counter,
+    unavailable: Counter,
     inflight_gauge: Gauge,
     latency_ns: Histogram,
     obs: Option<Obs>,
@@ -173,6 +215,10 @@ impl Instruments {
             batches: Counter::new(),
             runs: Counter::new(),
             coalesced_pages: Counter::new(),
+            failovers: Counter::new(),
+            failbacks: Counter::new(),
+            retries: Counter::new(),
+            unavailable: Counter::new(),
             inflight_gauge: Gauge::new(),
             latency_ns: Histogram::new(),
             obs: None,
@@ -190,14 +236,43 @@ impl Instruments {
     }
 }
 
+/// One shard's pair as the gateway routes to it: the designated primary,
+/// optionally the pair's secondary (failover target), and the health /
+/// route state. Ops take the health read lock for the duration of the
+/// node call; failover and failback take the write lock, so a route flip
+/// (and the failback flush barrier) never interleaves with an op on the
+/// old route.
+pub(crate) struct ShardBackend {
+    pub(crate) primary: Arc<Node>,
+    /// The pair's B-side, when the gateway is allowed to fail over to it.
+    /// `None` preserves the pre-failover behavior (route pinned to the
+    /// primary; a dead primary means the shard is just down).
+    pub(crate) secondary: Option<Arc<Node>>,
+    health: RwLock<ShardHealth>,
+}
+
+impl ShardBackend {
+    /// The node the current route points at. With no secondary the route
+    /// can only be the primary.
+    fn active<'a>(&'a self, health: &ShardHealth) -> &'a Arc<Node> {
+        match health.active {
+            Replica::Primary => &self.primary,
+            Replica::Secondary => self.secondary.as_ref().unwrap_or(&self.primary),
+        }
+    }
+}
+
 /// Where admitted requests go: one pair, or N pairs behind a consistent-
 /// hash ring.
 enum Backend {
     /// The original single-pair mode: every request hits this node.
     Single(Arc<Node>),
-    /// Sharded mode: `ring` maps logical blocks to an index into `nodes`
-    /// (pair `i`'s client-facing primary).
-    Sharded { ring: Ring, nodes: Vec<Arc<Node>> },
+    /// Sharded mode: `ring` maps logical blocks to an index into
+    /// `shards` (pair `i`'s routing state).
+    Sharded {
+        ring: Ring,
+        shards: Vec<ShardBackend>,
+    },
 }
 
 /// A running gateway. Create with [`Gateway::new`] (one pair) or
@@ -214,6 +289,8 @@ pub struct Gateway {
     /// `attach_obs`, same discipline as `instruments`.
     shard_instruments: Mutex<Arc<Vec<ShardInstruments>>>,
     next_mem_client: AtomicU64,
+    /// Deterministic decorrelation stream for retry-backoff jitter.
+    jitter: AtomicU64,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
     sessions: Mutex<Vec<JoinHandle<()>>>,
@@ -227,20 +304,65 @@ impl Gateway {
         Gateway::with_backend(cfg, Backend::Single(node), 0)
     }
 
-    /// Front `nodes[i]` (pair i's primary) for ring shard `i`. The ring
+    /// Front `nodes[i]` (pair i's primary) for ring shard `i`, with no
+    /// failover targets: a dead primary leaves its shard down. The ring
     /// must contain exactly the pairs `0..nodes.len()` so every lookup
     /// resolves to a node.
     pub fn new_sharded(cfg: GatewayConfig, ring: Ring, nodes: Vec<Arc<Node>>) -> Arc<Gateway> {
-        assert!(!nodes.is_empty(), "sharded gateway needs at least one pair");
-        let expected: Vec<u16> = (0..nodes.len() as u16).collect();
+        let n = nodes.len();
+        Gateway::sharded_inner(cfg, ring, nodes, vec![None; n])
+    }
+
+    /// Like [`Gateway::new_sharded`], but the gateway also holds each
+    /// pair's secondary and fails a shard's route over to it when the
+    /// primary's circuit breaker opens (then back once the pair
+    /// re-forms) — the front-door half of the FlashCoop failure story.
+    pub fn new_sharded_with_secondaries(
+        cfg: GatewayConfig,
+        ring: Ring,
+        primaries: Vec<Arc<Node>>,
+        secondaries: Vec<Arc<Node>>,
+    ) -> Arc<Gateway> {
+        assert_eq!(
+            primaries.len(),
+            secondaries.len(),
+            "every pair needs both nodes"
+        );
+        let secondaries = secondaries.into_iter().map(Some).collect();
+        Gateway::sharded_inner(cfg, ring, primaries, secondaries)
+    }
+
+    fn sharded_inner(
+        cfg: GatewayConfig,
+        ring: Ring,
+        primaries: Vec<Arc<Node>>,
+        secondaries: Vec<Option<Arc<Node>>>,
+    ) -> Arc<Gateway> {
+        assert!(
+            !primaries.is_empty(),
+            "sharded gateway needs at least one pair"
+        );
+        let expected: Vec<u16> = (0..primaries.len() as u16).collect();
         assert_eq!(
             ring.pairs(),
             expected.as_slice(),
             "ring membership must be exactly 0..{}",
-            nodes.len()
+            primaries.len()
         );
-        let shards = nodes.len();
-        Gateway::with_backend(cfg, Backend::Sharded { ring, nodes }, shards)
+        let shards: Vec<ShardBackend> = primaries
+            .into_iter()
+            .zip(secondaries)
+            .map(|(primary, secondary)| ShardBackend {
+                primary,
+                secondary,
+                health: RwLock::new(ShardHealth::new(
+                    cfg.breaker_threshold,
+                    cfg.breaker_cooldown,
+                )),
+            })
+            .collect();
+        let count = shards.len();
+        Gateway::with_backend(cfg, Backend::Sharded { ring, shards }, count)
     }
 
     fn with_backend(cfg: GatewayConfig, backend: Backend, shards: usize) -> Arc<Gateway> {
@@ -253,6 +375,7 @@ impl Gateway {
                 (0..shards).map(|_| ShardInstruments::detached()).collect(),
             )),
             next_mem_client: AtomicU64::new(1),
+            jitter: AtomicU64::new(1),
             epoch: Instant::now(),
             shutdown: Arc::new(AtomicBool::new(false)),
             sessions: Mutex::new(Vec::new()),
@@ -272,12 +395,34 @@ impl Gateway {
         }
     }
 
-    /// Every primary node behind this gateway (one entry in single mode,
-    /// index = shard id in sharded mode).
-    pub fn shard_nodes(&self) -> &[Arc<Node>] {
+    /// Every (designated) primary node behind this gateway — one entry in
+    /// single mode, index = shard id in sharded mode. These are the
+    /// configured primaries regardless of where each shard's route
+    /// currently points.
+    pub fn shard_nodes(&self) -> Vec<Arc<Node>> {
         match &self.backend {
-            Backend::Single(node) => std::slice::from_ref(node),
-            Backend::Sharded { nodes, .. } => nodes,
+            Backend::Single(node) => vec![node.clone()],
+            Backend::Sharded { shards, .. } => shards.iter().map(|s| s.primary.clone()).collect(),
+        }
+    }
+
+    /// Sharded-mode routing state for `shard`. Panics in single mode.
+    pub(crate) fn shard_backend(&self, shard: u16) -> &ShardBackend {
+        match &self.backend {
+            Backend::Single(_) => panic!("shard_backend() on a single-pair gateway"),
+            Backend::Sharded { shards, .. } => &shards[usize::from(shard)],
+        }
+    }
+
+    /// True while `shard`'s route points at its designated primary (1.0
+    /// on the `gateway.shard.{i}.health` gauge). Single mode is always
+    /// healthy by this definition.
+    pub fn shard_routed_to_primary(&self, shard: u16) -> bool {
+        match &self.backend {
+            Backend::Single(_) => true,
+            Backend::Sharded { shards, .. } => {
+                shards[usize::from(shard)].health.read().active == Replica::Primary
+            }
         }
     }
 
@@ -295,8 +440,10 @@ impl Gateway {
     pub fn read_page(&self, lpn: u64) -> Option<Vec<u8>> {
         match &self.backend {
             Backend::Single(node) => node.read(lpn),
-            Backend::Sharded { ring, nodes } => {
-                nodes[usize::from(ring.shard_of_lpn(lpn))].read(lpn)
+            Backend::Sharded { ring, shards } => {
+                let sb = &shards[usize::from(ring.shard_of_lpn(lpn))];
+                let health = sb.health.read();
+                sb.active(&health).read(lpn)
             }
         }
     }
@@ -347,6 +494,10 @@ impl Gateway {
             batches: seed("gateway.batches", &old.batches),
             runs: seed("gateway.runs", &old.runs),
             coalesced_pages: seed("gateway.coalesced_pages", &old.coalesced_pages),
+            failovers: seed("gateway.failovers", &old.failovers),
+            failbacks: seed("gateway.failbacks", &old.failbacks),
+            retries: seed("gateway.retries", &old.retries),
+            unavailable: seed("gateway.unavailable", &old.unavailable),
             inflight_gauge: reg.gauge("gateway.inflight"),
             latency_ns: reg.histogram("gateway.latency_ns"),
             obs: Some(obs.clone()),
@@ -400,17 +551,206 @@ impl Gateway {
             batches: ins.batches.get(),
             runs: ins.runs.get(),
             coalesced_pages: ins.coalesced_pages.get(),
+            failovers: ins.failovers.get(),
+            failbacks: ins.failbacks.get(),
+            retries: ins.retries.get(),
+            unavailable: ins.unavailable.get(),
             inflight: self.admission.inflight(),
             max_inflight_seen: self.admission.max_inflight_seen(),
         }
     }
 
+    /// Jittered exponential backoff for attempt `n` of a shard-op retry.
+    /// The jitter stream is a hashed global counter — deterministic per
+    /// process, decorrelated across racing sessions, no RNG dependency.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.cfg.retry_backoff.max(Duration::from_micros(100));
+        let capped = base
+            .saturating_mul(1 << attempt.min(5))
+            .min(Duration::from_millis(100));
+        let n = self.jitter.fetch_add(1, Ordering::Relaxed);
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let jitter_ns = h % (capped.as_nanos() as u64 / 2 + 1);
+        capped + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Run `op` against `shard`'s active replica, retrying with backoff
+    /// and failing the route over/back as health dictates, until the
+    /// retry deadline. The health read lock is held across the node call
+    /// so a failback cutover (write lock) never interleaves with an op on
+    /// the old route.
+    fn with_shard<T>(
+        &self,
+        shard: u16,
+        sb: &ShardBackend,
+        ins: &Instruments,
+        shard_ins: &ShardInstruments,
+        op: impl Fn(&Node) -> Result<T, NodeDown>,
+    ) -> Result<T, Unavail> {
+        let deadline = Instant::now() + self.cfg.retry_deadline;
+        let mut attempt: u32 = 0;
+        loop {
+            self.maybe_failback(shard, sb, ins, shard_ins);
+            let health = sb.health.read();
+            let route = health.active;
+            match op(sb.active(&health)) {
+                Ok(v) => {
+                    let close = route == Replica::Primary && health.breaker.needs_success();
+                    drop(health);
+                    if close {
+                        sb.health.write().breaker.on_success();
+                        shard_ins.health.set(1.0);
+                    }
+                    return Ok(v);
+                }
+                Err(NodeDown) => {
+                    drop(health);
+                    let now = Instant::now();
+                    if self.note_shard_error(shard, sb, route, ins, shard_ins, now) {
+                        // The route flipped to a surviving replica: retry
+                        // immediately, no backoff.
+                        continue;
+                    }
+                    if now >= deadline {
+                        ins.unavailable.inc();
+                        shard_ins.unavailable.inc();
+                        ins.emit(
+                            ins.event("unavailable")
+                                .map(|e| e.u64_field("shard", u64::from(shard))),
+                        );
+                        let retry_after_ms = sb.health.read().breaker.retry_after_ms();
+                        return Err(Unavail { retry_after_ms });
+                    }
+                    ins.retries.inc();
+                    shard_ins.retries.inc();
+                    std::thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Record a `NodeDown` observed on `route` and flip the shard's route
+    /// if health now dictates it. Returns true when the route no longer
+    /// points where the failed op went (caller should retry immediately).
+    fn note_shard_error(
+        &self,
+        shard: u16,
+        sb: &ShardBackend,
+        route: Replica,
+        ins: &Instruments,
+        shard_ins: &ShardInstruments,
+        now: Instant,
+    ) -> bool {
+        let mut h = sb.health.write();
+        match route {
+            Replica::Primary => {
+                let _tripped = h.breaker.on_error(now);
+                if h.breaker.state() == BreakerState::Open
+                    && h.active == Replica::Primary
+                    && sb.secondary.is_some()
+                {
+                    h.active = Replica::Secondary;
+                    ins.failovers.inc();
+                    shard_ins.failovers.inc();
+                    shard_ins.health.set(0.0);
+                    ins.emit(ins.event("failover").map(|e| {
+                        e.u64_field("shard", u64::from(shard))
+                            .str_field("to", "secondary")
+                    }));
+                }
+            }
+            Replica::Secondary => {
+                // The secondary died under us. If the primary is back,
+                // reroute immediately — this emergency path skips the
+                // recover/flush cutover barrier (the double fault already
+                // cost the secondary's un-destaged state).
+                if h.active == Replica::Secondary && !sb.primary.is_halted() {
+                    h.active = Replica::Primary;
+                    h.breaker.on_success();
+                    ins.failovers.inc();
+                    shard_ins.failovers.inc();
+                    shard_ins.health.set(1.0);
+                    ins.emit(ins.event("failover").map(|e| {
+                        e.u64_field("shard", u64::from(shard))
+                            .str_field("to", "primary")
+                    }));
+                }
+            }
+        }
+        h.active != route
+    }
+
+    /// If `shard` is failed over, its failback probe is due, and the pair
+    /// has re-formed, cut the route back to the primary: replay the
+    /// secondary's replicated snapshot into the primary
+    /// (`recover_from_peer`), flush the secondary's dirty pages (so every
+    /// write acked through it during and after the outage is readable via
+    /// the shared durable backend), then flip. The whole cutover runs
+    /// under the health write lock, barring shard ops until it completes.
+    fn maybe_failback(
+        &self,
+        shard: u16,
+        sb: &ShardBackend,
+        ins: &Instruments,
+        shard_ins: &ShardInstruments,
+    ) {
+        let Some(secondary) = sb.secondary.as_ref() else {
+            return;
+        };
+        {
+            let h = sb.health.read();
+            if h.active != Replica::Secondary || !h.breaker.probe_due(Instant::now()) {
+                return;
+            }
+        }
+        if sb.primary.is_halted() {
+            return; // probe stays armed; re-checked on the next op
+        }
+        let mut h = sb.health.write();
+        if h.active != Replica::Secondary || !h.breaker.try_probe(Instant::now()) {
+            return; // lost the race; another session owns the probe
+        }
+        let ready = !sb.primary.is_halted()
+            && sb.primary.lifecycle_state() == PairState::Paired
+            && secondary.lifecycle_state() == PairState::Paired;
+        if !ready
+            || sb
+                .primary
+                .recover_from_peer(self.cfg.failback_timeout)
+                .is_err()
+            || secondary.try_flush_dirty().is_err()
+        {
+            // Re-open and re-arm the probe timer.
+            h.breaker.on_error(Instant::now());
+            return;
+        }
+        h.active = Replica::Primary;
+        h.breaker.on_success();
+        ins.failbacks.inc();
+        shard_ins.failbacks.inc();
+        shard_ins.health.set(1.0);
+        ins.emit(
+            ins.event("failback")
+                .map(|e| e.u64_field("shard", u64::from(shard))),
+        );
+    }
+
     /// Read `[lpn, lpn+pages)` through the router. Returns the page
-    /// payloads (present/absent) and the hit count. In sharded mode the
-    /// span is walked as contiguous same-shard segments, each counted and
-    /// timed against its shard's `gateway.shard.*` instruments — a read
+    /// payloads (present/absent) and the hit count, or [`Unavail`] when a
+    /// touched shard stayed down past the retry deadline (pages from
+    /// segments already served are counted but not returned). In sharded
+    /// mode the span is walked as contiguous same-shard segments, each
+    /// counted and timed against its shard's `gateway.shard.*`
+    /// instruments at the same points as the aggregate counters — a read
     /// straddling a shard boundary touches every owning pair.
-    fn do_read(&self, client: u64, lpn: u64, pages: u32) -> (Vec<Option<Bytes>>, u64) {
+    fn do_read(
+        &self,
+        client: u64,
+        lpn: u64,
+        pages: u32,
+        ins: &Instruments,
+    ) -> Result<(Vec<Option<Bytes>>, u64), Unavail> {
         let mut out = Vec::with_capacity(pages as usize);
         let mut hits = 0u64;
         match &self.backend {
@@ -424,76 +764,101 @@ impl Gateway {
                         None => out.push(None),
                     }
                 }
+                ins.read_pages.add(u64::from(pages));
+                ins.read_hits.add(hits);
             }
-            Backend::Sharded { ring, nodes } => {
+            Backend::Sharded { ring, shards } => {
                 let shard_ins = self.shard_instruments();
                 for (shard, start, count) in segments(ring, lpn, pages) {
-                    let ins = &shard_ins[usize::from(shard)];
+                    let sb = &shards[usize::from(shard)];
+                    let sins = &shard_ins[usize::from(shard)];
                     let started = Instant::now();
-                    let mut seg_hits = 0u64;
-                    for i in 0..u64::from(count) {
-                        match nodes[usize::from(shard)].read_from(client, start + i) {
-                            Some(data) => {
-                                seg_hits += 1;
-                                out.push(Some(Bytes::from(data)));
+                    let (seg, seg_hits) = self.with_shard(shard, sb, ins, sins, |node| {
+                        let mut seg = Vec::with_capacity(count as usize);
+                        let mut h = 0u64;
+                        for i in 0..u64::from(count) {
+                            match node.try_read_from(client, start + i)? {
+                                Some(data) => {
+                                    h += 1;
+                                    seg.push(Some(Bytes::from(data)));
+                                }
+                                None => seg.push(None),
                             }
-                            None => out.push(None),
                         }
-                    }
-                    ins.ops.inc();
+                        Ok((seg, h))
+                    })?;
+                    out.extend(seg);
+                    sins.ops.inc();
                     ins.read_pages.add(u64::from(count));
+                    sins.read_pages.add(u64::from(count));
                     ins.read_hits.add(seg_hits);
-                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    sins.read_hits.add(seg_hits);
+                    sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                     hits += seg_hits;
                 }
             }
         }
-        (out, hits)
+        Ok((out, hits))
     }
 
     /// Trim `[lpn, lpn+pages)` through the router, segment-counted per
     /// shard like [`Gateway::do_read`].
-    fn do_trim(&self, client: u64, lpn: u64, pages: u32) {
+    fn do_trim(&self, client: u64, lpn: u64, pages: u32, ins: &Instruments) -> Result<(), Unavail> {
         match &self.backend {
             Backend::Single(node) => {
                 for i in 0..u64::from(pages) {
                     node.delete_from(client, lpn + i);
                 }
+                ins.trim_pages.add(u64::from(pages));
             }
-            Backend::Sharded { ring, nodes } => {
+            Backend::Sharded { ring, shards } => {
                 let shard_ins = self.shard_instruments();
                 for (shard, start, count) in segments(ring, lpn, pages) {
-                    let ins = &shard_ins[usize::from(shard)];
+                    let sb = &shards[usize::from(shard)];
+                    let sins = &shard_ins[usize::from(shard)];
                     let started = Instant::now();
-                    for i in 0..u64::from(count) {
-                        nodes[usize::from(shard)].delete_from(client, start + i);
-                    }
-                    ins.ops.inc();
+                    self.with_shard(shard, sb, ins, sins, |node| {
+                        for i in 0..u64::from(count) {
+                            node.try_delete_from(client, start + i)?;
+                        }
+                        Ok(())
+                    })?;
+                    sins.ops.inc();
                     ins.trim_pages.add(u64::from(count));
-                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    sins.trim_pages.add(u64::from(count));
+                    sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                 }
             }
         }
+        Ok(())
     }
 
     /// Flush dirty pages: one node in single mode, fanned out to every
-    /// pair in sharded mode. Returns total pages destaged.
-    fn do_flush(&self) -> u64 {
+    /// pair's active replica in sharded mode. Returns total pages
+    /// destaged, or [`Unavail`] when some pair is entirely down (pages
+    /// flushed on earlier shards stay flushed and counted).
+    fn do_flush(&self, ins: &Instruments) -> Result<u64, Unavail> {
         match &self.backend {
-            Backend::Single(node) => node.flush_dirty(),
-            Backend::Sharded { nodes, .. } => {
+            Backend::Single(node) => {
+                let flushed = node.flush_dirty();
+                ins.flushed_pages.add(flushed);
+                Ok(flushed)
+            }
+            Backend::Sharded { shards, .. } => {
                 let shard_ins = self.shard_instruments();
                 let mut total = 0u64;
-                for (i, node) in nodes.iter().enumerate() {
-                    let ins = &shard_ins[i];
+                for (i, sb) in shards.iter().enumerate() {
+                    let sins = &shard_ins[i];
                     let started = Instant::now();
-                    let flushed = node.flush_dirty();
-                    ins.ops.inc();
+                    let flushed =
+                        self.with_shard(i as u16, sb, ins, sins, |node| node.try_flush_dirty())?;
+                    sins.ops.inc();
                     ins.flushed_pages.add(flushed);
-                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                    sins.flushed_pages.add(flushed);
+                    sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                     total += flushed;
                 }
-                total
+                Ok(total)
             }
         }
     }
@@ -502,46 +867,90 @@ impl Gateway {
     /// never cross a logical-block boundary, and in sharded mode never a
     /// shard boundary either ([`coalesce_sharded`]) — each run goes whole
     /// to exactly one pair.
-    fn submit_writes(&self, client: u64, flat: Vec<(u64, Bytes)>) -> Submission {
+    ///
+    /// `ids` maps each page's lpn to the request id that (last) wrote it;
+    /// sharded runs are stamped with a tag derived from it, so a client
+    /// resending the same write request after an ambiguous failure hits
+    /// the node's dedup window instead of double-applying
+    /// ([`Node::try_write_run`]). If a shard stays down past the retry
+    /// deadline, submission stops and `unavailable` is set — pages and
+    /// runs already applied stay applied (and counted), and the caller
+    /// answers *every* write in the batch with `Unavailable`, which is
+    /// safe precisely because the dedup tags make the client's resend of
+    /// the already-applied runs idempotent.
+    fn submit_writes(
+        &self,
+        client: u64,
+        flat: Vec<(u64, Bytes)>,
+        ids: &HashMap<u64, u64>,
+        ins: &Instruments,
+    ) -> Submission {
         let mut sub = Submission::default();
         match &self.backend {
             Backend::Single(node) => {
+                let in_pages = flat.len() as u64;
                 let runs: Vec<WriteRun> = coalesce(flat, self.cfg.pages_per_block);
                 for run in &runs {
                     sub.out_pages += run.len() as u64;
                     sub.replicated += node.write_run(client, run.lpn, &run.pages).replicated;
                 }
                 sub.runs = runs.len() as u64;
+                ins.write_pages.add(in_pages);
+                ins.runs.add(sub.runs);
+                ins.coalesced_pages.add(in_pages - sub.out_pages);
             }
-            Backend::Sharded { ring, nodes } => {
+            Backend::Sharded { ring, shards } => {
                 let shard_ins = self.shard_instruments();
-                // Pre-coalesce attribution: which shard each incoming page
-                // belongs to (duplicates of one lpn always share a shard,
-                // so per-shard dedup accounting stays exact).
-                let mut in_per_shard = vec![0u64; nodes.len()];
-                for (lpn, _) in &flat {
-                    in_per_shard[usize::from(ring.shard_of_lpn(*lpn))] += 1;
-                }
+                // Remember each incoming page's lpn so its pre-coalesce
+                // count can be attributed to the run (and shard) that
+                // absorbed it — page counters only move for runs that
+                // actually submit, keeping the counter-sum identity exact
+                // even when a batch aborts midway.
+                let in_lpns: Vec<u64> = flat.iter().map(|(lpn, _)| *lpn).collect();
                 let tagged =
                     coalesce_sharded(flat, self.cfg.pages_per_block, |lpn| ring.shard_of_lpn(lpn));
-                let mut out_per_shard = vec![0u64; nodes.len()];
-                for (shard, run) in &tagged {
-                    let ins = &shard_ins[usize::from(*shard)];
+                // Runs come out in ascending lpn order; bucket each input
+                // page into the run covering its lpn.
+                let mut in_count = vec![0u64; tagged.len()];
+                for lpn in &in_lpns {
+                    let idx = tagged.partition_point(|(_, r)| r.lpn <= *lpn) - 1;
+                    debug_assert!(*lpn < tagged[idx].1.lpn + tagged[idx].1.len() as u64);
+                    in_count[idx] += 1;
+                }
+                for (i, (shard, run)) in tagged.iter().enumerate() {
+                    let sb = &shards[usize::from(*shard)];
+                    let sins = &shard_ins[usize::from(*shard)];
                     let started = Instant::now();
-                    let outcome = nodes[usize::from(*shard)].write_run(client, run.lpn, &run.pages);
-                    ins.ops.inc();
-                    ins.runs.inc();
-                    ins.latency_ns.record(started.elapsed().as_nanos() as u64);
-                    out_per_shard[usize::from(*shard)] += run.len() as u64;
-                    sub.out_pages += run.len() as u64;
-                    sub.replicated += outcome.replicated;
+                    // Stable across resends of the same request; mixed so
+                    // ids from different clients' id spaces don't collide
+                    // within one window.
+                    let tag = ids[&run.lpn].wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ run.lpn;
+                    match self.with_shard(*shard, sb, ins, sins, |node| {
+                        node.try_write_run(client, tag, run.lpn, &run.pages)
+                    }) {
+                        Ok(outcome) => {
+                            let out_n = run.len() as u64;
+                            let in_n = in_count[i];
+                            sins.ops.inc();
+                            ins.runs.inc();
+                            sins.runs.inc();
+                            ins.write_pages.add(in_n);
+                            sins.write_pages.add(in_n);
+                            ins.coalesced_pages.add(in_n - out_n);
+                            sins.coalesced_pages.add(in_n - out_n);
+                            sins.latency_ns.record(started.elapsed().as_nanos() as u64);
+                            sub.out_pages += out_n;
+                            sub.runs += 1;
+                            // A dedup-cached outcome may describe a run
+                            // composed differently on the first attempt.
+                            sub.replicated += outcome.replicated.min(out_n);
+                        }
+                        Err(u) => {
+                            sub.unavailable = Some(u.retry_after_ms);
+                            break;
+                        }
+                    }
                 }
-                for (i, ins) in shard_ins.iter().enumerate() {
-                    ins.write_pages.add(in_per_shard[i]);
-                    // This shard's share of last-writer-wins dedup.
-                    ins.coalesced_pages.add(in_per_shard[i] - out_per_shard[i]);
-                }
-                sub.runs = tagged.len() as u64;
             }
         }
         sub
@@ -621,6 +1030,13 @@ impl Drop for Gateway {
     }
 }
 
+/// A shard op gave up at the retry deadline with no replica answering.
+#[derive(Debug, Clone, Copy)]
+struct Unavail {
+    /// Backoff hint for the client (the breaker cooldown).
+    retry_after_ms: u32,
+}
+
 /// Outcome of one batch-window submission.
 #[derive(Debug, Default)]
 struct Submission {
@@ -630,6 +1046,9 @@ struct Submission {
     runs: u64,
     /// Pages the nodes reported replicated to their peers.
     replicated: u64,
+    /// Set when submission aborted on an all-replicas-down shard: the
+    /// `retry_after_ms` hint to answer the batch's writes with.
+    unavailable: Option<u32>,
 }
 
 /// Walk `[lpn, lpn+pages)` as maximal contiguous same-shard segments:
@@ -659,7 +1078,7 @@ fn session_loop(gw: Arc<Gateway>, link: Box<dyn SessionLink>) {
     ins.sessions_started.inc();
     ins.emit(ins.event("session_start"));
 
-    let Some(client) = handshake(&gw, link.as_ref()) else {
+    let Some((client, version)) = handshake(&gw, link.as_ref()) else {
         ins.sessions_ended.inc();
         ins.emit(ins.event("session_end"));
         return;
@@ -675,7 +1094,7 @@ fn session_loop(gw: Arc<Gateway>, link: Box<dyn SessionLink>) {
                 Err(_) => break,
             },
         };
-        match handle_request(&gw, link.as_ref(), client, req) {
+        match handle_request(&gw, link.as_ref(), client, version, req) {
             Ok(next) => carried = next,
             Err(_) => break,
         }
@@ -689,14 +1108,16 @@ fn session_loop(gw: Arc<Gateway>, link: Box<dyn SessionLink>) {
     );
 }
 
-/// First message must be a matching-version Hello. Returns the client id,
-/// or `None` if the session should be dropped.
-fn handshake(gw: &Arc<Gateway>, link: &dyn SessionLink) -> Option<u64> {
+/// First message must be a supported-version Hello. Returns the client id
+/// and the negotiated session version (the client's own, echoed back — a
+/// v1 client never sees a v2-only reply tag), or `None` if the session
+/// should be dropped.
+fn handshake(gw: &Arc<Gateway>, link: &dyn SessionLink) -> Option<(u64, u16)> {
     let ins = gw.instruments();
     while !gw.shutdown.load(Ordering::SeqCst) {
         match link.recv_timeout(gw.cfg.session_poll) {
             Ok(Some(Request::Hello { version, client })) => {
-                if version != PROTO_VERSION {
+                if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
                     ins.bad_requests.inc();
                     ins.emit(
                         ins.event("bad_request")
@@ -710,11 +1131,11 @@ fn handshake(gw: &Arc<Gateway>, link: &dyn SessionLink) -> Option<u64> {
                 }
                 let max_inflight = gw.admission.config().max_inflight;
                 link.send(Reply::HelloOk {
-                    version: PROTO_VERSION,
+                    version,
                     max_inflight,
                 })
                 .ok()?;
-                return Some(client);
+                return Some((client, version));
             }
             Ok(Some(other)) => {
                 // I/O before Hello: refuse, keep waiting for the handshake.
@@ -736,6 +1157,24 @@ fn valid_page_count(gw: &Gateway, pages: u32) -> bool {
     pages >= 1 && pages <= gw.cfg.max_req_pages
 }
 
+/// Send `reply`, downgrading v2-only tags for older sessions: a v1 client
+/// sees `Unavailable` as `Error { Busy }` — same retry semantics, no
+/// unknown tag on its wire.
+fn send_versioned(
+    link: &dyn SessionLink,
+    version: u16,
+    reply: Reply,
+) -> Result<(), crate::conn::LinkClosed> {
+    let reply = match reply {
+        Reply::Unavailable { id, .. } if version < 2 => Reply::Error {
+            id,
+            code: ErrorCode::Busy,
+        },
+        other => other,
+    };
+    link.send(reply)
+}
+
 /// Process one request (and, for writes, a drained batch of pipelined
 /// writes behind it). Returns a non-write request drained out of the batch
 /// window, which the caller must process next — preserving reply order.
@@ -743,6 +1182,7 @@ fn handle_request(
     gw: &Arc<Gateway>,
     link: &dyn SessionLink,
     client: u64,
+    version: u16,
     req: Request,
 ) -> Result<Option<Request>, crate::conn::LinkClosed> {
     let ins = gw.instruments();
@@ -750,12 +1190,12 @@ fn handle_request(
         Request::Hello { .. } => {
             // Duplicate handshake: harmless, re-ack.
             link.send(Reply::HelloOk {
-                version: PROTO_VERSION,
+                version,
                 max_inflight: gw.admission.config().max_inflight,
             })?;
             Ok(None)
         }
-        Request::Write { id, lpn, pages } => write_batch(gw, link, client, id, lpn, pages),
+        Request::Write { id, lpn, pages } => write_batch(gw, link, client, version, id, lpn, pages),
         Request::Read { id, lpn, pages } => {
             ins.requests.inc();
             if !valid_page_count(gw, pages) {
@@ -770,12 +1210,22 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            let (out, hits) = gw.do_read(client, lpn, pages);
+            let result = gw.do_read(client, lpn, pages, &ins);
             ins.reads.inc();
-            ins.read_pages.add(u64::from(pages));
-            ins.read_hits.add(hits);
             finish(gw, &ins, permit, started);
-            link.send(Reply::ReadOk { id, pages: out })?;
+            match result {
+                Ok((out, _hits)) => {
+                    send_versioned(link, version, Reply::ReadOk { id, pages: out })?
+                }
+                Err(u) => send_versioned(
+                    link,
+                    version,
+                    Reply::Unavailable {
+                        id,
+                        retry_after_ms: u.retry_after_ms,
+                    },
+                )?,
+            }
             Ok(None)
         }
         Request::Trim { id, lpn, pages } => {
@@ -792,11 +1242,20 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            gw.do_trim(client, lpn, pages);
+            let result = gw.do_trim(client, lpn, pages, &ins);
             ins.trims.inc();
-            ins.trim_pages.add(u64::from(pages));
             finish(gw, &ins, permit, started);
-            link.send(Reply::TrimOk { id, pages })?;
+            match result {
+                Ok(()) => send_versioned(link, version, Reply::TrimOk { id, pages })?,
+                Err(u) => send_versioned(
+                    link,
+                    version,
+                    Reply::Unavailable {
+                        id,
+                        retry_after_ms: u.retry_after_ms,
+                    },
+                )?,
+            }
             Ok(None)
         }
         Request::Flush { id } => {
@@ -805,15 +1264,26 @@ fn handle_request(
                 return Ok(None);
             };
             let started = Instant::now();
-            let flushed = gw.do_flush();
+            let result = gw.do_flush(&ins);
             ins.flushes.inc();
-            ins.flushed_pages.add(flushed);
-            ins.emit(
-                ins.event("flush")
-                    .map(|e| e.u64_field("client", client).u64_field("pages", flushed)),
-            );
             finish(gw, &ins, permit, started);
-            link.send(Reply::FlushOk { id, flushed })?;
+            match result {
+                Ok(flushed) => {
+                    ins.emit(
+                        ins.event("flush")
+                            .map(|e| e.u64_field("client", client).u64_field("pages", flushed)),
+                    );
+                    send_versioned(link, version, Reply::FlushOk { id, flushed })?
+                }
+                Err(u) => send_versioned(
+                    link,
+                    version,
+                    Reply::Unavailable {
+                        id,
+                        retry_after_ms: u.retry_after_ms,
+                    },
+                )?,
+            }
             Ok(None)
         }
     }
@@ -880,11 +1350,15 @@ enum BatchedWrite {
 /// Validate + admit the head write, drain up to `batch_window` pipelined
 /// writes behind it (each individually validated and admitted), coalesce
 /// the admitted ones into runs, submit, then reply to every batched write
-/// in receive order.
+/// in receive order. If submission aborts on an all-replicas-down shard,
+/// every admitted write in the batch is answered `Unavailable` — a
+/// conservative blanket (some runs may have applied) made safe by the
+/// dedup tags: the client's resend of an already-applied run is a no-op.
 fn write_batch(
     gw: &Arc<Gateway>,
     link: &dyn SessionLink,
     client: u64,
+    version: u16,
     id: u64,
     lpn: u64,
     pages: Vec<Bytes>,
@@ -893,6 +1367,9 @@ fn write_batch(
     let started = Instant::now();
     let mut batch: Vec<BatchedWrite> = Vec::new();
     let mut flat: Vec<(u64, Bytes)> = Vec::new();
+    // lpn → id of the (last) request that wrote it, mirroring coalesce's
+    // last-writer-wins — the source of the per-run dedup tags.
+    let mut ids: HashMap<u64, u64> = HashMap::new();
     let mut admitted = 0usize;
     let mut carried: Option<Request> = None;
 
@@ -901,6 +1378,7 @@ fn write_batch(
                     req_pages: Vec<Bytes>,
                     batch: &mut Vec<BatchedWrite>,
                     flat: &mut Vec<(u64, Bytes)>,
+                    ids: &mut HashMap<u64, u64>,
                     admitted: &mut usize| {
         ins.requests.inc();
         if req_pages.is_empty() || req_pages.len() as u32 > gw.cfg.max_req_pages {
@@ -916,6 +1394,7 @@ fn write_batch(
                 let n = req_pages.len() as u32;
                 for (i, data) in req_pages.into_iter().enumerate() {
                     flat.push((req_lpn + i as u64, data));
+                    ids.insert(req_lpn + i as u64, req_id);
                 }
                 *admitted += 1;
                 batch.push(BatchedWrite::Admitted {
@@ -939,14 +1418,30 @@ fn write_batch(
         }
     };
 
-    consider(id, lpn, pages, &mut batch, &mut flat, &mut admitted);
+    consider(
+        id,
+        lpn,
+        pages,
+        &mut batch,
+        &mut flat,
+        &mut ids,
+        &mut admitted,
+    );
 
     // Batch window: drain writes the client already pipelined. A non-write
     // is carried out to the caller so replies stay in receive order.
     while admitted <= gw.cfg.batch_window {
         match link.recv_timeout(Duration::ZERO) {
             Ok(Some(Request::Write { id, lpn, pages })) => {
-                consider(id, lpn, pages, &mut batch, &mut flat, &mut admitted);
+                consider(
+                    id,
+                    lpn,
+                    pages,
+                    &mut batch,
+                    &mut flat,
+                    &mut ids,
+                    &mut admitted,
+                );
             }
             Ok(Some(other)) => {
                 carried = Some(other);
@@ -957,25 +1452,27 @@ fn write_batch(
         }
     }
 
-    let in_pages = flat.len() as u64;
-    let sub = gw.submit_writes(client, flat);
+    let sub = gw.submit_writes(client, flat, &ids, &ins);
     let all_replicated = sub.replicated == sub.out_pages;
 
     if admitted > 0 {
         ins.writes.add(admitted as u64);
-        ins.write_pages.add(in_pages);
         ins.batches.inc();
-        ins.runs.add(sub.runs);
-        ins.coalesced_pages.add(in_pages - sub.out_pages);
         ins.latency_ns.record(started.elapsed().as_nanos() as u64);
     }
 
     for w in &batch {
         let reply = match w {
-            BatchedWrite::Admitted { id, pages, .. } => Reply::WriteOk {
-                id: *id,
-                pages: *pages,
-                replicated: all_replicated,
+            BatchedWrite::Admitted { id, pages, .. } => match sub.unavailable {
+                Some(retry_after_ms) => Reply::Unavailable {
+                    id: *id,
+                    retry_after_ms,
+                },
+                None => Reply::WriteOk {
+                    id: *id,
+                    pages: *pages,
+                    replicated: all_replicated,
+                },
             },
             BatchedWrite::Shed { id } => Reply::Error {
                 id: *id,
@@ -986,7 +1483,7 @@ fn write_batch(
                 code: ErrorCode::BadRequest,
             },
         };
-        link.send(reply)?;
+        send_versioned(link, version, reply)?;
     }
     drop(batch); // releases every admitted permit
     ins.inflight_gauge

@@ -20,6 +20,13 @@
 //!   pairs behind one endpoint, routing by an `fc-ring` consistent-hash
 //!   ring with per-shard `gateway.shard.*` counters that sum exactly to
 //!   the aggregate gateway counters.
+//! * front-door failover — each shard tracks its primary's health with a
+//!   consecutive-error circuit breaker, fails the route over to the
+//!   surviving secondary, retries with deadline-bounded jittered backoff,
+//!   fails back once the pair re-forms, and degrades to a typed
+//!   `Unavailable { retry_after_ms }` reply (protocol v2) when no replica
+//!   is live. Write runs carry client-stamped dedup tags, so retries are
+//!   exactly-once end to end.
 //!
 //! ```
 //! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
@@ -45,6 +52,7 @@ pub mod batch;
 pub mod client;
 pub mod conn;
 pub mod gateway;
+mod health;
 pub mod proto;
 pub mod shard;
 
@@ -55,5 +63,7 @@ pub use conn::{
     mem_session, LinkClosed, MemClientConn, MemSessionLink, SessionLink, TcpSessionLink,
 };
 pub use gateway::{Gateway, GatewayConfig, GatewayStats};
-pub use proto::{ErrorCode, ProtoError, Reply, Request, MAX_FRAME, PROTO_VERSION};
+pub use proto::{
+    ErrorCode, ProtoError, Reply, Request, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 pub use shard::{ShardStats, ShardStatsSum, ShardedGateway};

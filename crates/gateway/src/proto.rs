@@ -22,7 +22,17 @@ use fc_cluster::wire::crc32;
 
 /// Current protocol version, sent in [`Request::Hello`] and checked by the
 /// gateway before any I/O is served.
-pub const PROTO_VERSION: u16 = 1;
+///
+/// * **v1** — initial protocol.
+/// * **v2** — adds [`Reply::Unavailable`] (typed back-pressure when every
+///   replica of a shard is down). The gateway still serves v1 clients
+///   ([`MIN_PROTO_VERSION`]), downgrading `Unavailable` to
+///   `Error { code: Busy }` on their sessions, so old clients keep their
+///   retry semantics without learning the new tag.
+pub const PROTO_VERSION: u16 = 2;
+
+/// Oldest client protocol version the gateway still accepts.
+pub const MIN_PROTO_VERSION: u16 = 1;
 
 /// Maximum frame payload accepted by either side (16 MiB) — same bound as
 /// the peer protocol, protects against corrupted length prefixes.
@@ -155,6 +165,11 @@ pub enum Reply {
     FlushOk { id: u64, flushed: u64 },
     /// Request refused; see [`ErrorCode`].
     Error { id: u64, code: ErrorCode },
+    /// Every replica of a shard this request touches is down (v2+). The
+    /// request may have partially applied; retrying the same request ids
+    /// after `retry_after_ms` is safe — the node-side dedup window makes
+    /// resent write runs exactly-once.
+    Unavailable { id: u64, retry_after_ms: u32 },
 }
 
 impl Reply {
@@ -166,7 +181,8 @@ impl Reply {
             | Reply::WriteOk { id, .. }
             | Reply::TrimOk { id, .. }
             | Reply::FlushOk { id, .. }
-            | Reply::Error { id, .. } => *id,
+            | Reply::Error { id, .. }
+            | Reply::Unavailable { id, .. } => *id,
         }
     }
 }
@@ -183,6 +199,7 @@ const TAG_WRITE_OK: u8 = 131;
 const TAG_TRIM_OK: u8 = 132;
 const TAG_FLUSH_OK: u8 = 133;
 const TAG_ERROR: u8 = 134;
+const TAG_UNAVAILABLE: u8 = 135;
 
 fn begin_frame(out: &mut BytesMut) -> usize {
     let len_pos = out.len();
@@ -289,6 +306,11 @@ pub fn encode_reply(reply: &Reply, out: &mut BytesMut) {
             out.put_u8(TAG_ERROR);
             out.put_u64_le(*id);
             out.put_u8(code.to_u8());
+        }
+        Reply::Unavailable { id, retry_after_ms } => {
+            out.put_u8(TAG_UNAVAILABLE);
+            out.put_u64_le(*id);
+            out.put_u32_le(*retry_after_ms);
         }
     }
     end_frame(out, len_pos);
@@ -444,6 +466,13 @@ pub fn decode_reply(buf: &mut BytesMut) -> Result<Option<Reply>, ProtoError> {
                 code: ErrorCode::from_u8(body.get_u8())?,
             }
         }
+        TAG_UNAVAILABLE => {
+            need(&body, 8 + 4)?;
+            Reply::Unavailable {
+                id: body.get_u64_le(),
+                retry_after_ms: body.get_u32_le(),
+            }
+        }
         other => return Err(ProtoError::BadTag(other)),
     };
     Ok(Some(reply))
@@ -498,6 +527,10 @@ mod tests {
             Reply::Error {
                 id: 5,
                 code: ErrorCode::Busy,
+            },
+            Reply::Unavailable {
+                id: 6,
+                retry_after_ms: 250,
             },
         ]
     }

@@ -26,7 +26,7 @@
 use std::sync::Arc;
 
 use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
-use fc_obs::{Counter, Histogram, Registry};
+use fc_obs::{Counter, Gauge, Histogram, Registry};
 use fc_ring::{Ring, RingConfig};
 
 use crate::client::GatewayClient;
@@ -46,12 +46,24 @@ pub(crate) struct ShardInstruments {
     pub(crate) runs: Counter,
     pub(crate) trim_pages: Counter,
     pub(crate) flushed_pages: Counter,
+    /// Route flips away from a dead node on this shard.
+    pub(crate) failovers: Counter,
+    /// Routes restored to this shard's recovered primary.
+    pub(crate) failbacks: Counter,
+    /// Backoff retries after a `NodeDown` on this shard.
+    pub(crate) retries: Counter,
+    /// Ops abandoned at the retry deadline with both replicas down.
+    pub(crate) unavailable: Counter,
+    /// 1.0 while routed to the designated primary, 0.0 while failed over.
+    pub(crate) health: Gauge,
     /// Per-submission service latency at this shard's node.
     pub(crate) latency_ns: Histogram,
 }
 
 impl ShardInstruments {
     pub(crate) fn detached() -> ShardInstruments {
+        let health = Gauge::new();
+        health.set(1.0);
         ShardInstruments {
             ops: Counter::new(),
             read_pages: Counter::new(),
@@ -61,6 +73,11 @@ impl ShardInstruments {
             runs: Counter::new(),
             trim_pages: Counter::new(),
             flushed_pages: Counter::new(),
+            failovers: Counter::new(),
+            failbacks: Counter::new(),
+            retries: Counter::new(),
+            unavailable: Counter::new(),
+            health,
             latency_ns: Histogram::new(),
         }
     }
@@ -78,6 +95,8 @@ impl ShardInstruments {
             c.store(from.get());
             c
         };
+        let health = reg.gauge(&format!("gateway.shard.{shard}.health"));
+        health.set(old.health.get());
         ShardInstruments {
             ops: seed("ops", &old.ops),
             read_pages: seed("read_pages", &old.read_pages),
@@ -87,6 +106,11 @@ impl ShardInstruments {
             runs: seed("runs", &old.runs),
             trim_pages: seed("trim_pages", &old.trim_pages),
             flushed_pages: seed("flushed_pages", &old.flushed_pages),
+            failovers: seed("failovers", &old.failovers),
+            failbacks: seed("failbacks", &old.failbacks),
+            retries: seed("retries", &old.retries),
+            unavailable: seed("unavailable", &old.unavailable),
+            health,
             latency_ns: reg.histogram(&format!("gateway.shard.{shard}.latency_ns")),
         }
     }
@@ -102,6 +126,11 @@ impl ShardInstruments {
             runs: self.runs.get(),
             trim_pages: self.trim_pages.get(),
             flushed_pages: self.flushed_pages.get(),
+            failovers: self.failovers.get(),
+            failbacks: self.failbacks.get(),
+            retries: self.retries.get(),
+            unavailable: self.unavailable.get(),
+            healthy: self.health.get() >= 0.5,
             latency_samples: self.latency_ns.count(),
             latency_sum_ns: self.latency_ns.sum(),
         }
@@ -122,6 +151,17 @@ pub struct ShardStats {
     pub runs: u64,
     pub trim_pages: u64,
     pub flushed_pages: u64,
+    /// Route flips away from a dead node on this shard.
+    pub failovers: u64,
+    /// Routes restored to this shard's recovered primary.
+    pub failbacks: u64,
+    /// Backoff retries after a `NodeDown` on this shard.
+    pub retries: u64,
+    /// Ops abandoned at the retry deadline with both replicas down.
+    pub unavailable: u64,
+    /// True while the route points at the designated primary (the
+    /// `gateway.shard.{i}.health` gauge at 1.0).
+    pub healthy: bool,
     /// Latency samples recorded at this shard (one per submission).
     pub latency_samples: u64,
     pub latency_sum_ns: u64,
@@ -138,6 +178,10 @@ pub struct ShardStatsSum {
     pub runs: u64,
     pub trim_pages: u64,
     pub flushed_pages: u64,
+    pub failovers: u64,
+    pub failbacks: u64,
+    pub retries: u64,
+    pub unavailable: u64,
 }
 
 impl ShardStatsSum {
@@ -152,15 +196,20 @@ impl ShardStatsSum {
             s.runs += sh.runs;
             s.trim_pages += sh.trim_pages;
             s.flushed_pages += sh.flushed_pages;
+            s.failovers += sh.failovers;
+            s.failbacks += sh.failbacks;
+            s.retries += sh.retries;
+            s.unavailable += sh.unavailable;
         }
         s
     }
 
     /// The counter-sum identity: every column equals its aggregate
-    /// gateway counter. Returns the first mismatch as
+    /// gateway counter — including the failover-path counters, which
+    /// always move for a specific shard. Returns the first mismatch as
     /// `Err((name, shard_sum, gateway_total))`.
     pub fn matches(&self, g: &GatewayStats) -> Result<(), (&'static str, u64, u64)> {
-        let checks: [(&'static str, u64, u64); 7] = [
+        let checks: [(&'static str, u64, u64); 11] = [
             ("read_pages", self.read_pages, g.read_pages),
             ("read_hits", self.read_hits, g.read_hits),
             ("write_pages", self.write_pages, g.write_pages),
@@ -168,6 +217,10 @@ impl ShardStatsSum {
             ("runs", self.runs, g.runs),
             ("trim_pages", self.trim_pages, g.trim_pages),
             ("flushed_pages", self.flushed_pages, g.flushed_pages),
+            ("failovers", self.failovers, g.failovers),
+            ("failbacks", self.failbacks, g.failbacks),
+            ("retries", self.retries, g.retries),
+            ("unavailable", self.unavailable, g.unavailable),
         ];
         for (name, sum, total) in checks {
             if sum != total {
@@ -178,31 +231,34 @@ impl ShardStatsSum {
     }
 }
 
-/// A gateway fronting N cooperative pairs, plus ownership of the pairs'
-/// secondary nodes (which would otherwise shut down when dropped).
-///
-/// The primaries live inside the wrapped [`Gateway`]; this wrapper only
-/// adds construction helpers and keeps the B-sides alive for the
-/// gateway's lifetime.
+/// A gateway fronting N cooperative pairs, with both nodes of every pair
+/// wired in: the primaries carry traffic, and each secondary doubles as
+/// its shard's failover target (the gateway's circuit breaker flips the
+/// route to it when the primary dies, and back after the pair re-forms).
 pub struct ShardedGateway {
     gateway: Arc<Gateway>,
-    /// B-side of each pair, index = shard id. Kept alive, never routed to
-    /// directly: replication reaches them through their pair link.
-    secondaries: Vec<Node>,
+    /// B-side of each pair, index = shard id. Shared with the gateway's
+    /// per-shard routing state.
+    secondaries: Vec<Arc<Node>>,
 }
 
 impl ShardedGateway {
     /// Front `primaries[i]` (pair i's client-facing node) for ring shard
-    /// `i`, keeping `secondaries` alive alongside. The ring must contain
-    /// exactly the pairs `0..primaries.len()`.
+    /// `i`, with `secondaries[i]` as its failover target. The ring must
+    /// contain exactly the pairs `0..primaries.len()`.
     pub fn from_pairs(
         cfg: GatewayConfig,
         ring: Ring,
         primaries: Vec<Arc<Node>>,
-        secondaries: Vec<Node>,
+        secondaries: Vec<Arc<Node>>,
     ) -> ShardedGateway {
         ShardedGateway {
-            gateway: Gateway::new_sharded(cfg, ring, primaries),
+            gateway: Gateway::new_sharded_with_secondaries(
+                cfg,
+                ring,
+                primaries,
+                secondaries.clone(),
+            ),
             secondaries,
         }
     }
@@ -223,7 +279,7 @@ impl ShardedGateway {
             let mut cfg_b = NodeConfig::test_profile((2 * i + 1) as u8);
             cfg_b.pages_per_block = cfg.pages_per_block;
             primaries.push(Arc::new(Node::spawn(cfg_a, ta, backend.clone())));
-            secondaries.push(Node::spawn(cfg_b, tb, backend));
+            secondaries.push(Arc::new(Node::spawn(cfg_b, tb, backend)));
         }
         let ring = Ring::with_pairs(ring_cfg, pairs);
         ShardedGateway::from_pairs(cfg, ring, primaries, secondaries)
@@ -234,19 +290,20 @@ impl ShardedGateway {
         &self.gateway
     }
 
-    /// Pair `shard`'s client-facing (primary) node.
+    /// Pair `shard`'s designated primary node (regardless of where the
+    /// route currently points).
     pub fn primary(&self, shard: u16) -> &Arc<Node> {
-        &self.gateway.shard_nodes()[shard as usize]
+        &self.gateway.shard_backend(shard).primary
     }
 
     /// Pair `shard`'s secondary node.
-    pub fn secondary(&self, shard: u16) -> &Node {
+    pub fn secondary(&self, shard: u16) -> &Arc<Node> {
         &self.secondaries[shard as usize]
     }
 
     /// Number of pairs behind the gateway.
     pub fn shards(&self) -> u16 {
-        self.gateway.shard_nodes().len() as u16
+        self.secondaries.len() as u16
     }
 
     /// Connect an in-memory client (see [`Gateway::connect_mem`]).
@@ -269,11 +326,14 @@ impl ShardedGateway {
         self.gateway.shard_stats()
     }
 
-    /// Shut down the gateway sessions, then every pair node.
+    /// Shut down the gateway sessions, then every pair node. The
+    /// secondaries are `Arc`-shared with the gateway's routing state, so
+    /// they stop via [`Node::quiesce`] (their pump threads join when the
+    /// last `Arc` drops).
     pub fn shutdown(self) {
         self.gateway.shutdown();
-        for node in self.secondaries {
-            node.shutdown();
+        for node in &self.secondaries {
+            node.quiesce();
         }
     }
 }

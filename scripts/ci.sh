@@ -32,6 +32,9 @@ echo "==> sharded cluster: ring proptests + model/chaos/split-run e2e"
 cargo test -q --offline -p fc-ring
 cargo test -q --offline --test sharded_e2e
 
+echo "==> gateway failover chaos: 20-seed kill/failover/failback sweep"
+cargo test -q --offline --test failover_e2e
+
 echo "==> failover smoke: full fail → takeover → resync → rejoin loop"
 cargo run --release --offline --example failover \
   | grep -q "lifecycle loop complete"
@@ -60,5 +63,9 @@ cargo run --release --offline -p fc-bench --bin loadgen -- \
 echo "==> cluster-scale smoke: sim cluster + 1-pair vs 4-pair gateway"
 cargo run --release --offline --example cluster_scale \
   | grep -q "cluster scale complete"
+
+echo "==> front-door failover smoke: kill a primary mid-load, zero acked loss"
+cargo run --release --offline --example failover_serving \
+  | grep -q "FAILOVER-SERVING OK"
 
 echo "CI OK"

@@ -1,8 +1,8 @@
-//! Offline shim for `parking_lot`: a [`Mutex`] whose `lock()` never returns
-//! a poison error, backed by `std::sync::Mutex`. Only the API the workspace
-//! uses is provided.
+//! Offline shim for `parking_lot`: a [`Mutex`] and [`RwLock`] whose lock
+//! methods never return a poison error, backed by their `std::sync`
+//! counterparts. Only the API the workspace uses is provided.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// Non-poisoning mutex.
 #[derive(Debug, Default)]
@@ -34,6 +34,32 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Non-poisoning reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquire a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire the exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +79,18 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(3);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 6);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 4);
+        assert_eq!(l.into_inner(), 4);
     }
 }

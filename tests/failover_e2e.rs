@@ -1,0 +1,433 @@
+//! End-to-end failover tests for the sharded gateway front door: a shard's
+//! primary dies mid-workload and the gateway's health tracking reroutes the
+//! shard to its surviving secondary, then fails back once the pair
+//! re-forms.
+//!
+//! Contracts from the issue:
+//!
+//! 1. **Chaos sweep** — 20 seeds; each seed picks a victim shard and a
+//!    closed- or open-loop client, kills the victim's primary mid-workload,
+//!    restarts it, and waits for traffic-driven failback. Every
+//!    acknowledged write must be readable after failback, no client call
+//!    may outlive its deadline, and the per-shard counter-sum identity
+//!    (`ShardStatsSum::matches`) must hold exactly at every phase
+//!    boundary.
+//! 2. **Graceful degradation** — with *both* replicas of a shard down, the
+//!    gateway answers `Unavailable { retry_after_ms }` within its retry
+//!    deadline instead of hanging, the surviving shard keeps serving, and
+//!    service resumes once the pair restarts.
+//!
+//! Documented (deliberate) non-assertions: pages trimmed after their last
+//! acked write are *not* asserted absent at the end — failback replay may
+//! resurrect a page trimmed during the outage (see DESIGN.md §14) — and
+//! read *values* are not checked during the outage, when pre-fail
+//! replicated-but-unflushed pages may be invisible until failback.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use fc_bench::loadgen::payload;
+use fc_gateway::{ClientError, GatewayClient, GatewayConfig, Reply, ShardStatsSum, ShardedGateway};
+use fc_ring::RingConfig;
+use fc_simkit::DetRng;
+
+const SHARDS: u16 = 2;
+const SPACE: u64 = 384;
+const PAGE_BYTES: usize = 96;
+/// Generous per-call bound: the gateway's test-profile retry deadline is
+/// 1 s, so anything past this is a hang, not a slow retry.
+const OP_DEADLINE: Duration = Duration::from_secs(5);
+
+fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// The counter-sum identity, asserted with context.
+fn assert_sums_match(sg: &ShardedGateway, label: &str) {
+    if let Err((name, sum, total)) = ShardStatsSum::of(&sg.shard_stats()).matches(&sg.stats()) {
+        panic!("{label}: Σ shard.{name} = {sum} != gateway.{name} = {total}");
+    }
+}
+
+/// Client-side ground truth: the last acked write per lpn, plus the set of
+/// lpns whose post-failback state is deliberately unspecified (trimmed
+/// after their last acked write, or covered by a failed trim).
+struct Oracle {
+    acked: HashMap<u64, Bytes>,
+    unstable: HashSet<u64>,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            acked: HashMap::new(),
+            unstable: HashSet::new(),
+        }
+    }
+
+    fn wrote(&mut self, lpn: u64, pages: &[Bytes]) {
+        for (i, p) in pages.iter().enumerate() {
+            self.acked.insert(lpn + i as u64, p.clone());
+            self.unstable.remove(&(lpn + i as u64));
+        }
+    }
+
+    fn trimmed(&mut self, lpn: u64, pages: u64) {
+        for l in lpn..lpn + pages {
+            self.acked.remove(&l);
+            self.unstable.insert(l);
+        }
+    }
+}
+
+/// Seeded workload driver for one chaos run: the rng, the oracle, and the
+/// write sequence counter, plus the seed's closed-/open-loop choice.
+struct Driver {
+    rng: DetRng,
+    oracle: Oracle,
+    seq: u64,
+    open_loop: bool,
+}
+
+impl Driver {
+    fn new(seed: u64) -> Driver {
+        Driver {
+            rng: DetRng::new(0xFA11_0000 + seed),
+            oracle: Oracle::new(),
+            seq: 0,
+            open_loop: seed & 1 == 1,
+        }
+    }
+
+    /// One workload phase. Closed-loop issues write/read/trim/flush and
+    /// waits for each reply; open-loop pipelines waves of 8 writes before
+    /// draining. `verify` checks read payloads against the oracle (only
+    /// meaningful while no replica is down and no failback replay is
+    /// pending).
+    fn drive_phase(&mut self, client: &mut GatewayClient, ops: u64, verify: bool, label: &str) {
+        if self.open_loop {
+            let mut wave: Vec<(u64, u64, Vec<Bytes>)> = Vec::new();
+            for _ in 0..ops {
+                let pages = 1 + self.rng.below(3);
+                let lpn = self.rng.below(SPACE - pages);
+                let payloads: Vec<Bytes> = (0..pages)
+                    .map(|i| payload(1, lpn + i, self.seq, PAGE_BYTES))
+                    .collect();
+                self.seq += 1;
+                let id = client
+                    .send_write(lpn, payloads.clone())
+                    .unwrap_or_else(|e| panic!("{label}: send_write: {e}"));
+                wave.push((id, lpn, payloads));
+                if wave.len() == 8 {
+                    drain_wave(client, &mut wave, &mut self.oracle, label);
+                }
+            }
+            drain_wave(client, &mut wave, &mut self.oracle, label);
+            return;
+        }
+        for _ in 0..ops {
+            let started = Instant::now();
+            match self.rng.below(10) {
+                0..=5 => {
+                    let pages = 1 + self.rng.below(3);
+                    let lpn = self.rng.below(SPACE - pages);
+                    let payloads: Vec<Bytes> = (0..pages)
+                        .map(|i| payload(1, lpn + i, self.seq, PAGE_BYTES))
+                        .collect();
+                    self.seq += 1;
+                    client
+                        .write_with_retry(lpn, payloads.clone(), started + OP_DEADLINE)
+                        .unwrap_or_else(|e| panic!("{label}: write lpn {lpn}: {e}"));
+                    self.oracle.wrote(lpn, &payloads);
+                }
+                6..=7 => {
+                    let pages = 1 + self.rng.below(8);
+                    let lpn = self.rng.below(SPACE - pages);
+                    let got = client
+                        .read_with_retry(lpn, pages as u32, started + OP_DEADLINE)
+                        .unwrap_or_else(|e| panic!("{label}: read lpn {lpn}: {e}"));
+                    if verify {
+                        for (i, g) in got.iter().enumerate() {
+                            let l = lpn + i as u64;
+                            if self.oracle.unstable.contains(&l) {
+                                continue;
+                            }
+                            assert_eq!(
+                                g.as_ref(),
+                                self.oracle.acked.get(&l),
+                                "{label}: lpn {l} diverged from acked state"
+                            );
+                        }
+                    }
+                }
+                8 => {
+                    let pages = 1 + self.rng.below(4);
+                    let lpn = self.rng.below(SPACE - pages);
+                    match client.trim(lpn, pages as u32) {
+                        Ok(_) => self.oracle.trimmed(lpn, pages),
+                        // A failed trim may have applied to some shards of
+                        // the range: its lpns are unspecified from here on.
+                        Err(ClientError::Unavailable { .. }) => self.oracle.trimmed(lpn, pages),
+                        Err(e) => panic!("{label}: trim lpn {lpn}: {e}"),
+                    }
+                }
+                _ => {
+                    if let Err(e) = client.flush() {
+                        assert!(
+                            matches!(e, ClientError::Unavailable { .. }),
+                            "{label}: flush: {e}"
+                        );
+                    }
+                }
+            }
+            let elapsed = started.elapsed();
+            assert!(
+                elapsed < OP_DEADLINE + Duration::from_secs(1),
+                "{label}: call outlived its deadline ({elapsed:?})"
+            );
+        }
+    }
+}
+
+/// Drain an open-loop wave in order, crediting acked writes to the oracle.
+fn drain_wave(
+    client: &GatewayClient,
+    wave: &mut Vec<(u64, u64, Vec<Bytes>)>,
+    oracle: &mut Oracle,
+    label: &str,
+) {
+    for (id, lpn, payloads) in wave.drain(..) {
+        let started = Instant::now();
+        let reply = loop {
+            let r = client
+                .recv_reply(OP_DEADLINE)
+                .unwrap_or_else(|e| panic!("{label}: no reply for id {id} within deadline: {e}"));
+            if r.id() < id {
+                continue; // stale reply to an earlier, abandoned attempt
+            }
+            break r;
+        };
+        assert_eq!(reply.id(), id, "{label}: replies arrive in order");
+        assert!(
+            started.elapsed() < OP_DEADLINE,
+            "{label}: reply for id {id} outlived the deadline"
+        );
+        match reply {
+            Reply::WriteOk { .. } => oracle.wrote(lpn, &payloads),
+            // Not acked: the write may or may not have landed — its lpns
+            // are unspecified until rewritten.
+            Reply::Unavailable { .. } | Reply::Error { .. } => {
+                oracle.trimmed(lpn, payloads.len() as u64);
+            }
+            other => panic!("{label}: unexpected reply {other:?}"),
+        }
+    }
+}
+
+/// One full kill → serve-degraded → restart → failback → verify cycle.
+fn chaos_run(seed: u64) {
+    let cfg = GatewayConfig::test_profile();
+    let ring_cfg = RingConfig {
+        block_pages: cfg.pages_per_block,
+        ..RingConfig::default()
+    };
+    let sg = ShardedGateway::spawn_mem(cfg, ring_cfg, SHARDS);
+    let ring = sg.gateway().ring().expect("sharded gateway has a ring");
+    let victim = ((seed >> 1) as u16) % SHARDS;
+    let victim_lpn = (0..SPACE)
+        .find(|&l| ring.shard_of_lpn(l) == victim)
+        .expect("victim shard owns some lpn");
+
+    let mut client = sg.connect_mem_as(1);
+    client.hello().expect("hello");
+    let mut driver = Driver::new(seed);
+
+    // Phase 1: paired warm-up.
+    driver.drive_phase(&mut client, 50, true, &format!("seed {seed} pre-kill"));
+    assert_sums_match(&sg, &format!("seed {seed} pre-kill"));
+    assert!(sg.gateway().shard_routed_to_primary(victim));
+
+    // Kill the victim's primary; the workload must keep completing.
+    sg.primary(victim).fail();
+    driver.drive_phase(&mut client, 50, false, &format!("seed {seed} outage"));
+    assert_sums_match(&sg, &format!("seed {seed} outage"));
+    assert!(
+        !sg.gateway().shard_routed_to_primary(victim),
+        "seed {seed}: outage traffic must have failed the shard over"
+    );
+    let stats = sg.stats();
+    assert!(stats.failovers >= 1, "seed {seed}: no failover counted");
+    assert_eq!(stats.unavailable, 0, "seed {seed}: secondary kept serving");
+
+    // Restart the primary; failback is traffic-driven, so poke the victim
+    // shard until the probe succeeds and the route flips back.
+    sg.primary(victim).restart();
+    let failed_back = wait_until(
+        || {
+            let _ = client.read(victim_lpn, 1);
+            sg.gateway().shard_routed_to_primary(victim)
+        },
+        Duration::from_secs(10),
+    );
+    assert!(failed_back, "seed {seed}: no failback within 10s");
+    assert!(
+        sg.stats().failbacks >= 1,
+        "seed {seed}: no failback counted"
+    );
+
+    // Phase 3: back on the primary; every acked write must be readable.
+    driver.drive_phase(&mut client, 50, true, &format!("seed {seed} post-failback"));
+    for (&lpn, want) in &driver.oracle.acked {
+        let got = client
+            .read_with_retry(lpn, 1, Instant::now() + OP_DEADLINE)
+            .unwrap_or_else(|e| panic!("seed {seed}: final read lpn {lpn}: {e}"));
+        assert_eq!(
+            got[0].as_deref(),
+            Some(want.as_ref()),
+            "seed {seed}: acked write at lpn {lpn} lost across failover"
+        );
+    }
+    assert_sums_match(&sg, &format!("seed {seed} post-failback"));
+    sg.shutdown();
+}
+
+#[test]
+fn chaos_failover_seeds_00_04() {
+    for seed in 0..5 {
+        chaos_run(seed);
+    }
+}
+
+#[test]
+fn chaos_failover_seeds_05_09() {
+    for seed in 5..10 {
+        chaos_run(seed);
+    }
+}
+
+#[test]
+fn chaos_failover_seeds_10_14() {
+    for seed in 10..15 {
+        chaos_run(seed);
+    }
+}
+
+#[test]
+fn chaos_failover_seeds_15_19() {
+    for seed in 15..20 {
+        chaos_run(seed);
+    }
+}
+
+/// Contract 2: both replicas of a shard down ⇒ a typed `Unavailable`
+/// within the retry deadline (no hang), the surviving shard keeps
+/// serving, and service resumes once the pair restarts.
+#[test]
+fn both_replicas_down_degrades_to_typed_unavailable() {
+    let cfg = GatewayConfig::test_profile();
+    let ring_cfg = RingConfig {
+        block_pages: cfg.pages_per_block,
+        ..RingConfig::default()
+    };
+    let sg = ShardedGateway::spawn_mem(cfg, ring_cfg, SHARDS);
+    let ring = sg.gateway().ring().expect("ring");
+    let dead_lpn = (0..SPACE)
+        .find(|&l| ring.shard_of_lpn(l) == 0)
+        .expect("shard 0 owns some lpn");
+    let live_lpn = (0..SPACE)
+        .find(|&l| ring.shard_of_lpn(l) == 1)
+        .expect("shard 1 owns some lpn");
+
+    let mut client = sg.connect_mem_as(1);
+    client.hello().expect("hello");
+    let page = |lpn: u64, seq: u64| vec![payload(1, lpn, seq, PAGE_BYTES)];
+    client.write(dead_lpn, page(dead_lpn, 0)).expect("warm-up");
+
+    sg.primary(0).fail();
+    sg.secondary(0).fail();
+
+    let started = Instant::now();
+    let err = client
+        .write(dead_lpn, page(dead_lpn, 1))
+        .expect_err("no live replica");
+    let elapsed = started.elapsed();
+    match err {
+        ClientError::Unavailable { retry_after_ms } => assert!(retry_after_ms >= 1),
+        other => panic!("expected Unavailable, got {other}"),
+    }
+    assert!(elapsed < OP_DEADLINE, "degraded, not hung: {elapsed:?}");
+    assert!(sg.stats().unavailable >= 1);
+    assert_sums_match(&sg, "double fault");
+
+    // The surviving shard is unaffected.
+    client
+        .write(live_lpn, page(live_lpn, 2))
+        .expect("surviving shard serves");
+
+    // Restart both replicas: service on the shard resumes.
+    sg.primary(0).restart();
+    sg.secondary(0).restart();
+    let recovered = wait_until(
+        || client.write(dead_lpn, page(dead_lpn, 3)).is_ok(),
+        Duration::from_secs(10),
+    );
+    assert!(recovered, "shard did not resume after double restart");
+    assert_sums_match(&sg, "after double restart");
+    sg.shutdown();
+}
+
+/// An `Unavailable` reply is only the end of the story for that attempt:
+/// `send_with_retry` sleeps the hinted backoff and succeeds as soon as a
+/// replica returns.
+#[test]
+fn client_retry_rides_out_a_brief_double_fault() {
+    let cfg = GatewayConfig::test_profile();
+    let ring_cfg = RingConfig {
+        block_pages: cfg.pages_per_block,
+        ..RingConfig::default()
+    };
+    let sg = ShardedGateway::spawn_mem(cfg, ring_cfg, SHARDS);
+    let ring = sg.gateway().ring().expect("ring");
+    let lpn = (0..SPACE)
+        .find(|&l| ring.shard_of_lpn(l) == 0)
+        .expect("shard 0 owns some lpn");
+
+    let mut client = sg.connect_mem_as(1);
+    client.hello().expect("hello");
+
+    sg.primary(0).fail();
+    sg.secondary(0).fail();
+    let reviver = {
+        let secondary = Arc::clone(sg.secondary(0));
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            secondary.restart();
+        })
+    };
+
+    let want = payload(1, lpn, 9, PAGE_BYTES);
+    let ack = client
+        .write_with_retry(
+            lpn,
+            vec![want.clone()],
+            Instant::now() + Duration::from_secs(10),
+        )
+        .expect("retry outlives the double fault");
+    assert_eq!(ack.pages, 1);
+    reviver.join().expect("reviver");
+    assert_eq!(
+        client.read(lpn, 1).expect("read")[0].as_deref(),
+        Some(want.as_ref())
+    );
+    assert_sums_match(&sg, "after revival");
+    sg.shutdown();
+}

@@ -263,11 +263,15 @@ fn chaos_one_pair_solo_mid_workload_loses_nothing() {
                 fa,
                 shared_backend(MemBackend::new()),
             )));
-            secondaries.push(Node::spawn(cb, fb, shared_backend(MemBackend::new())));
+            secondaries.push(Arc::new(Node::spawn(
+                cb,
+                fb,
+                shared_backend(MemBackend::new()),
+            )));
         } else {
             let backend = shared_backend(MemBackend::default());
             primaries.push(Arc::new(Node::spawn(ca, ta, backend.clone())));
-            secondaries.push(Node::spawn(cb, tb, backend));
+            secondaries.push(Arc::new(Node::spawn(cb, tb, backend)));
         }
     }
     let sg = ShardedGateway::from_pairs(cfg, ring, primaries, secondaries);
