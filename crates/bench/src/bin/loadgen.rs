@@ -43,6 +43,14 @@ FLAGS:
                      after the kill; traffic then
                      drives failback                   (default off)
   --victim-shard S   shard whose primary is killed     (default 0)
+  --add-pair-at N    live-attach a fresh pair N ms
+                     after start and migrate its share
+                     of blocks onto it (needs --shards
+                     >= 2; excludes --kill-primary-at) (default off)
+  --remove-pair-at N live-remove the newest pair N ms
+                     after start (the added pair when
+                     combined with --add-pair-at, else
+                     the highest shard)                (default off)
 ";
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -94,6 +102,14 @@ fn run() -> Result<(), String> {
             .transpose()?
             .map(std::time::Duration::from_millis),
         victim_shard: parse_or(flag_value(&args, "--victim-shard"), defaults.victim_shard)?,
+        add_pair_at: flag_value(&args, "--add-pair-at")
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad number {s:?}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis),
+        remove_pair_at: flag_value(&args, "--remove-pair-at")
+            .map(|s| s.parse::<u64>().map_err(|_| format!("bad number {s:?}")))
+            .transpose()?
+            .map(std::time::Duration::from_millis),
         ..defaults
     };
     spec.admission.per_client_rate = parse_or(

@@ -28,6 +28,7 @@ use fc_gateway::{
     ShardStats, ShardStatsSum, ShardedGateway,
 };
 use fc_obs::{Counter, Histogram};
+use fc_rebalance::RebalanceConfig;
 use fc_ring::{Ring, RingConfig};
 use fc_trace::{Op, SyntheticSpec, Trace};
 
@@ -166,6 +167,15 @@ pub struct LoadgenSpec {
     pub restart_after: Option<Duration>,
     /// Which shard's primary the fault schedule targets.
     pub victim_shard: u16,
+    /// Elastic schedule: attach a fresh pair this long after the clients
+    /// start and live-migrate its share of occupied blocks onto it
+    /// (sharded runs only; cannot combine with the fault schedule).
+    pub add_pair_at: Option<Duration>,
+    /// Elastic schedule: live-remove the newest pair this long after the
+    /// clients start — the pair added by `add_pair_at` when both are set,
+    /// otherwise the highest original shard. Must be later than
+    /// `add_pair_at` when both are given.
+    pub remove_pair_at: Option<Duration>,
 }
 
 impl Default for LoadgenSpec {
@@ -185,6 +195,8 @@ impl Default for LoadgenSpec {
             kill_primary_at: None,
             restart_after: None,
             victim_shard: 0,
+            add_pair_at: None,
+            remove_pair_at: None,
         }
     }
 }
@@ -220,14 +232,14 @@ pub struct LoadReport {
     pub shard_lines: Vec<ShardLine>,
     /// Gateway-side per-shard counters (empty when `shards == 1`).
     pub shard_stats: Vec<ShardStats>,
-    /// Per-phase breakdown of a fault-schedule run (empty without
-    /// `kill_primary_at`): acked requests bucketed by the phase their
-    /// reply arrived in — pre-kill, outage, and (with `restart_after`)
-    /// post-restart.
+    /// Per-phase breakdown of a fault- or elastic-schedule run (empty
+    /// without one): acked requests bucketed by the phase their reply
+    /// arrived in — pre-kill/outage/post-restart for a fault schedule,
+    /// pre-scale/post-add/post-remove for an elastic one.
     pub phase_lines: Vec<PhaseLine>,
 }
 
-/// One fault-schedule phase's client-observed share of a run.
+/// One schedule phase's client-observed share of a run.
 #[derive(Debug, Clone)]
 pub struct PhaseLine {
     pub name: &'static str,
@@ -370,9 +382,9 @@ impl ShardAttr {
     }
 }
 
-/// Phase bucketing for fault-schedule runs, shared across client threads:
-/// each acked request is credited to the phase its reply arrived in,
-/// measured against the same origin instant the fault controller's
+/// Phase bucketing for fault- and elastic-schedule runs, shared across
+/// client threads: each acked request is credited to the phase its reply
+/// arrived in, measured against the same origin instant the controller's
 /// schedule counts from.
 struct PhaseAttr {
     origin: Instant,
@@ -383,11 +395,7 @@ struct PhaseAttr {
 }
 
 impl PhaseAttr {
-    fn new(origin: Instant, kill_at: Duration, restart_after: Option<Duration>) -> PhaseAttr {
-        let mut bounds = vec![("pre-kill", Duration::ZERO), ("outage", kill_at)];
-        if let Some(r) = restart_after {
-            bounds.push(("post-restart", kill_at + r));
-        }
+    fn new(origin: Instant, bounds: Vec<(&'static str, Duration)>) -> PhaseAttr {
         let n = bounds.len();
         PhaseAttr {
             origin,
@@ -634,6 +642,23 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     } else if spec.restart_after.is_some() {
         return Err("--restart-after requires --kill-primary-at".into());
     }
+    if spec.add_pair_at.is_some() || spec.remove_pair_at.is_some() {
+        if spec.shards < 2 {
+            return Err("elastic schedule requires --shards >= 2".into());
+        }
+        if spec.kill_primary_at.is_some() {
+            return Err(
+                "--add-pair-at/--remove-pair-at cannot combine with --kill-primary-at \
+                 (a rebalance refuses degraded sources)"
+                    .into(),
+            );
+        }
+        if let (Some(add), Some(remove)) = (spec.add_pair_at, spec.remove_pair_at) {
+            if remove <= add {
+                return Err("--remove-pair-at must be later than --add-pair-at".into());
+            }
+        }
+    }
     let gw_cfg = GatewayConfig {
         admission: spec.admission,
         ..GatewayConfig::default()
@@ -641,10 +666,11 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     let pages_per_block = gw_cfg.pages_per_block;
 
     // Keep-alive for whatever backs the gateway: the single pair's B side,
-    // or the whole sharded cluster (pairs + secondaries).
+    // or the whole sharded cluster (pairs + secondaries). Arc so the scale
+    // controller can drive rebalances while the clients run.
     enum Backing {
         Single(Node),
-        Sharded(ShardedGateway),
+        Sharded(Arc<ShardedGateway>),
     }
 
     let (gateway, backing): (Arc<Gateway>, Backing) = if spec.shards == 1 {
@@ -664,7 +690,7 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
             ..RingConfig::default()
         };
         let sg = ShardedGateway::spawn_mem(gw_cfg, ring_cfg, spec.shards);
-        (Arc::clone(sg.gateway()), Backing::Sharded(sg))
+        (Arc::clone(sg.gateway()), Backing::Sharded(Arc::new(sg)))
     };
 
     // Client-side shard attribution, shared across client threads.
@@ -683,22 +709,43 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     let latency = Histogram::new();
     let started = Instant::now();
 
+    // Phase buckets for schedule runs, counted from the same origin the
+    // controller threads' schedules use.
+    let phase_bounds: Option<Vec<(&'static str, Duration)>> =
+        if let Some(kill_at) = spec.kill_primary_at {
+            let mut bounds = vec![("pre-kill", Duration::ZERO), ("outage", kill_at)];
+            if let Some(r) = spec.restart_after {
+                bounds.push(("post-restart", kill_at + r));
+            }
+            Some(bounds)
+        } else if spec.add_pair_at.is_some() || spec.remove_pair_at.is_some() {
+            let mut bounds = vec![("pre-scale", Duration::ZERO)];
+            if let Some(add_at) = spec.add_pair_at {
+                bounds.push(("post-add", add_at));
+            }
+            if let Some(remove_at) = spec.remove_pair_at {
+                bounds.push(("post-remove", remove_at));
+            }
+            Some(bounds)
+        } else {
+            None
+        };
+    let phases: Option<Arc<PhaseAttr>> =
+        phase_bounds.map(|bounds| Arc::new(PhaseAttr::new(started, bounds)));
+
+    fn sleep_until(t: Instant) {
+        let now = Instant::now();
+        if t > now {
+            std::thread::sleep(t - now);
+        }
+    }
+
     // Fault controller: crash (and optionally restart) the victim shard's
-    // primary on the spec's schedule, counted from the same origin the
-    // phase buckets use.
-    let phases: Option<Arc<PhaseAttr>> = spec
-        .kill_primary_at
-        .map(|kill_at| Arc::new(PhaseAttr::new(started, kill_at, spec.restart_after)));
+    // primary on the spec's schedule.
     let fault = match (&backing, spec.kill_primary_at) {
         (Backing::Sharded(sg), Some(kill_at)) => {
-            let victim = Arc::clone(sg.primary(spec.victim_shard));
+            let victim = sg.primary(spec.victim_shard);
             let restart_after = spec.restart_after;
-            let sleep_until = move |t: Instant| {
-                let now = Instant::now();
-                if t > now {
-                    std::thread::sleep(t - now);
-                }
-            };
             Some(
                 std::thread::Builder::new()
                     .name("fc-loadgen-fault".into())
@@ -712,6 +759,44 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
                         }
                     })
                     .map_err(|e| format!("spawn fault controller: {e}"))?,
+            )
+        }
+        _ => None,
+    };
+
+    // Scale controller: live-attach a fresh pair and/or live-remove the
+    // newest pair on the spec's schedule, using the fc-rebalance
+    // epoch-fenced migration protocol while the clients keep driving.
+    let scale = match (
+        &backing,
+        spec.add_pair_at.is_some() || spec.remove_pair_at.is_some(),
+    ) {
+        (Backing::Sharded(sg), true) => {
+            let sg = Arc::clone(sg);
+            let add_at = spec.add_pair_at;
+            let remove_at = spec.remove_pair_at;
+            let base_shards = spec.shards;
+            Some(
+                std::thread::Builder::new()
+                    .name("fc-loadgen-scale".into())
+                    .spawn(move || -> Result<(), String> {
+                        let cfg = RebalanceConfig::default();
+                        let mut newest = base_shards - 1;
+                        if let Some(at) = add_at {
+                            sleep_until(started + at);
+                            let (p, s) = fc_rebalance::spawn_mem_pair(base_shards, pages_per_block);
+                            newest = base_shards;
+                            fc_rebalance::add_pair(&sg, p, s, &cfg)
+                                .map_err(|e| format!("add-pair: {e}"))?;
+                        }
+                        if let Some(at) = remove_at {
+                            sleep_until(started + at);
+                            fc_rebalance::remove_pair(&sg, newest, &cfg)
+                                .map_err(|e| format!("remove-pair {newest}: {e}"))?;
+                        }
+                        Ok(())
+                    })
+                    .map_err(|e| format!("spawn scale controller: {e}"))?,
             )
         }
         _ => None,
@@ -770,6 +855,11 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
             .join()
             .map_err(|_| "fault controller thread panicked")?;
     }
+    if let Some(scale) = scale {
+        scale
+            .join()
+            .map_err(|_| "scale controller thread panicked")??;
+    }
     let wall = started.elapsed();
     // The final permit is released just *after* the last reply is sent;
     // wait for the session threads to drain so the snapshot sees a quiesced
@@ -811,6 +901,12 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         if let Some(after) = spec.restart_after {
             spec_line.push_str(&format!(" restart+{}ms", after.as_millis()));
         }
+    }
+    if let Some(add_at) = spec.add_pair_at {
+        spec_line.push_str(&format!(" add-pair@{}ms", add_at.as_millis()));
+    }
+    if let Some(remove_at) = spec.remove_pair_at {
+        spec_line.push_str(&format!(" remove-pair@{}ms", remove_at.as_millis()));
     }
 
     Ok(LoadReport {
@@ -901,6 +997,17 @@ pub fn report_text(r: &LoadReport) -> String {
             r.gateway.failbacks,
             r.gateway.retries,
             r.gateway.unavailable,
+        ));
+    }
+    if r.gateway.rebalances_started > 0 {
+        out.push_str(&format!(
+            "  {:<12} started {}  completed {}  moved-blocks {}  moved-pages {}  batches {}\n",
+            "rebalance",
+            r.gateway.rebalances_started,
+            r.gateway.rebalances_completed,
+            r.gateway.rebalance_moved_blocks,
+            r.gateway.rebalance_moved_pages,
+            r.gateway.rebalance_batches,
         ));
     }
     for line in &r.phase_lines {
@@ -1139,6 +1246,73 @@ mod tests {
             ..LoadgenSpec::default()
         };
         assert!(run(&orphan_restart).is_err());
+    }
+
+    #[test]
+    fn elastic_schedule_scales_live_and_stays_deterministic() {
+        let spec = LoadgenSpec {
+            clients: 4,
+            requests: 1_500,
+            transport: TransportKind::Mem,
+            admission: AdmissionConfig::unlimited(),
+            pages_per_client: 1 << 10,
+            shards: 2,
+            add_pair_at: Some(Duration::from_millis(5)),
+            remove_pair_at: Some(Duration::from_millis(30)),
+            ..LoadgenSpec::default()
+        };
+        let a = run(&spec).expect("run a");
+        let b = run(&spec).expect("run b");
+
+        assert_eq!(a.errors, 0, "no client saw a hang or disconnect");
+        assert_eq!(a.issued, 6_000);
+        assert_eq!(a.acked, 6_000, "rebalancing never rejects admitted ops");
+        assert_eq!(a.gateway.rebalances_started, 2, "one add + one remove");
+        assert_eq!(a.gateway.rebalances_completed, 2);
+        // What migrated is timing-dependent, but the final data state is
+        // not: acked payloads survive both membership changes bit-exactly.
+        assert_eq!(
+            a.state_digest, b.state_digest,
+            "mem closed-loop elastic runs are bit-deterministic"
+        );
+        // The counter-sum identity holds across attach + retire (the
+        // retired pair's slot keeps its frozen counters).
+        a.verify_shard_sums().expect("counter-sum identity");
+        b.verify_shard_sums().expect("counter-sum identity");
+        assert_eq!(a.phase_lines.len(), 3);
+        assert_eq!(a.phase_lines[0].name, "pre-scale");
+        assert_eq!(a.phase_lines[1].name, "post-add");
+        assert_eq!(a.phase_lines[2].name, "post-remove");
+        let acked_by_phase: u64 = a.phase_lines.iter().map(|p| p.acked).sum();
+        assert_eq!(acked_by_phase, a.acked);
+        let text = report_text(&a);
+        assert!(text.contains("add-pair@5ms"));
+        assert!(text.contains("remove-pair@30ms"));
+        assert!(text.contains("rebalance"));
+        assert!(text.contains("phase post-add"));
+    }
+
+    #[test]
+    fn elastic_schedule_validation() {
+        let single = LoadgenSpec {
+            add_pair_at: Some(Duration::from_millis(1)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&single).is_err(), "elastic schedule needs >= 2 shards");
+        let with_fault = LoadgenSpec {
+            shards: 2,
+            add_pair_at: Some(Duration::from_millis(1)),
+            kill_primary_at: Some(Duration::from_millis(1)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&with_fault).is_err(), "schedules cannot combine");
+        let backwards = LoadgenSpec {
+            shards: 2,
+            add_pair_at: Some(Duration::from_millis(10)),
+            remove_pair_at: Some(Duration::from_millis(5)),
+            ..LoadgenSpec::default()
+        };
+        assert!(run(&backwards).is_err(), "remove must follow add");
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub trait StorageBackend: Send {
     fn version_of(&self, lpn: u64) -> Option<u64> {
         self.read_page(lpn).map(|(v, _)| v)
     }
+
+    /// Every stored lpn, unordered (callers sort). Drives elastic-
+    /// membership migration planning: which pages does this pair actually
+    /// hold durable, and therefore which blocks must move when the ring
+    /// changes.
+    fn lpns(&self) -> Vec<u64>;
 }
 
 /// In-memory "SSD".
@@ -78,6 +84,10 @@ impl StorageBackend for MemBackend {
     fn version_of(&self, lpn: u64) -> Option<u64> {
         // Hot path for the node's version clock: no page-content clone.
         self.pages.get(&lpn).map(|(v, _)| *v)
+    }
+
+    fn lpns(&self) -> Vec<u64> {
+        self.pages.keys().copied().collect()
     }
 }
 
@@ -127,6 +137,10 @@ impl StorageBackend for SimSsdBackend {
     fn version_of(&self, lpn: u64) -> Option<u64> {
         self.mem.version_of(lpn)
     }
+
+    fn lpns(&self) -> Vec<u64> {
+        self.mem.lpns()
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +158,7 @@ mod tests {
         assert_eq!(b.version_of(6), None);
         assert_eq!(b.pages(), 1);
         assert_eq!(b.writes(), 1);
+        assert_eq!(b.lpns(), vec![5]);
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub use backend::{MemBackend, SimSsdBackend, StorageBackend};
 pub use fault::{FaultAction, FaultPlan, FaultRecord, FaultStats, FaultTransport};
 pub use flashcoop::{LifecycleTransition, PairLifecycle, PairState, ReplicationStats, RetryPolicy};
 pub use node::{
-    shared_backend, Node, NodeConfig, NodeConfigBuilder, NodeDown, NodeStats, PerClientStats,
-    RunOutcome, SharedBackend, WriteOutcome, PEER_NS,
+    shared_backend, MigrateError, Node, NodeConfig, NodeConfigBuilder, NodeDown, NodeStats,
+    PerClientStats, RunOutcome, SharedBackend, WriteOutcome, PEER_NS,
 };
 pub use transport::{mem_pair, MemTransport, TcpTransport, Transport, TransportError};
 pub use wire::{

@@ -23,10 +23,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
-use fc_cluster::{Node, NodeDown, PairState};
+use fc_cluster::{MigrateError, Node, NodeDown, PairState};
 use fc_obs::{Counter, Gauge, Histogram, Obs};
 use fc_ring::Ring;
 use parking_lot::{Mutex, RwLock};
@@ -143,6 +143,16 @@ pub struct GatewayStats {
     /// Shard ops abandoned at the retry deadline with both replicas down
     /// (one `Unavailable` reply may cover several batched writes).
     pub unavailable: u64,
+    /// Elastic-membership windows opened (`begin_rebalance`).
+    pub rebalances_started: u64,
+    /// Windows committed (ring cut over to the new epoch).
+    pub rebalances_completed: u64,
+    /// Blocks handed from their old owner to their new one.
+    pub rebalance_moved_blocks: u64,
+    /// Pages those blocks carried.
+    pub rebalance_moved_pages: u64,
+    /// Migration batches executed (each one fence hold on the route table).
+    pub rebalance_batches: u64,
     /// Requests currently in service.
     pub inflight: u32,
     /// High-water mark of concurrent admitted requests.
@@ -187,8 +197,15 @@ struct Instruments {
     failbacks: Counter,
     retries: Counter,
     unavailable: Counter,
+    rebalances_started: Counter,
+    rebalances_completed: Counter,
+    rebalance_moved_blocks: Counter,
+    rebalance_moved_pages: Counter,
+    rebalance_batches: Counter,
     inflight_gauge: Gauge,
     latency_ns: Histogram,
+    /// Moved-block count per committed rebalance window.
+    rebalance_hist: Histogram,
     obs: Option<Obs>,
 }
 
@@ -219,8 +236,14 @@ impl Instruments {
             failbacks: Counter::new(),
             retries: Counter::new(),
             unavailable: Counter::new(),
+            rebalances_started: Counter::new(),
+            rebalances_completed: Counter::new(),
+            rebalance_moved_blocks: Counter::new(),
+            rebalance_moved_pages: Counter::new(),
+            rebalance_batches: Counter::new(),
             inflight_gauge: Gauge::new(),
             latency_ns: Histogram::new(),
+            rebalance_hist: Histogram::new(),
             obs: None,
         }
     }
@@ -262,17 +285,86 @@ impl ShardBackend {
     }
 }
 
+/// Sharded-mode routing state: the attached shard slots, the ring(s), and
+/// — while an elastic-membership window is open — the fence set.
+///
+/// Ops hold the read half of the guarding `RwLock` across their node
+/// calls; `attach_shard` / `begin_rebalance` / `migrate_batch` /
+/// `commit_rebalance` take the write half. That makes every migration
+/// batch a barrier: a block's copy+release never interleaves with a
+/// client op routed by the pre-batch table, and once the batch's write
+/// guard drops, every subsequent op sees the block at its new owner —
+/// the "briefly held writes" of the dual-ring window. Lock order is
+/// route table → shard health; nothing acquires them the other way.
+pub(crate) struct RouteTable {
+    /// The ring requests route by outside the fence set: epoch E+1 during
+    /// a window, the only ring otherwise.
+    ring: Ring,
+    /// The retiring ring (epoch E) while a window is open.
+    old: Option<Ring>,
+    /// Planned-but-not-yet-migrated blocks. These still route to their
+    /// old-ring owner; everything else routes by `ring`, so a block first
+    /// written *during* the window lands directly on its post-cut-over
+    /// owner and no acked write is stranded at commit.
+    pending: HashSet<u64>,
+    /// Shard slots, index = pair id. Slots are append-only: a removed
+    /// pair's slot stays (its counters freeze, routing simply never
+    /// resolves to a non-member), so per-shard stats and the counter-sum
+    /// identity survive membership changes.
+    shards: Vec<Arc<ShardBackend>>,
+    /// Blocks / pages / batches moved in the current window.
+    window_moved_blocks: u64,
+    window_moved_pages: u64,
+    window_batches: u64,
+}
+
+impl RouteTable {
+    fn new(ring: Ring, shards: Vec<Arc<ShardBackend>>) -> RouteTable {
+        RouteTable {
+            ring,
+            old: None,
+            pending: HashSet::new(),
+            shards,
+            window_moved_blocks: 0,
+            window_moved_pages: 0,
+            window_batches: 0,
+        }
+    }
+
+    /// The dual-ring routing rule.
+    fn owner_of_block(&self, block: u64) -> u16 {
+        match &self.old {
+            Some(old) if self.pending.contains(&block) => old.shard_of_block(block),
+            _ => self.ring.shard_of_block(block),
+        }
+    }
+
+    fn owner_of_lpn(&self, lpn: u64) -> u16 {
+        self.owner_of_block(lpn / u64::from(self.ring.block_pages()))
+    }
+
+    /// Shards a flush must fan out to: the current members, plus — during
+    /// a window — the retiring ring's members (a pair leaving the cluster
+    /// still holds unmigrated dirty pages until the cut-over).
+    fn flush_members(&self) -> Vec<u16> {
+        let mut members: Vec<u16> = self.ring.members().to_vec();
+        if let Some(old) = &self.old {
+            members.extend_from_slice(old.members());
+            members.sort_unstable();
+            members.dedup();
+        }
+        members
+    }
+}
+
 /// Where admitted requests go: one pair, or N pairs behind a consistent-
 /// hash ring.
 enum Backend {
     /// The original single-pair mode: every request hits this node.
     Single(Arc<Node>),
-    /// Sharded mode: `ring` maps logical blocks to an index into
-    /// `shards` (pair `i`'s routing state).
-    Sharded {
-        ring: Ring,
-        shards: Vec<ShardBackend>,
-    },
+    /// Sharded mode: the route table maps logical blocks to shard slots
+    /// and carries the elastic-membership window state.
+    Sharded(Box<RwLock<RouteTable>>),
 }
 
 /// A running gateway. Create with [`Gateway::new`] (one pair) or
@@ -349,20 +441,26 @@ impl Gateway {
             "ring membership must be exactly 0..{}",
             primaries.len()
         );
-        let shards: Vec<ShardBackend> = primaries
+        let shards: Vec<Arc<ShardBackend>> = primaries
             .into_iter()
             .zip(secondaries)
-            .map(|(primary, secondary)| ShardBackend {
-                primary,
-                secondary,
-                health: RwLock::new(ShardHealth::new(
-                    cfg.breaker_threshold,
-                    cfg.breaker_cooldown,
-                )),
+            .map(|(primary, secondary)| {
+                Arc::new(ShardBackend {
+                    primary,
+                    secondary,
+                    health: RwLock::new(ShardHealth::new(
+                        cfg.breaker_threshold,
+                        cfg.breaker_cooldown,
+                    )),
+                })
             })
             .collect();
         let count = shards.len();
-        Gateway::with_backend(cfg, Backend::Sharded { ring, shards }, count)
+        Gateway::with_backend(
+            cfg,
+            Backend::Sharded(Box::new(RwLock::new(RouteTable::new(ring, shards)))),
+            count,
+        )
     }
 
     fn with_backend(cfg: GatewayConfig, backend: Backend, shards: usize) -> Arc<Gateway> {
@@ -402,15 +500,20 @@ impl Gateway {
     pub fn shard_nodes(&self) -> Vec<Arc<Node>> {
         match &self.backend {
             Backend::Single(node) => vec![node.clone()],
-            Backend::Sharded { shards, .. } => shards.iter().map(|s| s.primary.clone()).collect(),
+            Backend::Sharded(routes) => routes
+                .read()
+                .shards
+                .iter()
+                .map(|s| s.primary.clone())
+                .collect(),
         }
     }
 
     /// Sharded-mode routing state for `shard`. Panics in single mode.
-    pub(crate) fn shard_backend(&self, shard: u16) -> &ShardBackend {
+    pub(crate) fn shard_backend(&self, shard: u16) -> Arc<ShardBackend> {
         match &self.backend {
             Backend::Single(_) => panic!("shard_backend() on a single-pair gateway"),
-            Backend::Sharded { shards, .. } => &shards[usize::from(shard)],
+            Backend::Sharded(routes) => routes.read().shards[usize::from(shard)].clone(),
         }
     }
 
@@ -420,17 +523,67 @@ impl Gateway {
     pub fn shard_routed_to_primary(&self, shard: u16) -> bool {
         match &self.backend {
             Backend::Single(_) => true,
-            Backend::Sharded { shards, .. } => {
-                shards[usize::from(shard)].health.read().active == Replica::Primary
+            Backend::Sharded(routes) => {
+                routes.read().shards[usize::from(shard)]
+                    .health
+                    .read()
+                    .active
+                    == Replica::Primary
             }
         }
     }
 
-    /// The routing ring (sharded mode only).
-    pub fn ring(&self) -> Option<&Ring> {
+    /// A snapshot of the routing ring (sharded mode only). During a
+    /// rebalance window this is the *target* ring (epoch E+1); blocks in
+    /// the fence set still route to their old owner until migrated, so
+    /// don't use the snapshot to second-guess in-window placement.
+    pub fn ring(&self) -> Option<Ring> {
         match &self.backend {
             Backend::Single(_) => None,
-            Backend::Sharded { ring, .. } => Some(ring),
+            Backend::Sharded(routes) => Some(routes.read().ring.clone()),
+        }
+    }
+
+    /// The current ring epoch (sharded mode only) — the target ring's
+    /// epoch during a window.
+    pub fn ring_epoch(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(routes) => Some(routes.read().ring.epoch()),
+        }
+    }
+
+    /// True while an elastic-membership window is open.
+    pub fn rebalance_active(&self) -> bool {
+        match &self.backend {
+            Backend::Single(_) => false,
+            Backend::Sharded(routes) => routes.read().old.is_some(),
+        }
+    }
+
+    /// Blocks still awaiting migration in the open window, if any.
+    pub fn rebalance_pending(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
+                rt.old.as_ref().map(|_| rt.pending.len() as u64)
+            }
+        }
+    }
+
+    /// The fenced blocks still awaiting migration, ascending — what a
+    /// coordinator resuming an interrupted window must still move. Empty
+    /// with no window open.
+    pub fn rebalance_pending_blocks(&self) -> Vec<u64> {
+        match &self.backend {
+            Backend::Single(_) => Vec::new(),
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
+                let mut blocks: Vec<u64> = rt.pending.iter().copied().collect();
+                blocks.sort_unstable();
+                blocks
+            }
         }
     }
 
@@ -440,12 +593,250 @@ impl Gateway {
     pub fn read_page(&self, lpn: u64) -> Option<Vec<u8>> {
         match &self.backend {
             Backend::Single(node) => node.read(lpn),
-            Backend::Sharded { ring, shards } => {
-                let sb = &shards[usize::from(ring.shard_of_lpn(lpn))];
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
+                let sb = &rt.shards[usize::from(rt.owner_of_lpn(lpn))];
                 let health = sb.health.read();
                 sb.active(&health).read(lpn)
             }
         }
+    }
+
+    // -- elastic membership ------------------------------------------------
+    //
+    // The control surface a rebalance coordinator drives (see the
+    // `fc-rebalance` crate): attach new shard slots, open an epoch window,
+    // migrate the fence set in bounded batches, cut over.
+
+    /// Attach a new pair as the next shard slot and return its id. The
+    /// slot is routable only once a later [`Gateway::begin_rebalance`]
+    /// installs a ring that includes it, so attaching is invisible to
+    /// clients. Sharded mode only.
+    pub fn attach_shard(
+        &self,
+        primary: Arc<Node>,
+        secondary: Option<Arc<Node>>,
+    ) -> Result<u16, RebalanceError> {
+        let Backend::Sharded(routes) = &self.backend else {
+            return Err(RebalanceError::NotSharded);
+        };
+        let mut rt = routes.write();
+        let shard = rt.shards.len() as u16;
+        rt.shards.push(Arc::new(ShardBackend {
+            primary,
+            secondary,
+            health: RwLock::new(ShardHealth::new(
+                self.cfg.breaker_threshold,
+                self.cfg.breaker_cooldown,
+            )),
+        }));
+        // Grow the per-shard instrument vector under the route write guard:
+        // any op that can route to the new shard acquires the read guard
+        // later, and therefore snapshots the grown vector.
+        let ins = self.instruments();
+        let old_shards = self.shard_instruments.lock().clone();
+        let mut next: Vec<ShardInstruments> = Vec::with_capacity(old_shards.len() + 1);
+        let detached = ShardInstruments::detached();
+        for (i, old) in old_shards
+            .iter()
+            .chain(std::iter::once(&detached))
+            .enumerate()
+        {
+            next.push(match &ins.obs {
+                Some(obs) => ShardInstruments::attached(obs.registry(), i, old),
+                None => ShardInstruments::detached_from(old),
+            });
+        }
+        *self.shard_instruments.lock() = Arc::new(next);
+        ins.emit(
+            ins.event("shard_attach")
+                .map(|e| e.u64_field("shard", u64::from(shard))),
+        );
+        Ok(shard)
+    }
+
+    /// Open an elastic-membership window: install `new_ring` (epoch E+1)
+    /// as the routing target and fence the moved-block set to its old
+    /// owners until migrated. The fence is `pending` (the coordinator's
+    /// plan) **unioned with a live occupancy scan of the retiring ring's
+    /// members**, then restricted to blocks whose owner actually differs
+    /// between the rings.
+    ///
+    /// The scan runs under the same route-table write guard that installs
+    /// the new ring — no client op can be in flight while it runs — so a
+    /// block first written *after* the coordinator planned (and therefore
+    /// missing from `pending`) is still fenced here rather than silently
+    /// flipping to a new owner that does not hold its pages. Returns the
+    /// fenced set, ascending: exactly the blocks the caller must migrate
+    /// before [`Gateway::commit_rebalance`] will succeed.
+    pub fn begin_rebalance(
+        &self,
+        new_ring: Ring,
+        pending: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<u64>, RebalanceError> {
+        let Backend::Sharded(routes) = &self.backend else {
+            return Err(RebalanceError::NotSharded);
+        };
+        let mut rt = routes.write();
+        if rt.old.is_some() {
+            return Err(RebalanceError::WindowOpen);
+        }
+        if new_ring.config() != rt.ring.config() {
+            return Err(RebalanceError::ConfigMismatch);
+        }
+        if new_ring.epoch() <= rt.ring.epoch() {
+            return Err(RebalanceError::StaleEpoch {
+                current: rt.ring.epoch(),
+                offered: new_ring.epoch(),
+            });
+        }
+        if let Some(&m) = new_ring
+            .members()
+            .iter()
+            .find(|&&m| usize::from(m) >= rt.shards.len())
+        {
+            return Err(RebalanceError::UnknownMember(m));
+        }
+        // Live occupancy scan, atomic with the routing switch below. A
+        // member that cannot answer aborts the begin with the table
+        // untouched — fencing blindly would strand whatever it holds.
+        let bp = u64::from(rt.ring.block_pages());
+        let mut fence: HashSet<u64> = pending.into_iter().collect();
+        for &m in rt.ring.members() {
+            let sb = &rt.shards[usize::from(m)];
+            let health = sb.health.read();
+            let lpns = sb
+                .active(&health)
+                .try_migration_lpns()
+                .map_err(|NodeDown| RebalanceError::SourceDown(m))?;
+            fence.extend(lpns.iter().map(|l| l / bp).filter(|&b| {
+                // Only blocks this member owns per the retiring ring; a
+                // stray page parked off-owner is not this window's problem.
+                rt.ring.shard_of_block(b) == m
+            }));
+        }
+        let old = std::mem::replace(&mut rt.ring, new_ring);
+        rt.pending = fence
+            .into_iter()
+            .filter(|&b| old.shard_of_block(b) != rt.ring.shard_of_block(b))
+            .collect();
+        let mut fenced_blocks: Vec<u64> = rt.pending.iter().copied().collect();
+        fenced_blocks.sort_unstable();
+        let (from_epoch, to_epoch, fenced) = (old.epoch(), rt.ring.epoch(), rt.pending.len());
+        rt.old = Some(old);
+        rt.window_moved_blocks = 0;
+        rt.window_moved_pages = 0;
+        rt.window_batches = 0;
+        drop(rt);
+        let ins = self.instruments();
+        ins.rebalances_started.inc();
+        ins.emit(ins.event("rebalance_begin").map(|e| {
+            e.u64_field("from_epoch", from_epoch)
+                .u64_field("to_epoch", to_epoch)
+                .u64_field("fenced_blocks", fenced as u64)
+        }));
+        Ok(fenced_blocks)
+    }
+
+    /// Migrate one bounded batch of fenced blocks. For each block still
+    /// pending, `copy(block, from, to)` must move its pages from the old
+    /// owner to the new one (export → import → release) and return the
+    /// page count; on success the block leaves the fence set, so the next
+    /// op routes it to its new owner.
+    ///
+    /// The whole batch runs under the route-table write guard — client
+    /// ops are briefly held, which is exactly the fence that makes the
+    /// copy atomic against concurrent writes. Keep batches small; the
+    /// guard hold is the rebalance/client latency trade-off. On a copy
+    /// error the batch stops: already-moved blocks stay moved, the failed
+    /// block (and the rest) stay fenced to their old owner, and the
+    /// window remains open for a retry.
+    pub fn migrate_batch(
+        &self,
+        blocks: &[u64],
+        mut copy: impl FnMut(u64, u16, u16) -> Result<u64, MigrateError>,
+    ) -> Result<u64, MigrateBatchError> {
+        let Backend::Sharded(routes) = &self.backend else {
+            return Err(MigrateBatchError::State(RebalanceError::NotSharded));
+        };
+        let ins = self.instruments();
+        let mut rt = routes.write();
+        if rt.old.is_none() {
+            return Err(MigrateBatchError::State(RebalanceError::NoWindow));
+        }
+        let mut pages = 0u64;
+        let mut moved = 0u64;
+        for &block in blocks {
+            if !rt.pending.contains(&block) {
+                continue; // already moved, or never part of the plan
+            }
+            let from = rt.old.as_ref().unwrap().shard_of_block(block);
+            let to = rt.ring.shard_of_block(block);
+            match copy(block, from, to) {
+                Ok(n) => {
+                    rt.pending.remove(&block);
+                    rt.window_moved_blocks += 1;
+                    rt.window_moved_pages += n;
+                    moved += 1;
+                    pages += n;
+                }
+                Err(error) => {
+                    rt.window_batches += 1;
+                    ins.rebalance_batches.inc();
+                    ins.rebalance_moved_blocks.add(moved);
+                    ins.rebalance_moved_pages.add(pages);
+                    return Err(MigrateBatchError::Copy {
+                        block,
+                        from,
+                        to,
+                        error,
+                    });
+                }
+            }
+        }
+        rt.window_batches += 1;
+        drop(rt);
+        ins.rebalance_batches.inc();
+        ins.rebalance_moved_blocks.add(moved);
+        ins.rebalance_moved_pages.add(pages);
+        Ok(pages)
+    }
+
+    /// Cut over: retire the old ring and route purely by the new epoch.
+    /// Refused while fenced blocks remain — committing early would flip
+    /// unmigrated blocks to an owner that does not hold them. Returns the
+    /// new epoch.
+    pub fn commit_rebalance(&self) -> Result<u64, RebalanceError> {
+        let Backend::Sharded(routes) = &self.backend else {
+            return Err(RebalanceError::NotSharded);
+        };
+        let mut rt = routes.write();
+        let Some(old) = &rt.old else {
+            return Err(RebalanceError::NoWindow);
+        };
+        if !rt.pending.is_empty() {
+            return Err(RebalanceError::PendingBlocks(rt.pending.len() as u64));
+        }
+        let from_epoch = old.epoch();
+        rt.old = None;
+        let to_epoch = rt.ring.epoch();
+        let (blocks, pages, batches) = (
+            rt.window_moved_blocks,
+            rt.window_moved_pages,
+            rt.window_batches,
+        );
+        drop(rt);
+        let ins = self.instruments();
+        ins.rebalances_completed.inc();
+        ins.rebalance_hist.record(blocks);
+        ins.emit(ins.event("rebalance_commit").map(|e| {
+            e.u64_field("from_epoch", from_epoch)
+                .u64_field("to_epoch", to_epoch)
+                .u64_field("moved_blocks", blocks)
+                .u64_field("moved_pages", pages)
+                .u64_field("batches", batches)
+        }));
+        Ok(to_epoch)
     }
 
     /// Per-shard traffic snapshots, index = shard id. Empty for a
@@ -498,8 +889,20 @@ impl Gateway {
             failbacks: seed("gateway.failbacks", &old.failbacks),
             retries: seed("gateway.retries", &old.retries),
             unavailable: seed("gateway.unavailable", &old.unavailable),
+            rebalances_started: seed("gateway.rebalance.started", &old.rebalances_started),
+            rebalances_completed: seed("gateway.rebalance.completed", &old.rebalances_completed),
+            rebalance_moved_blocks: seed(
+                "gateway.rebalance.moved_blocks",
+                &old.rebalance_moved_blocks,
+            ),
+            rebalance_moved_pages: seed(
+                "gateway.rebalance.moved_pages",
+                &old.rebalance_moved_pages,
+            ),
+            rebalance_batches: seed("gateway.rebalance.batches", &old.rebalance_batches),
             inflight_gauge: reg.gauge("gateway.inflight"),
             latency_ns: reg.histogram("gateway.latency_ns"),
+            rebalance_hist: reg.histogram("gateway.rebalance.run_moved_blocks"),
             obs: Some(obs.clone()),
         };
         *self.instruments.lock() = Arc::new(next);
@@ -555,6 +958,11 @@ impl Gateway {
             failbacks: ins.failbacks.get(),
             retries: ins.retries.get(),
             unavailable: ins.unavailable.get(),
+            rebalances_started: ins.rebalances_started.get(),
+            rebalances_completed: ins.rebalances_completed.get(),
+            rebalance_moved_blocks: ins.rebalance_moved_blocks.get(),
+            rebalance_moved_pages: ins.rebalance_moved_pages.get(),
+            rebalance_batches: ins.rebalance_batches.get(),
             inflight: self.admission.inflight(),
             max_inflight_seen: self.admission.max_inflight_seen(),
         }
@@ -767,10 +1175,11 @@ impl Gateway {
                 ins.read_pages.add(u64::from(pages));
                 ins.read_hits.add(hits);
             }
-            Backend::Sharded { ring, shards } => {
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
                 let shard_ins = self.shard_instruments();
-                for (shard, start, count) in segments(ring, lpn, pages) {
-                    let sb = &shards[usize::from(shard)];
+                for (shard, start, count) in segments(|l| rt.owner_of_lpn(l), lpn, pages) {
+                    let sb = rt.shards[usize::from(shard)].as_ref();
                     let sins = &shard_ins[usize::from(shard)];
                     let started = Instant::now();
                     let (seg, seg_hits) = self.with_shard(shard, sb, ins, sins, |node| {
@@ -811,10 +1220,11 @@ impl Gateway {
                 }
                 ins.trim_pages.add(u64::from(pages));
             }
-            Backend::Sharded { ring, shards } => {
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
                 let shard_ins = self.shard_instruments();
-                for (shard, start, count) in segments(ring, lpn, pages) {
-                    let sb = &shards[usize::from(shard)];
+                for (shard, start, count) in segments(|l| rt.owner_of_lpn(l), lpn, pages) {
+                    let sb = rt.shards[usize::from(shard)].as_ref();
                     let sins = &shard_ins[usize::from(shard)];
                     let started = Instant::now();
                     self.with_shard(shard, sb, ins, sins, |node| {
@@ -834,9 +1244,17 @@ impl Gateway {
     }
 
     /// Flush dirty pages: one node in single mode, fanned out to every
-    /// pair's active replica in sharded mode. Returns total pages
-    /// destaged, or [`Unavail`] when some pair is entirely down (pages
-    /// flushed on earlier shards stay flushed and counted).
+    /// ring member's active replica in sharded mode (during a rebalance
+    /// window: the union of old and new members, since a retiring pair
+    /// still holds unmigrated dirty pages). Returns total pages destaged,
+    /// or [`Unavail`] when some pair is entirely down (pages flushed on
+    /// earlier shards stay flushed and counted).
+    ///
+    /// Shards that provably cannot serve — breaker Open, active replica
+    /// halted, and no live replica to flip to — are skipped up front
+    /// instead of each burning the full retry deadline; the flush still
+    /// walks every serviceable shard, then answers `Unavailable` with the
+    /// shortest `retry_after_ms` among the dead ones.
     fn do_flush(&self, ins: &Instruments) -> Result<u64, Unavail> {
         match &self.backend {
             Backend::Single(node) => {
@@ -844,19 +1262,61 @@ impl Gateway {
                 ins.flushed_pages.add(flushed);
                 Ok(flushed)
             }
-            Backend::Sharded { shards, .. } => {
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
                 let shard_ins = self.shard_instruments();
                 let mut total = 0u64;
-                for (i, sb) in shards.iter().enumerate() {
-                    let sins = &shard_ins[i];
+                // (shard, hint) of the fastest-retry dead shard, if any.
+                let mut dead: Option<(u16, u32)> = None;
+                for shard in rt.flush_members() {
+                    let sb = rt.shards[usize::from(shard)].as_ref();
+                    let sins = &shard_ins[usize::from(shard)];
+                    let skip = {
+                        let h = sb.health.read();
+                        let alt_alive = match h.active {
+                            Replica::Primary => {
+                                sb.secondary.as_ref().is_some_and(|s| !s.is_halted())
+                            }
+                            Replica::Secondary => !sb.primary.is_halted(),
+                        };
+                        (h.breaker.state() == BreakerState::Open
+                            && sb.active(&h).is_halted()
+                            && !alt_alive)
+                            .then(|| h.breaker.retry_after_ms())
+                    };
+                    if let Some(hint) = skip {
+                        if dead.is_none_or(|(_, best)| hint < best) {
+                            dead = Some((shard, hint));
+                        }
+                        continue;
+                    }
                     let started = Instant::now();
-                    let flushed =
-                        self.with_shard(i as u16, sb, ins, sins, |node| node.try_flush_dirty())?;
+                    let flushed = match self
+                        .with_shard(shard, sb, ins, sins, |node| node.try_flush_dirty())
+                    {
+                        Ok(f) => f,
+                        Err(u) => {
+                            // Deadline burned here anyway; fold in any
+                            // faster hint from an already-skipped shard.
+                            let retry_after_ms =
+                                dead.map_or(u.retry_after_ms, |(_, h)| h.min(u.retry_after_ms));
+                            return Err(Unavail { retry_after_ms });
+                        }
+                    };
                     sins.ops.inc();
                     ins.flushed_pages.add(flushed);
                     sins.flushed_pages.add(flushed);
                     sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                     total += flushed;
+                }
+                if let Some((shard, retry_after_ms)) = dead {
+                    ins.unavailable.inc();
+                    shard_ins[usize::from(shard)].unavailable.inc();
+                    ins.emit(
+                        ins.event("unavailable")
+                            .map(|e| e.u64_field("shard", u64::from(shard))),
+                    );
+                    return Err(Unavail { retry_after_ms });
                 }
                 Ok(total)
             }
@@ -899,7 +1359,8 @@ impl Gateway {
                 ins.runs.add(sub.runs);
                 ins.coalesced_pages.add(in_pages - sub.out_pages);
             }
-            Backend::Sharded { ring, shards } => {
+            Backend::Sharded(routes) => {
+                let rt = routes.read();
                 let shard_ins = self.shard_instruments();
                 // Remember each incoming page's lpn so its pre-coalesce
                 // count can be attributed to the run (and shard) that
@@ -908,7 +1369,7 @@ impl Gateway {
                 // even when a batch aborts midway.
                 let in_lpns: Vec<u64> = flat.iter().map(|(lpn, _)| *lpn).collect();
                 let tagged =
-                    coalesce_sharded(flat, self.cfg.pages_per_block, |lpn| ring.shard_of_lpn(lpn));
+                    coalesce_sharded(flat, self.cfg.pages_per_block, |lpn| rt.owner_of_lpn(lpn));
                 // Runs come out in ascending lpn order; bucket each input
                 // page into the run covering its lpn.
                 let mut in_count = vec![0u64; tagged.len()];
@@ -918,7 +1379,7 @@ impl Gateway {
                     in_count[idx] += 1;
                 }
                 for (i, (shard, run)) in tagged.iter().enumerate() {
-                    let sb = &shards[usize::from(*shard)];
+                    let sb = rt.shards[usize::from(*shard)].as_ref();
                     let sins = &shard_ins[usize::from(*shard)];
                     let started = Instant::now();
                     // Stable across resends of the same request; mixed so
@@ -1037,6 +1498,88 @@ struct Unavail {
     retry_after_ms: u32,
 }
 
+/// Why an elastic-membership control call was refused. These are all
+/// caller-state errors — the route table is left exactly as it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// Single-pair gateway: there is no ring to rebalance.
+    NotSharded,
+    /// `begin_rebalance` while a window is already open.
+    WindowOpen,
+    /// `migrate_batch`/`commit_rebalance` with no window open.
+    NoWindow,
+    /// The offered ring disagrees on seed/vnodes/block geometry with the
+    /// current one — its placements would be incomparable.
+    ConfigMismatch,
+    /// The offered ring's epoch is not ahead of the installed ring's —
+    /// a stale or replayed membership change.
+    StaleEpoch { current: u64, offered: u64 },
+    /// The offered ring names a member with no attached shard slot.
+    UnknownMember(u16),
+    /// `commit_rebalance` refused: this many blocks are still fenced.
+    PendingBlocks(u64),
+    /// `begin_rebalance` could not scan this retiring member's occupancy
+    /// (its active replica is down); fencing blindly would strand
+    /// whatever it holds, so the window never opened.
+    SourceDown(u16),
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::NotSharded => write!(f, "gateway is not sharded"),
+            RebalanceError::WindowOpen => write!(f, "a rebalance window is already open"),
+            RebalanceError::NoWindow => write!(f, "no rebalance window is open"),
+            RebalanceError::ConfigMismatch => write!(f, "ring config mismatch"),
+            RebalanceError::StaleEpoch { current, offered } => {
+                write!(f, "stale ring epoch {offered} (current {current})")
+            }
+            RebalanceError::UnknownMember(m) => {
+                write!(f, "ring member {m} has no attached shard")
+            }
+            RebalanceError::PendingBlocks(n) => {
+                write!(f, "{n} blocks still awaiting migration")
+            }
+            RebalanceError::SourceDown(m) => {
+                write!(f, "shard {m} is down; cannot scan its occupancy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+/// Why [`Gateway::migrate_batch`] stopped.
+#[derive(Debug)]
+pub enum MigrateBatchError {
+    /// Refused before any copy ran.
+    State(RebalanceError),
+    /// `copy` failed on `block`; it and the rest of the batch stay fenced
+    /// to their old owner, and the window stays open for a retry.
+    Copy {
+        block: u64,
+        from: u16,
+        to: u16,
+        error: MigrateError,
+    },
+}
+
+impl std::fmt::Display for MigrateBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateBatchError::State(e) => write!(f, "{e}"),
+            MigrateBatchError::Copy {
+                block,
+                from,
+                to,
+                error,
+            } => write!(f, "migrating block {block} ({from} -> {to}): {error}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateBatchError {}
+
 /// Outcome of one batch-window submission.
 #[derive(Debug, Default)]
 struct Submission {
@@ -1052,13 +1595,14 @@ struct Submission {
 }
 
 /// Walk `[lpn, lpn+pages)` as maximal contiguous same-shard segments:
-/// `(shard, start, count)` triples in lpn order. Routing is per ring
-/// block, so segments break exactly at owner changes.
-fn segments(ring: &Ring, lpn: u64, pages: u32) -> Vec<(u16, u64, u32)> {
+/// `(shard, start, count)` triples in lpn order. `owner` is the routing
+/// rule (the route table's dual-ring lookup); routing is per ring block,
+/// so segments break exactly at owner changes.
+fn segments(owner: impl Fn(u64) -> u16, lpn: u64, pages: u32) -> Vec<(u16, u64, u32)> {
     let mut segs: Vec<(u16, u64, u32)> = Vec::new();
     for i in 0..u64::from(pages) {
         let page = lpn + i;
-        let shard = ring.shard_of_lpn(page);
+        let shard = owner(page);
         match segs.last_mut() {
             Some((s, start, count)) if *s == shard && *start + u64::from(*count) == page => {
                 *count += 1;

@@ -27,6 +27,14 @@
 //!   `Unavailable { retry_after_ms }` reply (protocol v2) when no replica
 //!   is live. Write runs carry client-stamped dedup tags, so retries are
 //!   exactly-once end to end.
+//! * elastic membership — the control surface an `fc-rebalance`
+//!   coordinator drives to add or remove pairs *live*: attach a shard
+//!   slot, open an epoch-fenced dual-ring window
+//!   ([`Gateway::begin_rebalance`] — fenced blocks keep routing to their
+//!   old owner until migrated), stream blocks over in bounded barrier
+//!   batches ([`Gateway::migrate_batch`]), and cut over atomically
+//!   ([`Gateway::commit_rebalance`]), with `gateway.rebalance.*`
+//!   counters and a per-run moved-blocks histogram.
 //!
 //! ```
 //! use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
@@ -62,7 +70,7 @@ pub use client::{ClientError, GatewayClient, WriteAck};
 pub use conn::{
     mem_session, LinkClosed, MemClientConn, MemSessionLink, SessionLink, TcpSessionLink,
 };
-pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats, MigrateBatchError, RebalanceError};
 pub use proto::{
     ErrorCode, ProtoError, Reply, Request, MAX_FRAME, MIN_PROTO_VERSION, PROTO_VERSION,
 };

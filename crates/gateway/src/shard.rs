@@ -28,6 +28,7 @@ use std::sync::Arc;
 use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
 use fc_obs::{Counter, Gauge, Histogram, Registry};
 use fc_ring::{Ring, RingConfig};
+use parking_lot::Mutex;
 
 use crate::client::GatewayClient;
 use crate::gateway::{Gateway, GatewayConfig, GatewayStats};
@@ -80,6 +81,28 @@ impl ShardInstruments {
             health,
             latency_ns: Histogram::new(),
         }
+    }
+
+    /// Detached replacement seeded with `old`'s counter values — used when
+    /// a live shard attach rebuilds the instrument vector with no obs
+    /// registry to attach to.
+    pub(crate) fn detached_from(old: &ShardInstruments) -> ShardInstruments {
+        let next = ShardInstruments::detached();
+        let copy = |to: &Counter, from: &Counter| to.store(from.get());
+        copy(&next.ops, &old.ops);
+        copy(&next.read_pages, &old.read_pages);
+        copy(&next.read_hits, &old.read_hits);
+        copy(&next.write_pages, &old.write_pages);
+        copy(&next.coalesced_pages, &old.coalesced_pages);
+        copy(&next.runs, &old.runs);
+        copy(&next.trim_pages, &old.trim_pages);
+        copy(&next.flushed_pages, &old.flushed_pages);
+        copy(&next.failovers, &old.failovers);
+        copy(&next.failbacks, &old.failbacks);
+        copy(&next.retries, &old.retries);
+        copy(&next.unavailable, &old.unavailable);
+        next.health.set(old.health.get());
+        next
     }
 
     /// Registry-backed replacement, seeded with the detached values so no
@@ -238,8 +261,8 @@ impl ShardStatsSum {
 pub struct ShardedGateway {
     gateway: Arc<Gateway>,
     /// B-side of each pair, index = shard id. Shared with the gateway's
-    /// per-shard routing state.
-    secondaries: Vec<Arc<Node>>,
+    /// per-shard routing state; grows when a pair is attached live.
+    secondaries: Mutex<Vec<Arc<Node>>>,
 }
 
 impl ShardedGateway {
@@ -259,7 +282,7 @@ impl ShardedGateway {
                 primaries,
                 secondaries.clone(),
             ),
-            secondaries,
+            secondaries: Mutex::new(secondaries),
         }
     }
 
@@ -292,18 +315,32 @@ impl ShardedGateway {
 
     /// Pair `shard`'s designated primary node (regardless of where the
     /// route currently points).
-    pub fn primary(&self, shard: u16) -> &Arc<Node> {
-        &self.gateway.shard_backend(shard).primary
+    pub fn primary(&self, shard: u16) -> Arc<Node> {
+        self.gateway.shard_backend(shard).primary.clone()
     }
 
     /// Pair `shard`'s secondary node.
-    pub fn secondary(&self, shard: u16) -> &Arc<Node> {
-        &self.secondaries[shard as usize]
+    pub fn secondary(&self, shard: u16) -> Arc<Node> {
+        self.secondaries.lock()[shard as usize].clone()
     }
 
-    /// Number of pairs behind the gateway.
+    /// Number of pair slots behind the gateway (attached slots, including
+    /// any pair already rebalanced out of the ring).
     pub fn shards(&self) -> u16 {
-        self.secondaries.len() as u16
+        self.secondaries.lock().len() as u16
+    }
+
+    /// Attach a new pair as the next shard slot and return its id — the
+    /// first step of a live scale-up. The slot takes no traffic until a
+    /// rebalance installs a ring that includes it (see `fc-rebalance`).
+    pub fn attach_pair(&self, primary: Arc<Node>, secondary: Arc<Node>) -> u16 {
+        let mut secondaries = self.secondaries.lock();
+        let shard = self
+            .gateway
+            .attach_shard(primary, Some(secondary.clone()))
+            .expect("ShardedGateway is always sharded");
+        secondaries.push(secondary);
+        shard
     }
 
     /// Connect an in-memory client (see [`Gateway::connect_mem`]).
@@ -330,9 +367,9 @@ impl ShardedGateway {
     /// secondaries are `Arc`-shared with the gateway's routing state, so
     /// they stop via [`Node::quiesce`] (their pump threads join when the
     /// last `Arc` drops).
-    pub fn shutdown(self) {
+    pub fn shutdown(&self) {
         self.gateway.shutdown();
-        for node in &self.secondaries {
+        for node in self.secondaries.lock().iter() {
             node.quiesce();
         }
     }

@@ -88,6 +88,10 @@ pub struct Ring {
     points: Vec<(u64, u16)>,
     /// Current membership, sorted.
     members: Vec<u16>,
+    /// Membership-change count: bumped once per *effective*
+    /// [`Ring::add_pair`]/[`Ring::remove_pair`] (idempotent no-ops don't
+    /// count). The rebalance control plane fences requests on this.
+    epoch: u64,
 }
 
 impl Ring {
@@ -99,6 +103,7 @@ impl Ring {
             cfg,
             points: Vec::new(),
             members: Vec::new(),
+            epoch: 0,
         }
     }
 
@@ -119,6 +124,21 @@ impl Ring {
     /// Current membership, ascending.
     pub fn pairs(&self) -> &[u16] {
         &self.members
+    }
+
+    /// Current membership, ascending — alias of [`Ring::pairs`] under the
+    /// name the membership-change (rebalance) machinery uses.
+    pub fn members(&self) -> &[u16] {
+        &self.members
+    }
+
+    /// Monotonic membership epoch: 0 for an empty ring, +1 per effective
+    /// [`Ring::add_pair`]/[`Ring::remove_pair`]. Two rings with the same
+    /// seed and membership route identically regardless of epoch; the
+    /// epoch only tells membership *histories* apart, which is what the
+    /// gateway's dual-ring window keys its cut-over on.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of member pairs.
@@ -152,6 +172,7 @@ impl Ring {
         }
         let at = self.members.partition_point(|&m| m < pair);
         self.members.insert(at, pair);
+        self.epoch += 1;
         for vnode in 0..self.cfg.vnodes {
             let p = (self.point(pair, vnode), pair);
             let at = self.points.partition_point(|q| q < &p);
@@ -164,6 +185,7 @@ impl Ring {
     pub fn remove_pair(&mut self, pair: u16) {
         if let Ok(at) = self.members.binary_search(&pair) {
             self.members.remove(at);
+            self.epoch += 1;
             self.points.retain(|&(_, p)| p != pair);
         }
     }
@@ -187,6 +209,29 @@ impl Ring {
     /// Routing granularity in pages.
     pub fn block_pages(&self) -> u32 {
         self.cfg.block_pages
+    }
+
+    /// Ring diff: the blocks in `0..blocks` whose owner differs between
+    /// `self` and `to`, as `(block, old_owner, new_owner)` triples in
+    /// block order. This is exactly the set a rebalance must migrate when
+    /// the cluster's ring changes from `self` to `to` — consistent
+    /// hashing guarantees it is minimal (only the victim's or the
+    /// newcomer's blocks appear).
+    ///
+    /// Both rings must share a config: a diff across seeds or block
+    /// geometries is a full reshuffle, not a membership change.
+    pub fn moved_blocks(&self, to: &Ring, blocks: u64) -> Vec<(u64, u16, u16)> {
+        assert_eq!(
+            self.cfg, to.cfg,
+            "ring diff requires identical configs (same seed and geometry)"
+        );
+        (0..blocks)
+            .filter_map(|block| {
+                let from = self.shard_of_block(block);
+                let now = to.shard_of_block(block);
+                (from != now).then_some((block, from, now))
+            })
+            .collect()
     }
 
     /// Per-pair key counts for blocks `0..blocks` — the balance diagnostic
@@ -316,5 +361,51 @@ mod tests {
     #[should_panic(expected = "empty ring")]
     fn routing_on_an_empty_ring_panics() {
         Ring::new(RingConfig::default()).shard_of_block(0);
+    }
+
+    #[test]
+    fn epoch_counts_effective_membership_changes_only() {
+        let mut ring = Ring::new(RingConfig::default());
+        assert_eq!(ring.epoch(), 0);
+        ring.add_pair(0);
+        ring.add_pair(1);
+        assert_eq!(ring.epoch(), 2);
+        ring.add_pair(1); // idempotent: no change, no bump
+        assert_eq!(ring.epoch(), 2);
+        ring.remove_pair(7); // not a member: no bump
+        assert_eq!(ring.epoch(), 2);
+        ring.remove_pair(0);
+        assert_eq!(ring.epoch(), 3);
+        assert_eq!(Ring::with_pairs(RingConfig::default(), 4).epoch(), 4);
+    }
+
+    #[test]
+    fn members_is_pairs() {
+        let ring = Ring::with_pairs(RingConfig::default(), 3);
+        assert_eq!(ring.members(), ring.pairs());
+        assert_eq!(ring.members(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn moved_blocks_matches_brute_force_diff() {
+        let before = Ring::with_pairs(RingConfig::default(), 4);
+        let mut after = before.clone();
+        after.add_pair(4);
+        let diff = before.moved_blocks(&after, 2_000);
+        let brute: Vec<(u64, u16, u16)> = (0..2_000u64)
+            .filter_map(|b| {
+                let was = before.shard_of_block(b);
+                let now = after.shard_of_block(b);
+                (was != now).then_some((b, was, now))
+            })
+            .collect();
+        assert_eq!(diff, brute);
+        assert!(!diff.is_empty(), "a fifth pair must take over some blocks");
+        for &(_, from, to) in &diff {
+            assert_ne!(from, to);
+            assert_eq!(to, 4, "addition may only move blocks onto the newcomer");
+        }
+        // Identity diff is empty.
+        assert!(before.moved_blocks(&before, 2_000).is_empty());
     }
 }

@@ -131,4 +131,36 @@ proptest! {
             prop_assert_eq!(before.shard_of_block(k), after.shard_of_block(k));
         }
     }
+
+    /// Round trip: `add_pair(p)` then `remove_pair(p)` restores the exact
+    /// original assignment (membership, every key's owner, and an empty
+    /// ring diff), while the epoch records both membership changes —
+    /// the contract the elastic-membership cut-over relies on when a
+    /// scale-up is later undone.
+    #[test]
+    fn add_then_remove_restores_the_original_assignment(
+        seed in any::<u64>(),
+        pairs in 1u16..8,
+        pick in any::<u16>(),
+        keys in prop::collection::vec(any::<u64>(), 100..300),
+    ) {
+        let base = Ring::with_pairs(cfg(seed, 64), pairs);
+        let p = pairs + pick % 64; // any non-member id
+        let mut ring = base.clone();
+        let epoch0 = ring.epoch();
+        ring.add_pair(p);
+        prop_assert_eq!(ring.epoch(), epoch0 + 1);
+        ring.remove_pair(p);
+        prop_assert_eq!(ring.epoch(), epoch0 + 2);
+        prop_assert_eq!(base.pairs(), ring.pairs());
+        for &k in &keys {
+            prop_assert_eq!(
+                base.shard_of_block(k),
+                ring.shard_of_block(k),
+                "key {} changed owner across an add/remove round trip",
+                k
+            );
+        }
+        prop_assert!(base.moved_blocks(&ring, 500).is_empty());
+    }
 }

@@ -35,6 +35,9 @@ cargo test -q --offline --test sharded_e2e
 echo "==> gateway failover chaos: 20-seed kill/failover/failback sweep"
 cargo test -q --offline --test failover_e2e
 
+echo "==> elastic membership: 20-seed live add/remove rebalance sweep"
+cargo test -q --offline --test rebalance_e2e
+
 echo "==> failover smoke: full fail → takeover → resync → rejoin loop"
 cargo run --release --offline --example failover \
   | grep -q "lifecycle loop complete"
@@ -67,5 +70,15 @@ cargo run --release --offline --example cluster_scale \
 echo "==> front-door failover smoke: kill a primary mid-load, zero acked loss"
 cargo run --release --offline --example failover_serving \
   | grep -q "FAILOVER-SERVING OK"
+
+echo "==> elastic loadgen smoke: add + retire a pair mid-workload"
+cargo run --release --offline -p fc-bench --bin loadgen -- \
+  --clients 8 --trace mix --seed 42 --requests 400 --transport mem \
+  --shards 4 --add-pair-at 5 --remove-pair-at 40 \
+  | grep -q "rebalance"
+
+echo "==> elastic scale smoke: digest identical with and without live scaling"
+cargo run --release --offline --example elastic_scale \
+  | grep -q "elastic scale complete"
 
 echo "CI OK"

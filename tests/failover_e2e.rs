@@ -24,7 +24,6 @@
 //! replicated-but-unflushed pages may be invisible until failback.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -407,7 +406,7 @@ fn client_retry_rides_out_a_brief_double_fault() {
     sg.primary(0).fail();
     sg.secondary(0).fail();
     let reviver = {
-        let secondary = Arc::clone(sg.secondary(0));
+        let secondary = sg.secondary(0);
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(300));
             secondary.restart();
