@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
+use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig, ReplicationStats};
 use fc_gateway::{
     AdmissionConfig, ClientError, Gateway, GatewayClient, GatewayConfig, GatewayStats, Reply,
     ShardStats, ShardStatsSum, ShardedGateway,
@@ -176,6 +176,35 @@ pub struct LoadgenSpec {
     /// otherwise the highest original shard. Must be later than
     /// `add_pair_at` when both are given.
     pub remove_pair_at: Option<Duration>,
+    /// Override every node's replication pipeline window (in-flight
+    /// batches); `None` keeps the profile default.
+    pub repl_window: Option<usize>,
+    /// Override every node's max pages per replication batch; `None`
+    /// keeps the profile default.
+    pub repl_batch_pages: Option<usize>,
+    /// Run every node on the legacy stop-and-wait replication path
+    /// (the pre-pipeline baseline, for A/B comparisons).
+    pub legacy_repl: bool,
+    /// Override the workload's mean request size in pages (>= 1) — larger
+    /// requests make longer write runs, the shape the replication
+    /// pipeline coalesces into single frames.
+    pub req_pages: Option<f64>,
+    /// Override every node's remote-buffer credit pool (distinct peer
+    /// pages it will host); `None` keeps the profile default. Benchmarks
+    /// size this above the working set so writes keep replicating instead
+    /// of degrading to credit-stalled write-through.
+    pub remote_capacity: Option<usize>,
+    /// Override every node's local buffer capacity in pages; `None` keeps
+    /// the (tiny, eviction-oriented) test profile. Benchmarks size this
+    /// above the working set so writes stay buffer-resident and exercise
+    /// the replication path instead of self-evicting to write-through.
+    pub buffer_pages: Option<usize>,
+    /// Override the gateway's destage-block size in pages (`None` keeps
+    /// the gateway default). The gateway coalesces each write request into
+    /// block-aligned runs, so this caps the run length handed to
+    /// [`fc_cluster::Node::write_run`] — benchmarks raise it so whole
+    /// requests reach the replication pipeline as single runs.
+    pub pages_per_block: Option<u32>,
 }
 
 impl Default for LoadgenSpec {
@@ -197,6 +226,13 @@ impl Default for LoadgenSpec {
             victim_shard: 0,
             add_pair_at: None,
             remove_pair_at: None,
+            repl_window: None,
+            repl_batch_pages: None,
+            legacy_repl: false,
+            req_pages: None,
+            remote_capacity: None,
+            buffer_pages: None,
+            pages_per_block: None,
         }
     }
 }
@@ -237,6 +273,21 @@ pub struct LoadReport {
     /// arrived in — pre-kill/outage/post-restart for a fault schedule,
     /// pre-scale/post-add/post-remove for an elastic one.
     pub phase_lines: Vec<PhaseLine>,
+    /// Replication-pipeline view of the run, summed over every node in
+    /// the cluster (primaries and secondaries alike).
+    pub repl: ReplLine,
+}
+
+/// Cluster-wide replication summary for a run: the fault-tolerance
+/// counters summed across nodes plus the batch-size distribution of every
+/// first-send `WriteReplBatch` frame. On the legacy stop-and-wait path
+/// `batch_hist.count == 0` and `stats.batches_sent == 0`.
+#[derive(Debug, Clone, Default)]
+pub struct ReplLine {
+    /// [`ReplicationStats`] summed over all nodes.
+    pub stats: ReplicationStats,
+    /// Pages-per-batch distribution merged across all senders.
+    pub batch_hist: fc_obs::HistogramSummary,
 }
 
 /// One schedule phase's client-observed share of a run.
@@ -306,12 +357,16 @@ pub fn payload(client: u64, lpn: u64, seq: u64, page_bytes: usize) -> Bytes {
     let mut x = client
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(lpn)
-        .wrapping_add(seq << 17);
+        .wrapping_add(seq << 17)
+        | 1;
+    // Fill a whole xorshift word per step: payload generation runs once
+    // per written page in every loadgen client, so the filler must not
+    // rival the system under test for CPU.
     while v.len() < page_bytes.max(24) {
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
-        v.push((x & 0xFF) as u8);
+        v.extend_from_slice(&x.to_le_bytes());
     }
     v.truncate(page_bytes.max(24));
     Bytes::from(v)
@@ -320,10 +375,14 @@ pub fn payload(client: u64, lpn: u64, seq: u64, page_bytes: usize) -> Bytes {
 /// The per-client request stream: the trace, remapped into the client's
 /// private lpn window.
 pub fn client_trace(spec: &LoadgenSpec, client_idx: usize) -> Trace {
-    spec.workload
+    let mut synth = spec
+        .workload
         .spec(spec.pages_per_client)
-        .with_requests(spec.requests)
-        .generate(spec.seed + client_idx as u64)
+        .with_requests(spec.requests);
+    if let Some(p) = spec.req_pages {
+        synth.mean_req_pages = p.max(1.0);
+    }
+    synth.generate(spec.seed + client_idx as u64)
 }
 
 fn lpn_window(spec: &LoadgenSpec, client_idx: usize) -> u64 {
@@ -659,10 +718,13 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
             }
         }
     }
-    let gw_cfg = GatewayConfig {
+    let mut gw_cfg = GatewayConfig {
         admission: spec.admission,
         ..GatewayConfig::default()
     };
+    if let Some(ppb) = spec.pages_per_block {
+        gw_cfg.pages_per_block = ppb;
+    }
     let pages_per_block = gw_cfg.pages_per_block;
 
     // Keep-alive for whatever backs the gateway: the single pair's B side,
@@ -673,15 +735,32 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         Sharded(Arc<ShardedGateway>),
     }
 
+    // Replication-pipeline knobs, applied uniformly to every node.
+    let tune = |cfg: &mut NodeConfig| {
+        if let Some(w) = spec.repl_window {
+            cfg.repl_window = w;
+        }
+        if let Some(p) = spec.repl_batch_pages {
+            cfg.repl_batch_pages = p;
+        }
+        if let Some(c) = spec.remote_capacity {
+            cfg.remote_capacity = c;
+        }
+        if let Some(b) = spec.buffer_pages {
+            cfg.buffer_pages = b;
+        }
+        cfg.legacy_repl = spec.legacy_repl;
+    };
+
     let (gateway, backing): (Arc<Gateway>, Backing) = if spec.shards == 1 {
         let (ta, tb) = mem_pair();
         let backend = shared_backend(MemBackend::default());
-        let node_a = Arc::new(Node::spawn(
-            NodeConfig::test_profile(0),
-            ta,
-            backend.clone(),
-        ));
-        let node_b = Node::spawn(NodeConfig::test_profile(1), tb, backend);
+        let mut cfg_a = NodeConfig::test_profile(0);
+        tune(&mut cfg_a);
+        let mut cfg_b = NodeConfig::test_profile(1);
+        tune(&mut cfg_b);
+        let node_a = Arc::new(Node::spawn(cfg_a, ta, backend.clone()));
+        let node_b = Node::spawn(cfg_b, tb, backend);
         (Gateway::new(gw_cfg, node_a), Backing::Single(node_b))
     } else {
         let ring_cfg = RingConfig {
@@ -689,7 +768,7 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
             block_pages: pages_per_block,
             ..RingConfig::default()
         };
-        let sg = ShardedGateway::spawn_mem(gw_cfg, ring_cfg, spec.shards);
+        let sg = ShardedGateway::spawn_mem_with(gw_cfg, ring_cfg, spec.shards, tune);
         (Arc::clone(sg.gateway()), Backing::Sharded(Arc::new(sg)))
     };
 
@@ -876,6 +955,30 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     };
     let shard_lines = attr.as_deref().map(ShardAttr::lines).unwrap_or_default();
     let digest = state_digest(&gateway, spec.clients as u64 * spec.pages_per_client);
+
+    // Cluster-wide replication summary, snapshotted while the nodes are
+    // still alive (both sides of every pair — secondaries count dedup and
+    // integrity rejections the senders never see).
+    let mut repl = ReplLine::default();
+    {
+        let mut absorb = |node: &Node| {
+            repl.stats.absorb(&node.stats().repl);
+            merge_hist_summary(&mut repl.batch_hist, &node.repl_batch_histogram());
+        };
+        match &backing {
+            Backing::Single(node_b) => {
+                absorb(gateway.node());
+                absorb(node_b);
+            }
+            Backing::Sharded(sg) => {
+                for shard in 0..sg.shards() {
+                    absorb(&sg.primary(shard));
+                    absorb(&sg.secondary(shard));
+                }
+            }
+        }
+    }
+
     gateway.shutdown();
     match backing {
         Backing::Single(node_b) => drop(node_b),
@@ -908,6 +1011,29 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
     if let Some(remove_at) = spec.remove_pair_at {
         spec_line.push_str(&format!(" remove-pair@{}ms", remove_at.as_millis()));
     }
+    if let Some(p) = spec.req_pages {
+        spec_line.push_str(&format!(" req-pages={p}"));
+    }
+    if let Some(c) = spec.remote_capacity {
+        spec_line.push_str(&format!(" remote-capacity={c}"));
+    }
+    if let Some(b) = spec.buffer_pages {
+        spec_line.push_str(&format!(" buffer-pages={b}"));
+    }
+    if let Some(ppb) = spec.pages_per_block {
+        spec_line.push_str(&format!(" pages-per-block={ppb}"));
+    }
+    if spec.legacy_repl {
+        spec_line.push_str(" repl=legacy");
+    } else {
+        spec_line.push_str(" repl=pipelined");
+        if let Some(w) = spec.repl_window {
+            spec_line.push_str(&format!(" repl-window={w}"));
+        }
+        if let Some(p) = spec.repl_batch_pages {
+            spec_line.push_str(&format!(" repl-batch-pages={p}"));
+        }
+    }
 
     Ok(LoadReport {
         spec_line,
@@ -923,7 +1049,42 @@ pub fn run(spec: &LoadgenSpec) -> Result<LoadReport, String> {
         shard_lines,
         shard_stats,
         phase_lines: phases.as_deref().map(PhaseAttr::lines).unwrap_or_default(),
+        repl,
     })
+}
+
+/// Merge histogram summary `other` into `into`: counts, sums, and buckets
+/// add; max takes the larger; the percentiles are recomputed from the
+/// merged buckets with the same nearest-rank rule
+/// [`fc_obs::Histogram::percentile`] uses (every summary comes from the
+/// same bucket layout, so upper bounds merge exactly).
+fn merge_hist_summary(into: &mut fc_obs::HistogramSummary, other: &fc_obs::HistogramSummary) {
+    into.count += other.count;
+    into.sum = into.sum.wrapping_add(other.sum);
+    into.max = into.max.max(other.max);
+    for &(upper, n) in &other.buckets {
+        match into.buckets.binary_search_by_key(&upper, |&(u, _)| u) {
+            Ok(i) => into.buckets[i].1 += n,
+            Err(i) => into.buckets.insert(i, (upper, n)),
+        }
+    }
+    let pct = |p: f64| -> u64 {
+        if into.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * into.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(upper, n) in &into.buckets {
+            cum += n;
+            if cum >= rank {
+                return upper;
+            }
+        }
+        into.buckets.last().map_or(0, |&(u, _)| u)
+    };
+    into.p50 = pct(50.0);
+    into.p99 = pct(99.0);
+    into.p999 = pct(99.9);
 }
 
 /// FNV-1a fold of every present page in `[0, total_pages)` — the
@@ -943,6 +1104,57 @@ fn state_digest(gateway: &Gateway, total_pages: u64) -> u64 {
         }
     }
     h
+}
+
+/// Render the machine-readable report: one flat JSON object per run, the
+/// shape `scripts/bench.sh` aggregates into `BENCH_10.json`. Hand-rolled —
+/// the values are numbers plus one ASCII spec string, so no serializer
+/// dependency is warranted.
+pub fn report_json(r: &LoadReport) -> String {
+    let spec = r.spec_line.replace('\\', "\\\\").replace('"', "\\\"");
+    let h = &r.repl.batch_hist;
+    let mean = if h.count == 0 {
+        0.0
+    } else {
+        h.sum as f64 / h.count as f64
+    };
+    format!(
+        concat!(
+            "{{\"spec\": \"{spec}\", ",
+            "\"issued\": {issued}, \"acked\": {acked}, \"shed\": {shed}, ",
+            "\"unavailable\": {unavailable}, \"errors\": {errors}, ",
+            "\"wall_secs\": {wall:.6}, \"throughput_rps\": {tput:.3}, ",
+            "\"shed_rate\": {shed_rate:.6}, ",
+            "\"latency_us\": {{\"p50\": {p50:.1}, \"p99\": {p99:.1}, ",
+            "\"p999\": {p999:.1}, \"max\": {max:.1}}}, ",
+            "\"replication\": {{\"batches_sent\": {bsent}, ",
+            "\"batch_pages\": {bpages}, \"retries\": {retries}, ",
+            "\"pages_per_batch\": {{\"mean\": {bmean:.2}, \"p50\": {bp50}, ",
+            "\"p99\": {bp99}, \"max\": {bmax}}}}}, ",
+            "\"state_digest\": \"{digest:#018x}\"}}\n",
+        ),
+        spec = spec,
+        issued = r.issued,
+        acked = r.acked,
+        shed = r.shed,
+        unavailable = r.unavailable,
+        errors = r.errors,
+        wall = r.wall.as_secs_f64(),
+        tput = r.throughput(),
+        shed_rate = r.shed_rate(),
+        p50 = r.latency.p50() as f64 / 1_000.0,
+        p99 = r.latency.p99() as f64 / 1_000.0,
+        p999 = r.latency.p999() as f64 / 1_000.0,
+        max = r.latency.max() as f64 / 1_000.0,
+        bsent = r.repl.stats.batches_sent,
+        bpages = r.repl.stats.batch_pages,
+        retries = r.repl.stats.retries,
+        bmean = mean,
+        bp50 = h.p50,
+        bp99 = h.p99,
+        bmax = h.max,
+        digest = r.state_digest,
+    )
 }
 
 /// Render the human-readable report table.
@@ -980,6 +1192,30 @@ pub fn report_text(r: &LoadReport) -> String {
         us(r.latency.p999()),
         us(r.latency.max()),
     ));
+    if r.repl.stats.batches_sent > 0 {
+        let h = &r.repl.batch_hist;
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum as f64 / h.count as f64
+        };
+        out.push_str(&format!(
+            "  {:<12} batches {}  pages {}  (pages/batch mean {:.1}  p50 {}  p99 {}  max {})  retries {}\n",
+            "replication",
+            r.repl.stats.batches_sent,
+            r.repl.stats.batch_pages,
+            mean,
+            h.p50,
+            h.p99,
+            h.max,
+            r.repl.stats.retries,
+        ));
+    } else {
+        out.push_str(&format!(
+            "  {:<12} legacy stop-and-wait  replicated-sends n/a  retries {}\n",
+            "replication", r.repl.stats.retries,
+        ));
+    }
     out.push_str(&format!(
         "  {:<12} batches {}  runs {}  coalesced {}  peak-inflight {}  residual {}\n",
         "gateway",

@@ -201,6 +201,9 @@ impl FaultPlan {
                     | Message::ReplNack { .. }
                     | Message::ResyncBatch { .. }
                     | Message::ResyncAck { .. }
+                    | Message::WriteReplBatch { .. }
+                    | Message::ReplAckBatch { .. }
+                    | Message::ReplNackBatch { .. }
             )
     }
 
@@ -241,7 +244,9 @@ fn fault_seq(msg: &Message) -> Option<u64> {
     match msg {
         Message::ReplAck { seq, .. }
         | Message::ReplNack { seq, .. }
+        | Message::ReplNackBatch { seq, .. }
         | Message::ResyncAck { seq } => Some(*seq),
+        Message::ReplAckBatch { up_to, .. } => Some(*up_to),
         m => m.data_seq(),
     }
 }
@@ -491,6 +496,22 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
             v[i] ^= 0xFF;
             bytes::Bytes::from(v)
         }
+        fn flip_one_entry(
+            entries: &[crate::wire::ResyncEntry],
+            rng: &mut fc_simkit::DetRng,
+        ) -> Vec<crate::wire::ResyncEntry> {
+            let candidates: Vec<usize> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, _, d))| !d.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let pick = candidates[rng.below(candidates.len() as u64) as usize];
+            let mut entries = entries.to_vec();
+            let (lpn, ver, crc, data) = &entries[pick];
+            entries[pick] = (*lpn, *ver, *crc, flip(data, rng));
+            entries
+        }
         match msg {
             Message::WriteRepl {
                 seq,
@@ -508,17 +529,20 @@ impl<T: Transport + Sync + 'static> FaultTransport<T> {
             Message::ResyncBatch { seq, entries }
                 if entries.iter().any(|(_, _, _, d)| !d.is_empty()) =>
             {
-                let candidates: Vec<usize> = entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, (_, _, _, d))| !d.is_empty())
-                    .map(|(i, _)| i)
-                    .collect();
-                let pick = candidates[rng.below(candidates.len() as u64) as usize];
-                let mut entries = entries.clone();
-                let (lpn, ver, crc, data) = &entries[pick];
-                entries[pick] = (*lpn, *ver, *crc, flip(data, rng));
+                let entries = flip_one_entry(entries, rng);
                 Some(Message::ResyncBatch { seq: *seq, entries })
+            }
+            Message::WriteReplBatch {
+                epoch,
+                seq,
+                entries,
+            } if entries.iter().any(|(_, _, _, d)| !d.is_empty()) => {
+                let entries = flip_one_entry(entries, rng);
+                Some(Message::WriteReplBatch {
+                    epoch: *epoch,
+                    seq: *seq,
+                    entries,
+                })
             }
             _ => None,
         }

@@ -53,7 +53,7 @@ use flashcoop::{
     PeerState, PolicyKind, ReplicationStats, RetryPolicy,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -111,6 +111,18 @@ pub struct NodeConfig {
     /// retry of an already-applied run returns the cached outcome instead
     /// of applying twice.
     pub dedup_window: usize,
+    /// Maximum pages carried by one pipelined [`Message::WriteReplBatch`]
+    /// frame. The sender cuts whatever is queued (up to this many pages)
+    /// into each batch, so lightly loaded nodes still see one-page batches
+    /// while a gateway write run amortises the wire to O(runs) frames.
+    pub repl_batch_pages: usize,
+    /// Maximum unacknowledged batches in flight before the replication
+    /// sender stops cutting new ones (the pipeline window).
+    pub repl_window: usize,
+    /// Force the pre-pipeline stop-and-wait replication path: one
+    /// [`Message::WriteRepl`] frame and one blocking ack round trip per
+    /// page. Kept for A/B benchmarking against the batched pipeline.
+    pub legacy_repl: bool,
 }
 
 impl Default for NodeConfig {
@@ -130,6 +142,9 @@ impl Default for NodeConfig {
             resync_batch: 64,
             remote_capacity: 8192,
             dedup_window: 1024,
+            repl_batch_pages: 32,
+            repl_window: 32,
+            legacy_repl: false,
         }
     }
 }
@@ -150,6 +165,9 @@ impl NodeConfig {
             resync_batch: 8,
             remote_capacity: 512,
             dedup_window: 64,
+            repl_batch_pages: 16,
+            repl_window: 32,
+            legacy_repl: false,
         }
     }
 
@@ -252,6 +270,24 @@ impl NodeConfigBuilder {
     /// Per-client exactly-once window (tagged write runs remembered).
     pub fn dedup_window(mut self, runs: usize) -> Self {
         self.cfg.dedup_window = runs.max(1);
+        self
+    }
+
+    /// Maximum pages per pipelined replication batch frame.
+    pub fn repl_batch_pages(mut self, pages: usize) -> Self {
+        self.cfg.repl_batch_pages = pages.max(1);
+        self
+    }
+
+    /// Maximum unacknowledged replication batches in flight.
+    pub fn repl_window(mut self, batches: usize) -> Self {
+        self.cfg.repl_window = batches.max(1);
+        self
+    }
+
+    /// Force the stop-and-wait replication path (A/B benchmarking).
+    pub fn legacy_repl(mut self, legacy: bool) -> Self {
+        self.cfg.legacy_repl = legacy;
         self
     }
 
@@ -465,6 +501,374 @@ impl NodeObs {
     }
 }
 
+/// Resolution of one pipelined page replication, delivered to the writer
+/// blocked in [`Node::write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageOutcome {
+    /// The peer acknowledged the batch carrying this page.
+    Replicated,
+    /// The peer refused the batch for lack of hosting credits; the writer
+    /// falls back to local write-through.
+    NoCredit,
+    /// Retries exhausted or the transport died; the writer makes the page
+    /// durable itself and journals it for the next resync.
+    Failed,
+}
+
+/// A write split across the pipeline: either resolved at enqueue time
+/// (degraded / no-credit / self-evicted paths) or waiting for its batch.
+/// [`Node::write_run`] enqueues a whole run before resolving any of it,
+/// which is what turns a gateway run into O(runs) wire frames.
+enum WritePending {
+    /// Fully resolved and accounted at enqueue time.
+    Immediate(WriteOutcome),
+    /// In the pipeline; [`Node::resolve_write`] blocks on `done`.
+    Pipelined {
+        lpn: u64,
+        version: u64,
+        bytes: Bytes,
+        done: crossbeam::channel::Receiver<PageOutcome>,
+    },
+}
+
+/// One page handed to the pipeline by a writer: payload plus the channel
+/// that unblocks that writer once the page's batch resolves.
+struct PipePage {
+    lpn: u64,
+    version: u64,
+    data: Bytes,
+    done: Sender<PageOutcome>,
+}
+
+/// Commands consumed by the replication pipeline sender thread.
+enum PipeCmd {
+    /// A writer enqueued a run of pages for replication — one command per
+    /// `enqueue_pages` call, so a whole write run crosses the channel in a
+    /// single send.
+    Pages(Vec<PipePage>),
+    /// The peer cumulatively acknowledged every batch up to `up_to`.
+    Ack { epoch: u32, up_to: u64 },
+    /// The peer refused one batch.
+    Nack {
+        epoch: u32,
+        seq: u64,
+        reason: NackReason,
+    },
+    /// Abandon the pipeline (solo entry / crash fault): fail everything
+    /// queued or in flight and start a fresh epoch at seq 1.
+    Reset,
+    /// Resolve outstanding work as failed and exit the sender thread.
+    Shutdown,
+}
+
+/// One unacknowledged batch in the sender's window.
+struct PipeBatch {
+    seq: u64,
+    entries: Vec<PipePage>,
+    sent_at: Instant,
+    /// Transmissions so far (1 after the first send).
+    attempts: u32,
+    /// Corrupt NACKs absorbed by this batch — each one a corruption that
+    /// counts as repaired once the clean resend finally acks.
+    corrupt_resends: u64,
+}
+
+impl PipeBatch {
+    /// The wire frame for this batch (clean copy; used for first sends and
+    /// every retransmission).
+    fn frame(&self, epoch: u32) -> Message {
+        Message::WriteReplBatch {
+            epoch,
+            seq: self.seq,
+            entries: self
+                .entries
+                .iter()
+                .map(|p| resync_entry(p.lpn, p.version, p.data.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// Handles shared between the node front end and its pipeline sender
+/// thread. `stats` and `obs` are leaf locks in the documented order (see
+/// [`Inner`]); the histogram and gauge are lock-free.
+#[derive(Clone)]
+struct PipeShared {
+    stats: Arc<Mutex<NodeStats>>,
+    obs: Arc<Mutex<Option<NodeObs>>>,
+    /// Pages per first-send batch (always on; feeds the loadgen report and
+    /// [`Node::repl_batch_histogram`]).
+    batch_hist: fc_obs::Histogram,
+    /// In-flight window depth, sampled after every fill pass.
+    window_depth: fc_obs::Gauge,
+}
+
+/// Receiver-side state for the pipelined replication stream: one
+/// contiguous per-epoch sequence space, acknowledged cumulatively. Lives in
+/// [`Inner`]; reset when the sender abandons an epoch ([`PipeCmd::Reset`])
+/// and a higher-epoch frame arrives.
+#[derive(Debug, Default)]
+struct BatchRx {
+    epoch: u32,
+    /// Highest contiguously applied batch seq this epoch.
+    cum: u64,
+    /// Applied-but-not-yet-contiguous seqs (reordered arrivals waiting for
+    /// the gap below them to fill).
+    seen: std::collections::BTreeSet<u64>,
+}
+
+/// Fail every queued and in-flight page (writers fall back to
+/// write-through) — the pipeline's abandon path.
+fn pipe_fail_all(window: &mut VecDeque<PipeBatch>, queue: &mut VecDeque<PipePage>) {
+    for mut b in window.drain(..) {
+        for p in b.entries.drain(..) {
+            let _ = p.done.send(PageOutcome::Failed);
+        }
+    }
+    for p in queue.drain(..) {
+        let _ = p.done.send(PageOutcome::Failed);
+    }
+}
+
+/// The replication pipeline sender: drains the per-node page queue into
+/// [`Message::WriteReplBatch`] frames, keeps up to `repl_window` of them in
+/// flight, retransmits on timeout or Corrupt NACK (same seq, so the
+/// receiver dedups late deliveries), and resolves writers on cumulative
+/// acks. Runs on its own thread so the request path never blocks on the
+/// wire; it takes no node lock other than the `stats`/`obs` leaves.
+fn pipe_loop(
+    cfg: Arc<NodeConfig>,
+    rx: crossbeam::channel::Receiver<PipeCmd>,
+    transport: Arc<dyn Transport + Sync>,
+    shared: PipeShared,
+) {
+    let mut epoch: u32 = 1;
+    let mut next_seq: u64 = 1;
+    let mut queue: VecDeque<PipePage> = VecDeque::new();
+    let mut window: VecDeque<PipeBatch> = VecDeque::new();
+    let backoff = |attempts: u32| {
+        Duration::from_nanos(cfg.retry.backoff_for(attempts.saturating_sub(1)).as_nanos())
+    };
+    // When a batch times out, a further attempt waits out the backoff
+    // first; an exhausted batch abandons at the bare ack timeout (exactly
+    // the legacy stop-and-wait schedule).
+    let due_at = |b: &PipeBatch| {
+        let wait = if b.attempts >= cfg.retry.attempts {
+            Duration::ZERO
+        } else {
+            backoff(b.attempts)
+        };
+        b.sent_at + cfg.ack_timeout + wait
+    };
+    let note =
+        |shared: &PipeShared, kind: &'static str, f: &dyn Fn(fc_obs::Event) -> fc_obs::Event| {
+            if let Some(o) = &*shared.obs.lock() {
+                o.obs.emit(f(o.ev(kind)));
+            }
+        };
+    loop {
+        // Wait for work: block when fully idle, otherwise wake at the
+        // oldest in-flight batch's retransmit deadline (or immediately if
+        // the queue has pages to cut).
+        let cmd = if window.is_empty() && queue.is_empty() {
+            match rx.recv() {
+                Ok(c) => Some(c),
+                Err(_) => break,
+            }
+        } else if let Some(b) = window.front() {
+            let deadline = due_at(b);
+            let now = Instant::now();
+            if deadline <= now {
+                None
+            } else {
+                match rx.recv_timeout(deadline - now) {
+                    Ok(c) => Some(c),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        } else {
+            rx.try_recv().ok()
+        };
+        let mut shutdown = false;
+        let mut abandon = false;
+        if let Some(first) = cmd {
+            // Drain whatever else is already queued so one fill pass sees
+            // the largest batch it can cut.
+            let mut pending = vec![first];
+            while let Ok(c) = rx.try_recv() {
+                pending.push(c);
+            }
+            for cmd in pending {
+                match cmd {
+                    PipeCmd::Pages(ps) => queue.extend(ps),
+                    PipeCmd::Ack { epoch: e, up_to } if e == epoch => {
+                        let mut acked = Vec::new();
+                        while window.front().is_some_and(|b| b.seq <= up_to) {
+                            let b = window.pop_front().expect("front checked");
+                            if b.corrupt_resends > 0 {
+                                shared.stats.lock().repl.corruptions_repaired += b.corrupt_resends;
+                                note(&shared, "corrupt_repaired", &|e| {
+                                    e.u64_field("seq", b.seq)
+                                        .u64_field("resends", b.corrupt_resends)
+                                });
+                            }
+                            acked.push(b);
+                        }
+                        if !acked.is_empty() {
+                            // Emit the span *before* resolving the waiters:
+                            // a writer unblocked by `done` may immediately
+                            // snapshot the event ring and must see this ack.
+                            note(&shared, "repl_batch_ack", &|e| {
+                                e.u64_field("up_to", up_to)
+                                    .u64_field("batches", acked.len() as u64)
+                            });
+                        }
+                        for mut b in acked {
+                            for p in b.entries.drain(..) {
+                                let _ = p.done.send(PageOutcome::Replicated);
+                            }
+                        }
+                    }
+                    PipeCmd::Ack { .. } => {}
+                    PipeCmd::Nack {
+                        epoch: e,
+                        seq,
+                        reason,
+                    } if e == epoch => {
+                        let Some(pos) = window.iter().position(|b| b.seq == seq) else {
+                            continue;
+                        };
+                        match reason {
+                            NackReason::Corrupt => {
+                                // Damaged in flight; resend the clean copy
+                                // at once (same seq, receiver dedups).
+                                if window[pos].attempts >= cfg.retry.attempts {
+                                    abandon = true;
+                                } else {
+                                    let b = &mut window[pos];
+                                    b.attempts += 1;
+                                    b.corrupt_resends += 1;
+                                    b.sent_at = Instant::now();
+                                    shared.stats.lock().repl.retries += 1;
+                                    if let Some(o) = &*shared.obs.lock() {
+                                        o.retries.inc();
+                                        o.obs.emit(
+                                            o.ev("repl_retry")
+                                                .u64_field("seq", seq)
+                                                .u64_field("attempt", b.attempts as u64)
+                                                .str_field("reason", "corrupt_nack"),
+                                        );
+                                    }
+                                    let frame = window[pos].frame(epoch);
+                                    if transport.send(frame) == Err(TransportError::Disconnected) {
+                                        abandon = true;
+                                    }
+                                }
+                            }
+                            NackReason::NoCredit => {
+                                // The peer is out of hosting space: resolve
+                                // the writers (they write through locally)
+                                // and resend the batch *empty* under the
+                                // same seq so the cumulative ack space
+                                // stays contiguous.
+                                let b = &mut window[pos];
+                                for p in b.entries.drain(..) {
+                                    let _ = p.done.send(PageOutcome::NoCredit);
+                                }
+                                b.sent_at = Instant::now();
+                                let frame = window[pos].frame(epoch);
+                                if transport.send(frame) == Err(TransportError::Disconnected) {
+                                    abandon = true;
+                                }
+                            }
+                        }
+                    }
+                    PipeCmd::Nack { .. } => {}
+                    PipeCmd::Reset => abandon = true,
+                    PipeCmd::Shutdown => shutdown = true,
+                }
+                if abandon || shutdown {
+                    break;
+                }
+            }
+        } else if let Some(b) = window.front_mut() {
+            // Retransmit deadline for the oldest unacked batch (selective
+            // repeat: later batches stay put, the receiver stashes them).
+            if Instant::now() >= due_at(b) {
+                if b.attempts >= cfg.retry.attempts {
+                    abandon = true;
+                } else {
+                    b.attempts += 1;
+                    b.sent_at = Instant::now();
+                    shared.stats.lock().repl.retries += 1;
+                    if let Some(o) = &*shared.obs.lock() {
+                        o.retries.inc();
+                        o.obs.emit(
+                            o.ev("repl_retry")
+                                .u64_field("seq", b.seq)
+                                .u64_field("attempt", b.attempts as u64)
+                                .str_field("reason", "ack_timeout"),
+                        );
+                    }
+                    let frame = b.frame(epoch);
+                    if transport.send(frame) == Err(TransportError::Disconnected) {
+                        abandon = true;
+                    }
+                }
+            }
+        }
+        if abandon {
+            // Writers make their pages durable themselves (write-through +
+            // journal); the next epoch starts clean at seq 1 and the
+            // receiver adopts it on the first higher-epoch frame.
+            pipe_fail_all(&mut window, &mut queue);
+            epoch = epoch.wrapping_add(1);
+            next_seq = 1;
+        }
+        if shutdown {
+            pipe_fail_all(&mut window, &mut queue);
+            break;
+        }
+        // Fill: cut queued pages into batches while the window has room.
+        while window.len() < cfg.repl_window.max(1) && !queue.is_empty() {
+            let n = queue.len().min(cfg.repl_batch_pages.max(1));
+            let entries: Vec<PipePage> = queue.drain(..n).collect();
+            let seq = next_seq;
+            next_seq += 1;
+            let b = PipeBatch {
+                seq,
+                entries,
+                sent_at: Instant::now(),
+                attempts: 1,
+                corrupt_resends: 0,
+            };
+            {
+                let mut s = shared.stats.lock();
+                s.repl.batches_sent += 1;
+                s.repl.batch_pages += n as u64;
+            }
+            shared.batch_hist.record(n as u64);
+            note(&shared, "repl_batch_send", &|e| {
+                e.u64_field("seq", seq)
+                    .u64_field("epoch", epoch as u64)
+                    .u64_field("pages", n as u64)
+            });
+            let sent = transport.send(b.frame(epoch));
+            window.push_back(b);
+            if sent == Err(TransportError::Disconnected) {
+                pipe_fail_all(&mut window, &mut queue);
+                epoch = epoch.wrapping_add(1);
+                next_seq = 1;
+                break;
+            }
+        }
+        shared.window_depth.set_u64(window.len() as u64);
+    }
+    // Receiver gone or shutdown: nothing may leave a writer blocked.
+    pipe_fail_all(&mut window, &mut queue);
+}
+
 /// A batch of journal pages awaiting its [`Message::ResyncAck`].
 struct InFlight {
     seq: u64,
@@ -508,8 +912,19 @@ impl DedupWindow {
     }
 }
 
+/// The node's mutable heart, behind one mutex.
+///
+/// # Lock order
+///
+/// `Inner` ≺ { `backend`, `stats` }: the backend and stats mutexes are
+/// *leaf* locks — they may be acquired while holding `Inner`, but nothing
+/// that holds a leaf lock may acquire `Inner` (or the other leaf). Hot
+/// paths additionally hoist backend reads *out* of the `Inner` critical
+/// section entirely (see [`Node::write`] / [`Node::read`]); the nested
+/// acquisitions that remain are rare paths (degraded writes, takeover,
+/// resync, migration).
 struct Inner {
-    cfg: NodeConfig,
+    cfg: Arc<NodeConfig>,
     buffer: BufferManager,
     /// Contents of every resident page (the buffer tracks metadata only).
     data: HashMap<u64, Bytes>,
@@ -546,7 +961,20 @@ struct Inner {
     purge_waiters: Vec<Sender<()>>,
     scrub_waiters: HashMap<u64, Sender<Option<(u64, Bytes)>>>,
     next_seq: u64,
-    stats: NodeStats,
+    /// Receiver-side cumulative-ack state for the peer's pipelined batches.
+    batch_rx: BatchRx,
+    /// Refcount of pages currently in the replication pipeline (enqueued,
+    /// unresolved). [`Inner::enter_solo`] still flushes these for safety
+    /// but leaves their durability accounting to the writer that owns
+    /// them — exactly what the legacy inline path did.
+    inflight: HashMap<u64, u32>,
+    /// Commands to this node's own pipeline sender thread (unbounded, so a
+    /// send under the `Inner` lock never blocks).
+    pipe_tx: Sender<PipeCmd>,
+    /// Node counters — a leaf lock shared with [`Node`] and the pipeline
+    /// sender, so `Node::stats` snapshots and pipeline accounting never
+    /// contend with writers holding `Inner`.
+    stats: Arc<Mutex<NodeStats>>,
     /// Per-origin counters, keyed by the client id the gateway passed to a
     /// `*_from` entry point.
     clients: HashMap<u64, PerClientStats>,
@@ -602,7 +1030,7 @@ impl Inner {
                 if let Some(bytes) = self.data.get(&lpn) {
                     let ver = self.versions.get(&lpn).copied().unwrap_or(0);
                     self.backend.lock().write_page(lpn, ver, bytes);
-                    self.stats.flushed_pages += 1;
+                    self.stats.lock().flushed_pages += 1;
                     flushed.push((lpn, ver));
                 }
             }
@@ -635,10 +1063,23 @@ impl Inner {
 
     /// Remote failure handling: flush every dirty page, take over the
     /// peer's replicated pages, and stop forwarding until a resync.
+    /// Drop one pipeline reference for `lpn` (its write resolved).
+    fn inflight_done(&mut self, lpn: u64) {
+        if let Some(n) = self.inflight.get_mut(&lpn) {
+            *n -= 1;
+            if *n == 0 {
+                self.inflight.remove(&lpn);
+            }
+        }
+    }
+
     fn enter_solo(&mut self, cause: &'static str) {
         if self.lifecycle.state() == PairState::Solo {
             return;
         }
+        // Abandon the replication pipeline: blocked writers resolve as
+        // failed and write through themselves; the next epoch starts clean.
+        let _ = self.pipe_tx.send(PipeCmd::Reset);
         // Abort any resync in flight: its unacked pages go back to the
         // journal so the next attempt re-sends them.
         if let Some(run) = self.resync.take() {
@@ -663,8 +1104,14 @@ impl Inner {
                 if let Some(bytes) = self.data.get(&lpn) {
                     let ver = self.versions.get(&lpn).copied().unwrap_or(0);
                     self.backend.lock().write_page(lpn, ver, bytes);
-                    self.stats.flushed_pages += 1;
-                    self.stats.repl.partition_destages += 1;
+                    // A page still in the pipeline is flushed here for
+                    // safety (the ack may already be in flight) but its
+                    // writer does the accounting when it resolves.
+                    if !self.inflight.contains_key(&lpn) {
+                        let mut s = self.stats.lock();
+                        s.flushed_pages += 1;
+                        s.repl.partition_destages += 1;
+                    }
                 }
             }
         }
@@ -695,7 +1142,7 @@ impl Inner {
             }
         }
         self.remote.clear();
-        self.stats.repl.takeover_destages += pages;
+        self.stats.lock().repl.takeover_destages += pages;
         self.note("takeover_destage", |e| e.u64_field("pages", pages));
     }
 
@@ -738,7 +1185,7 @@ impl Inner {
                 }
             }
             self.journal_overflowed = false;
-            self.stats.repl.full_resyncs += 1;
+            self.stats.lock().repl.full_resyncs += 1;
         }
         if let Some(tr) = self.lifecycle.begin_resync(cause) {
             self.emit_lifecycle(tr);
@@ -814,7 +1261,7 @@ impl Inner {
             return Vec::new();
         }
         if let Some(m) = resend {
-            self.stats.repl.retries += 1;
+            self.stats.lock().repl.retries += 1;
             self.note("resync_batch", |e| e.str_field("kind", "resend"));
             return vec![m];
         }
@@ -858,8 +1305,11 @@ impl Inner {
         });
         run.batches += 1;
         run.pages += pages;
-        self.stats.repl.resync_batches += 1;
-        self.stats.repl.resync_pages += pages;
+        {
+            let mut s = self.stats.lock();
+            s.repl.resync_batches += 1;
+            s.repl.resync_pages += pages;
+        }
         self.note("resync_batch", |e| {
             e.u64_field("seq", seq).u64_field("pages", pages)
         });
@@ -867,16 +1317,34 @@ impl Inner {
     }
 }
 
-/// A live FlashCoop node: background pump thread + synchronous API.
+/// A live FlashCoop node: background pump + pipeline threads and a
+/// synchronous API.
 pub struct Node {
     inner: Arc<Mutex<Inner>>,
+    /// Immutable tunables, readable without any lock.
+    cfg: Arc<NodeConfig>,
+    /// Node counters (leaf lock; see the [`Inner`] lock-order rule).
+    stats: Arc<Mutex<NodeStats>>,
+    /// The durable medium, reachable without going through `Inner` so hot
+    /// paths can hoist backend reads out of the critical section.
+    backend: SharedBackend,
     transport: Arc<dyn Transport + Sync>,
+    /// Commands to the replication pipeline sender thread.
+    pipe_tx: Sender<PipeCmd>,
+    /// Obs handles shared with the pipeline thread (set by
+    /// [`Node::attach_obs`]).
+    pipe_obs: Arc<Mutex<Option<NodeObs>>>,
+    /// Always-on pages-per-batch distribution.
+    batch_hist: fc_obs::Histogram,
+    /// Always-on in-flight window depth.
+    window_depth: fc_obs::Gauge,
     shutdown: Arc<AtomicBool>,
     /// Crash-fault injection ([`Node::fail`] / [`Node::restart`]): while
     /// set, the pump neither heartbeats nor processes messages, and the
     /// `try_*` entry points refuse with [`NodeDown`].
     halted: Arc<AtomicBool>,
     pump: Option<JoinHandle<()>>,
+    pipe: Option<JoinHandle<()>>,
 }
 
 impl Node {
@@ -891,6 +1359,9 @@ impl Node {
             SimDuration::from_nanos(cfg.failure_timeout.as_nanos() as u64),
         );
         let buffer = BufferManager::new(cfg.policy, cfg.buffer_pages, cfg.pages_per_block, true);
+        let cfg = Arc::new(cfg);
+        let stats = Arc::new(Mutex::new(NodeStats::default()));
+        let (pipe_tx, pipe_rx) = crossbeam::channel::unbounded();
         let inner = Arc::new(Mutex::new(Inner {
             cfg: cfg.clone(),
             buffer,
@@ -898,7 +1369,7 @@ impl Node {
             versions: HashMap::new(),
             page_crc: HashMap::new(),
             next_version: 1,
-            backend,
+            backend: backend.clone(),
             remote: HashMap::new(),
             taken_over: HashMap::new(),
             peer_seqs: SeqTracker::new(),
@@ -914,7 +1385,10 @@ impl Node {
             purge_waiters: Vec::new(),
             scrub_waiters: HashMap::new(),
             next_seq: 1,
-            stats: NodeStats::default(),
+            batch_rx: BatchRx::default(),
+            inflight: HashMap::new(),
+            pipe_tx: pipe_tx.clone(),
+            stats: stats.clone(),
             clients: HashMap::new(),
             dedup: HashMap::new(),
             obs: None,
@@ -922,7 +1396,25 @@ impl Node {
         let transport: Arc<dyn Transport + Sync> = Arc::new(transport);
         let shutdown = Arc::new(AtomicBool::new(false));
         let halted = Arc::new(AtomicBool::new(false));
+        let pipe_obs: Arc<Mutex<Option<NodeObs>>> = Arc::new(Mutex::new(None));
+        let batch_hist = fc_obs::Histogram::new();
+        let window_depth = fc_obs::Gauge::new();
+        let pipe = {
+            let cfg = cfg.clone();
+            let transport = transport.clone();
+            let shared = PipeShared {
+                stats: stats.clone(),
+                obs: pipe_obs.clone(),
+                batch_hist: batch_hist.clone(),
+                window_depth: window_depth.clone(),
+            };
+            std::thread::Builder::new()
+                .name(format!("fc-pipe-{}", cfg.id))
+                .spawn(move || pipe_loop(cfg, pipe_rx, transport, shared))
+                .expect("spawn node pipeline")
+        };
         let pump = {
+            let cfg = cfg.clone();
             let inner = inner.clone();
             let transport = transport.clone();
             let shutdown = shutdown.clone();
@@ -934,10 +1426,18 @@ impl Node {
         };
         Node {
             inner,
+            cfg,
+            stats,
+            backend,
             transport,
+            pipe_tx,
+            pipe_obs,
+            batch_hist,
+            window_depth,
             shutdown,
             halted,
             pump: Some(pump),
+            pipe: Some(pipe),
         }
     }
 
@@ -951,12 +1451,274 @@ impl Node {
     /// counted but not yet resolved.
     pub fn write(&self, lpn: u64, data: &[u8]) -> WriteOutcome {
         let bytes = Bytes::copy_from_slice(data);
+        if self.cfg.legacy_repl {
+            return self.write_legacy(lpn, bytes);
+        }
+        let pending = self
+            .enqueue_pages(lpn, vec![bytes])
+            .pop()
+            .expect("one page in, one pending out");
+        match pending {
+            WritePending::Immediate(out) => out,
+            pending => self.resolve_write(pending),
+        }
+    }
+
+    /// Pipeline front half for a run of consecutive pages (`lpn..lpn+n`):
+    /// stamp versions, land the pages in the local buffer, and hand the
+    /// whole run to the replication pipeline in one command — or resolve
+    /// individual pages on the spot for the degraded / no-credit /
+    /// self-evicted paths. Never waits on the wire, so [`Node::write_run`]
+    /// enqueues a whole run before resolving any of it, and pays one
+    /// backend lock, one `Inner` lock, and one channel send per run rather
+    /// than per page.
+    fn enqueue_pages(&self, lpn: u64, pages: Vec<Bytes>) -> Vec<WritePending> {
+        // Payload checksums are pure CPU — computed before any lock is
+        // taken so they never extend a critical section.
+        let crcs: Vec<u32> = pages.iter().map(|b| crc32(b)).collect();
+        // Hoisted out of the `Inner` critical section (lock-order rule):
+        // never stamp below the shared backend's copy — after a failover
+        // the peer may have written these lpns with its own counter, and a
+        // lower version here would lose to the backend's version guard.
+        // The reads are benignly racy: the stamp itself happens under
+        // `Inner`, and the backend's own `version >= stored` guard
+        // arbitrates any concurrent bump. One backend acquisition covers
+        // the whole run.
+        let backend_vers: Vec<Option<u64>> = {
+            let be = self.backend.lock();
+            (0..pages.len() as u64)
+                .map(|i| be.version_of(lpn + i))
+                .collect()
+        };
+        let mut pending = Vec::with_capacity(pages.len());
+        let mut pipe_pages: Vec<PipePage> = Vec::new();
+        let mut all_flushed = Vec::new();
+        {
+            // One `Inner` acquisition for the whole run: stamping,
+            // buffer inserts, and credit debits are memory-only work, so
+            // a 32-page run costs one lock round trip instead of 32.
+            let mut inner = self.inner.lock();
+            for (i, bytes) in pages.into_iter().enumerate() {
+                let lpn = lpn + i as u64;
+                if let Some(bv) = backend_vers[i] {
+                    inner.observe_version(bv);
+                }
+                let version = inner.next_version;
+                inner.next_version += 1;
+                inner.versions.insert(lpn, version);
+                inner.page_crc.insert(lpn, crcs[i]);
+
+                if inner.lifecycle.is_degraded() {
+                    // Solo or resyncing: write through, journal for catch-up.
+                    inner.backend.lock().write_page(lpn, version, &bytes);
+                    let ev = inner.buffer.insert_clean(lpn, 1);
+                    inner.data.insert(lpn, bytes.clone());
+                    all_flushed.extend(inner.apply_eviction(&ev));
+                    inner.journal_record(lpn, version, bytes);
+                    {
+                        let mut s = inner.stats.lock();
+                        s.writes += 1;
+                        s.write_through += 1;
+                    }
+                    if let Some(o) = &inner.obs {
+                        o.write_through.inc();
+                        o.obs.emit(
+                            o.ev("write_through")
+                                .u64_field("lpn", lpn)
+                                .str_field("reason", "degraded"),
+                        );
+                    }
+                    pending.push(WritePending::Immediate(WriteOutcome::WriteThrough));
+                } else if inner.credits == Some(0) {
+                    // The peer's remote buffer is full: keep durability local
+                    // instead of stalling on a NACK round trip.
+                    inner.backend.lock().write_page(lpn, version, &bytes);
+                    let ev = inner.buffer.insert_clean(lpn, 1);
+                    inner.data.insert(lpn, bytes.clone());
+                    all_flushed.extend(inner.apply_eviction(&ev));
+                    {
+                        let mut s = inner.stats.lock();
+                        s.writes += 1;
+                        s.write_through += 1;
+                        s.repl.credit_stalls += 1;
+                    }
+                    inner.note("credit_stall", |e| e.u64_field("lpn", lpn));
+                    if let Some(o) = &inner.obs {
+                        o.write_through.inc();
+                        o.obs.emit(
+                            o.ev("write_through")
+                                .u64_field("lpn", lpn)
+                                .str_field("reason", "no_credits"),
+                        );
+                    }
+                    pending.push(WritePending::Immediate(WriteOutcome::WriteThrough));
+                } else {
+                    // Contents must be in place *before* the buffer insert:
+                    // the insert can evict the very block being written, and
+                    // the flush needs the data.
+                    inner.data.insert(lpn, bytes.clone());
+                    let ev = inner.buffer.write(lpn, 1);
+                    let flushed = inner.apply_eviction(&ev);
+                    let self_evicted = flushed.iter().any(|&(l, _)| l == lpn);
+                    all_flushed.extend(flushed);
+                    if self_evicted {
+                        // The new page was evicted (and flushed) synchronously
+                        // by its own insertion — it is already durable on the
+                        // backend, so replicating it would only leave a stale
+                        // orphan at the peer.
+                        {
+                            let mut s = inner.stats.lock();
+                            s.writes += 1;
+                            s.write_through += 1;
+                        }
+                        if let Some(o) = &inner.obs {
+                            o.write_through.inc();
+                            o.obs.emit(
+                                o.ev("write_through")
+                                    .u64_field("lpn", lpn)
+                                    .str_field("reason", "self_evicted"),
+                            );
+                        }
+                        pending.push(WritePending::Immediate(WriteOutcome::WriteThrough));
+                    } else {
+                        if let Some(c) = &mut inner.credits {
+                            // Debited at enqueue; every ack re-advertises the
+                            // peer's true remaining pool.
+                            *c = c.saturating_sub(1);
+                        }
+                        *inner.inflight.entry(lpn).or_insert(0) += 1;
+                        let (tx, rx) = bounded(1);
+                        pending.push(WritePending::Pipelined {
+                            lpn,
+                            version,
+                            bytes: bytes.clone(),
+                            done: rx,
+                        });
+                        pipe_pages.push(PipePage {
+                            lpn,
+                            version,
+                            data: bytes,
+                            done: tx,
+                        });
+                    }
+                }
+            }
+        }
+        if !all_flushed.is_empty() {
+            self.send_discard(all_flushed);
+        }
+        if !pipe_pages.is_empty() {
+            let _ = self.pipe_tx.send(PipeCmd::Pages(pipe_pages));
+        }
+        pending
+    }
+
+    /// Pipeline back half: block until the page's batch resolves, then
+    /// commit the outcome. `writes` lands together with its outcome counter
+    /// under one `stats` lock acquisition, preserving
+    /// [`NodeStats::writes_balance`] at every snapshot.
+    fn resolve_write(&self, pending: WritePending) -> WriteOutcome {
+        let WritePending::Pipelined {
+            lpn,
+            version,
+            bytes,
+            done,
+        } = pending
+        else {
+            let WritePending::Immediate(out) = pending else {
+                unreachable!()
+            };
+            return out;
+        };
+        // A dropped channel (sender thread gone) reads as a failure; the
+        // fallback below keeps the page durable either way.
+        let outcome = done.recv().unwrap_or(PageOutcome::Failed);
+        match outcome {
+            PageOutcome::Replicated => {
+                self.inner.lock().inflight_done(lpn);
+                {
+                    let mut s = self.stats.lock();
+                    s.writes += 1;
+                    s.replicated_pages += 1;
+                }
+                if let Some(o) = &*self.pipe_obs.lock() {
+                    o.replicated.inc();
+                }
+                WriteOutcome::Replicated
+            }
+            PageOutcome::NoCredit => {
+                // Our credit view was stale; the page stays durable
+                // locally. The backend's version guard keeps a newer
+                // concurrent copy.
+                self.backend.lock().write_page(lpn, version, &bytes);
+                {
+                    let mut inner = self.inner.lock();
+                    inner.inflight_done(lpn);
+                    if inner.versions.get(&lpn) == Some(&version) {
+                        inner.buffer.mark_clean(lpn);
+                    }
+                    inner.credits = Some(0);
+                    inner.note("credit_stall", |e| e.u64_field("lpn", lpn));
+                }
+                {
+                    let mut s = self.stats.lock();
+                    s.writes += 1;
+                    s.write_through += 1;
+                    s.repl.credit_stalls += 1;
+                }
+                if let Some(o) = &*self.pipe_obs.lock() {
+                    o.write_through.inc();
+                    o.obs.emit(
+                        o.ev("write_through")
+                            .u64_field("lpn", lpn)
+                            .str_field("reason", "no_credits"),
+                    );
+                }
+                WriteOutcome::WriteThrough
+            }
+            PageOutcome::Failed => {
+                // Peer unreachable: make the page durable ourselves and go
+                // solo; a future resync must carry it.
+                self.backend.lock().write_page(lpn, version, &bytes);
+                {
+                    let mut inner = self.inner.lock();
+                    inner.inflight_done(lpn);
+                    if inner.versions.get(&lpn) == Some(&version) {
+                        inner.buffer.mark_clean(lpn);
+                    }
+                    inner.enter_solo("ack_timeout");
+                    let newer = inner.journal.get(&lpn).is_some_and(|(v, _)| *v >= version);
+                    if !newer {
+                        inner.journal_record(lpn, version, bytes);
+                    }
+                }
+                {
+                    let mut s = self.stats.lock();
+                    s.writes += 1;
+                    s.write_through += 1;
+                }
+                if let Some(o) = &*self.pipe_obs.lock() {
+                    o.write_through.inc();
+                    o.obs.emit(
+                        o.ev("write_through")
+                            .u64_field("lpn", lpn)
+                            .str_field("reason", "ack_timeout"),
+                    );
+                }
+                WriteOutcome::WriteThrough
+            }
+        }
+    }
+
+    /// The pre-pipeline stop-and-wait path ([`NodeConfig::legacy_repl`]):
+    /// one `WriteRepl` frame and one blocking ack round trip per page.
+    /// Kept verbatim for A/B benchmarking against the pipeline.
+    fn write_legacy(&self, lpn: u64, bytes: Bytes) -> WriteOutcome {
+        // Hoisted backend version read — same rationale as
+        // [`Node::enqueue_pages`].
+        let backend_ver = self.backend.lock().version_of(lpn);
         let (seq, version, ack_rx, flushed, nobs) = {
             let mut inner = self.inner.lock();
-            // Never stamp below the shared backend's copy: after a failover
-            // the peer may have written this lpn with its own counter, and a
-            // lower version here would lose to the backend's version guard.
-            let backend_ver = inner.backend.lock().version_of(lpn);
             if let Some(bv) = backend_ver {
                 inner.observe_version(bv);
             }
@@ -972,8 +1734,11 @@ impl Node {
                 inner.data.insert(lpn, bytes.clone());
                 inner.apply_eviction(&ev);
                 inner.journal_record(lpn, version, bytes);
-                inner.stats.writes += 1;
-                inner.stats.write_through += 1;
+                {
+                    let mut s = inner.stats.lock();
+                    s.writes += 1;
+                    s.write_through += 1;
+                }
                 if let Some(o) = &inner.obs {
                     o.write_through.inc();
                     o.obs.emit(
@@ -992,9 +1757,12 @@ impl Node {
                 let ev = inner.buffer.insert_clean(lpn, 1);
                 inner.data.insert(lpn, bytes.clone());
                 inner.apply_eviction(&ev);
-                inner.stats.writes += 1;
-                inner.stats.write_through += 1;
-                inner.stats.repl.credit_stalls += 1;
+                {
+                    let mut s = inner.stats.lock();
+                    s.writes += 1;
+                    s.write_through += 1;
+                    s.repl.credit_stalls += 1;
+                }
                 inner.note("credit_stall", |e| e.u64_field("lpn", lpn));
                 if let Some(o) = &inner.obs {
                     o.write_through.inc();
@@ -1018,8 +1786,11 @@ impl Node {
                 // its own insertion — it is already durable on the backend,
                 // so replicating it would only leave a stale orphan at the
                 // peer.
-                inner.stats.writes += 1;
-                inner.stats.write_through += 1;
+                {
+                    let mut s = inner.stats.lock();
+                    s.writes += 1;
+                    s.write_through += 1;
+                }
                 if let Some(o) = &inner.obs {
                     o.write_through.inc();
                     o.obs.emit(
@@ -1048,10 +1819,7 @@ impl Node {
         if !flushed.is_empty() {
             self.send_discard(flushed);
         }
-        let (ack_timeout, retry) = {
-            let inner = self.inner.lock();
-            (inner.cfg.ack_timeout, inner.cfg.retry)
-        };
+        let (ack_timeout, retry) = (self.cfg.ack_timeout, self.cfg.retry);
         // Bounded retry-with-backoff: resend the *same* sequence number on
         // every attempt, so the receiver can dedup a retransmission whose
         // predecessor (or whose ack) was merely late, and re-ack it.
@@ -1092,7 +1860,7 @@ impl Node {
                     }
                     retries_used += 1;
                     corrupt_resends += 1;
-                    self.inner.lock().stats.repl.retries += 1;
+                    self.stats.lock().repl.retries += 1;
                     if let Some(o) = &nobs {
                         o.retries.inc();
                         o.obs.emit(
@@ -1111,7 +1879,7 @@ impl Node {
                     }
                     let backoff = retry.backoff_for(retries_used);
                     retries_used += 1;
-                    self.inner.lock().stats.repl.retries += 1;
+                    self.stats.lock().repl.retries += 1;
                     if let Some(o) = &nobs {
                         o.retries.inc();
                         o.obs.emit(
@@ -1129,13 +1897,16 @@ impl Node {
 
         let mut inner = self.inner.lock();
         inner.pending_acks.remove(&seq);
-        inner.stats.writes += 1;
         if acked {
-            inner.stats.replicated_pages += 1;
-            if corrupt_resends > 0 {
+            {
+                let mut s = inner.stats.lock();
+                s.writes += 1;
+                s.replicated_pages += 1;
                 // Each NACKed transmission was one detected corruption,
                 // repaired by the clean resend that eventually acked.
-                inner.stats.repl.corruptions_repaired += corrupt_resends;
+                s.repl.corruptions_repaired += corrupt_resends;
+            }
+            if corrupt_resends > 0 {
                 inner.note("corrupt_repaired", |e| {
                     e.u64_field("seq", seq)
                         .u64_field("lpn", lpn)
@@ -1157,8 +1928,12 @@ impl Node {
             inner.backend.lock().write_page(lpn, version, &bytes);
             inner.buffer.mark_clean(lpn);
             inner.credits = Some(0);
-            inner.stats.write_through += 1;
-            inner.stats.repl.credit_stalls += 1;
+            {
+                let mut s = inner.stats.lock();
+                s.writes += 1;
+                s.write_through += 1;
+                s.repl.credit_stalls += 1;
+            }
             inner.note("credit_stall", |e| e.u64_field("lpn", lpn));
             if let Some(o) = &nobs {
                 o.write_through.inc();
@@ -1174,7 +1949,11 @@ impl Node {
             // Peer unreachable: make the page durable ourselves and go solo.
             inner.backend.lock().write_page(lpn, version, &bytes);
             inner.buffer.mark_clean(lpn);
-            inner.stats.write_through += 1;
+            {
+                let mut s = inner.stats.lock();
+                s.writes += 1;
+                s.write_through += 1;
+            }
             inner.enter_solo("ack_timeout");
             // The peer never acked this page, so a future resync must
             // carry it.
@@ -1204,15 +1983,16 @@ impl Node {
     /// / `journal_overflow`).
     pub fn attach_obs(&self, obs: &Obs) {
         let mut inner = self.inner.lock();
+        let snap = *inner.stats.lock();
         let reg = obs.registry();
         let replicated = reg.counter("cluster.node.replicated_pages");
-        replicated.store(inner.stats.replicated_pages);
+        replicated.store(snap.replicated_pages);
         let write_through = reg.counter("cluster.node.write_through");
-        write_through.store(inner.stats.write_through);
+        write_through.store(snap.write_through);
         let retries = reg.counter("cluster.replication.retries");
-        retries.store(inner.stats.repl.retries);
+        retries.store(snap.repl.retries);
         let dedups = reg.counter("cluster.replication.dups_dropped");
-        dedups.store(inner.stats.repl.dups_dropped);
+        dedups.store(snap.repl.dups_dropped);
         inner.obs = Some(NodeObs {
             obs: obs.clone(),
             id: inner.cfg.id as u64,
@@ -1221,6 +2001,9 @@ impl Node {
             retries,
             dedups,
         });
+        // The pipeline sender and the resolve path emit through their own
+        // handle (they never hold `Inner`).
+        *self.pipe_obs.lock() = inner.obs.clone();
     }
 
     /// Send a seq-stamped, version-bounded Discard (fire-and-forget: a lost
@@ -1252,24 +2035,34 @@ impl Node {
     }
 
     fn read_tracked(&self, client: Option<u64>, lpn: u64) -> Option<Vec<u8>> {
-        let mut inner = self.inner.lock();
-        inner.stats.reads += 1;
-        if let Some(c) = client {
-            inner.clients.entry(c).or_default().reads += 1;
-        }
-        if inner.buffer.lookup(lpn).is_some() {
-            inner.buffer.read(lpn, 1);
-            inner.stats.read_hits += 1;
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.lock().reads += 1;
             if let Some(c) = client {
-                inner.clients.entry(c).or_default().read_hits += 1;
+                inner.clients.entry(c).or_default().reads += 1;
             }
-            return inner.data.get(&lpn).map(|b| b.to_vec());
+            if inner.buffer.lookup(lpn).is_some() {
+                inner.buffer.read(lpn, 1);
+                inner.stats.lock().read_hits += 1;
+                if let Some(c) = client {
+                    inner.clients.entry(c).or_default().read_hits += 1;
+                }
+                return inner.data.get(&lpn).map(|b| b.to_vec());
+            }
+            inner.buffer.read(lpn, 1);
         }
-        inner.buffer.read(lpn, 1);
-        let fetched = inner.backend.lock().read_page(lpn);
+        // Miss: the backend fetch (the slow leaf) runs without `Inner`
+        // held, so concurrent writers are not serialized behind this I/O.
+        let fetched = self.backend.lock().read_page(lpn);
         match fetched {
             Some((ver, data)) => {
+                let mut inner = self.inner.lock();
                 inner.observe_version(ver);
+                if inner.buffer.lookup(lpn).is_some() {
+                    // A concurrent write landed while we were off the lock;
+                    // its buffered copy supersedes the backend's.
+                    return inner.data.get(&lpn).map(|b| b.to_vec());
+                }
                 let bytes = Bytes::from(data.clone());
                 inner.page_crc.insert(lpn, crc32(&bytes));
                 inner.data.insert(lpn, bytes);
@@ -1295,7 +2088,7 @@ impl Node {
             inner.journal.remove(&lpn);
             let version = inner.versions.remove(&lpn).unwrap_or(u64::MAX);
             inner.backend.lock().trim_page(lpn);
-            inner.stats.deletes += 1;
+            inner.stats.lock().deletes += 1;
             version
         };
         // Every replica of this page carries a version <= the one current at
@@ -1324,9 +2117,39 @@ impl Node {
     /// SSD both prefer); each page is individually durable when this
     /// returns.
     pub fn write_run(&self, client: u64, lpn: u64, pages: &[impl AsRef<[u8]>]) -> RunOutcome {
+        if self.cfg.legacy_repl {
+            let mut out = RunOutcome::default();
+            for (i, page) in pages.iter().enumerate() {
+                match self.write_from(client, lpn + i as u64, page.as_ref()) {
+                    WriteOutcome::Replicated => out.replicated += 1,
+                    WriteOutcome::WriteThrough => out.write_through += 1,
+                }
+            }
+            return out;
+        }
+        let out = self.run_pipelined(lpn, pages);
+        let mut inner = self.inner.lock();
+        let row = inner.clients.entry(client).or_default();
+        row.writes += pages.len() as u64;
+        row.pages_written += pages.len() as u64;
+        row.write_through += out.write_through;
+        out
+    }
+
+    /// Batched write path: enqueue the whole run into the replication
+    /// pipeline before resolving any page, so a gateway write-run costs
+    /// O(runs) wire frames (the sender coalesces queued pages into
+    /// [`NodeConfig::repl_batch_pages`]-sized batches) instead of O(pages)
+    /// stop-and-wait round trips.
+    fn run_pipelined(&self, lpn: u64, pages: &[impl AsRef<[u8]>]) -> RunOutcome {
+        let bytes: Vec<Bytes> = pages
+            .iter()
+            .map(|p| Bytes::copy_from_slice(p.as_ref()))
+            .collect();
+        let pending = self.enqueue_pages(lpn, bytes);
         let mut out = RunOutcome::default();
-        for (i, page) in pages.iter().enumerate() {
-            match self.write_from(client, lpn + i as u64, page.as_ref()) {
+        for p in pending {
+            match self.resolve_write(p) {
                 WriteOutcome::Replicated => out.replicated += 1,
                 WriteOutcome::WriteThrough => out.write_through += 1,
             }
@@ -1365,6 +2188,10 @@ impl Node {
         // Blocked writers fail fast (their ack channel drops) instead of
         // waiting out the full ack timeout against a dead node.
         inner.pending_acks.clear();
+        // Same for pipelined writers: the sender abandons its window (their
+        // `done` channels resolve Failed) and opens a fresh batch epoch.
+        inner.batch_rx = BatchRx::default();
+        let _ = inner.pipe_tx.send(PipeCmd::Reset);
         inner.note("fail", |e| e);
     }
 
@@ -1446,10 +2273,10 @@ impl Node {
             return Err(NodeDown);
         }
         {
-            let mut inner = self.inner.lock();
+            let inner = self.inner.lock();
             if let Some(prev) = inner.dedup.get(&client).and_then(|w| w.seen.get(&tag)) {
                 let prev = *prev;
-                inner.stats.dedup_hits += 1;
+                inner.stats.lock().dedup_hits += 1;
                 inner.note("run_dedup", |e| {
                     e.u64_field("client", client)
                         .u64_field("tag", tag)
@@ -1458,16 +2285,32 @@ impl Node {
                 return Ok(prev);
             }
         }
-        let mut out = RunOutcome::default();
-        for (i, page) in pages.iter().enumerate() {
+        let out = if self.cfg.legacy_repl {
+            let mut out = RunOutcome::default();
+            for (i, page) in pages.iter().enumerate() {
+                if self.is_halted() {
+                    return Err(NodeDown);
+                }
+                match self.write_from(client, lpn + i as u64, page.as_ref()) {
+                    WriteOutcome::Replicated => out.replicated += 1,
+                    WriteOutcome::WriteThrough => out.write_through += 1,
+                }
+            }
+            out
+        } else {
+            let out = self.run_pipelined(lpn, pages);
+            {
+                let mut inner = self.inner.lock();
+                let row = inner.clients.entry(client).or_default();
+                row.writes += pages.len() as u64;
+                row.pages_written += pages.len() as u64;
+                row.write_through += out.write_through;
+            }
             if self.is_halted() {
                 return Err(NodeDown);
             }
-            match self.write_from(client, lpn + i as u64, page.as_ref()) {
-                WriteOutcome::Replicated => out.replicated += 1,
-                WriteOutcome::WriteThrough => out.write_through += 1,
-            }
-        }
+            out
+        };
         let mut inner = self.inner.lock();
         let cap = inner.cfg.dedup_window;
         inner.dedup.entry(client).or_default().record(tag, out, cap);
@@ -1557,7 +2400,7 @@ impl Node {
             detected += 1;
             let rx = {
                 let mut g = self.inner.lock();
-                g.stats.repl.corruptions_detected += 1;
+                g.stats.lock().repl.corruptions_detected += 1;
                 g.note("scrub_corrupt", |e| e.u64_field("lpn", lpn));
                 let (tx, rx) = bounded(1);
                 g.scrub_waiters.insert(lpn, tx);
@@ -1578,8 +2421,11 @@ impl Node {
                         g.data.insert(lpn, data.clone());
                         g.versions.insert(lpn, ver);
                         g.backend.lock().write_page(lpn, ver, &data);
-                        g.stats.repl.corruptions_repaired += 1;
-                        g.stats.repl.scrub_repairs += 1;
+                        {
+                            let mut s = g.stats.lock();
+                            s.repl.corruptions_repaired += 1;
+                            s.repl.scrub_repairs += 1;
+                        }
                         g.note("scrub_repair", |e| {
                             e.u64_field("lpn", lpn).u64_field("version", ver)
                         });
@@ -1613,11 +2459,26 @@ impl Node {
     /// Current counters.
     pub fn stats(&self) -> NodeStats {
         let inner = self.inner.lock();
-        let mut s = inner.stats;
+        // `stats` is a leaf under `Inner` (see the lock-order rule), so the
+        // snapshot is taken with both held — writers commit their counter
+        // pairs under one `stats` guard, keeping the balance identities
+        // exact in this snapshot.
+        let mut s = *inner.stats.lock();
         s.remote_pages = (inner.remote.len() + inner.taken_over.len()) as u64;
         s.journal_pages = inner.journal.len() as u64;
         s.repl.lifecycle_transitions = inner.lifecycle.transitions();
         s
+    }
+
+    /// Summary of the replication batch-size histogram (pages per
+    /// first-send `WriteReplBatch`); empty in legacy mode.
+    pub fn repl_batch_histogram(&self) -> fc_obs::HistogramSummary {
+        self.batch_hist.summary()
+    }
+
+    /// Current replication-pipeline window depth (in-flight batches).
+    pub fn repl_window_depth(&self) -> u64 {
+        self.window_depth.get() as u64
     }
 
     /// Dirty pages in the local buffer.
@@ -1782,7 +2643,7 @@ impl Node {
                 flushed.extend(inner.apply_eviction(&ev));
                 imported += 1;
             }
-            inner.stats.migrated_in_pages += imported;
+            inner.stats.lock().migrated_in_pages += imported;
             inner.note("migrate_in", |e| e.u64_field("pages", imported));
         }
         if !flushed.is_empty() {
@@ -1824,7 +2685,7 @@ impl Node {
                 discards.push((lpn, version));
                 released += 1;
             }
-            inner.stats.migrated_out_pages += released;
+            inner.stats.lock().migrated_out_pages += released;
             inner.note("migrate_out", |e| e.u64_field("pages", released));
             (discards, released)
         };
@@ -1841,6 +2702,10 @@ impl Node {
         if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.pipe.take() {
+            let _ = self.pipe_tx.send(PipeCmd::Shutdown);
+            let _ = h.join();
+        }
         let mut inner = self.inner.lock();
         inner.enter_solo("shutdown"); // flushes dirty pages, destages hosted
     }
@@ -1851,6 +2716,10 @@ impl Node {
     pub fn crash(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pipe.take() {
+            let _ = self.pipe_tx.send(PipeCmd::Shutdown);
             let _ = h.join();
         }
         let mut inner = self.inner.lock();
@@ -1872,13 +2741,17 @@ impl Drop for Node {
         if let Some(h) = self.pump.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.pipe.take() {
+            let _ = self.pipe_tx.send(PipeCmd::Shutdown);
+            let _ = h.join();
+        }
     }
 }
 
 /// Background loop: receive messages, send heartbeats, watch the monitor,
 /// and drive the resync state machine.
 fn pump_loop(
-    cfg: NodeConfig,
+    cfg: Arc<NodeConfig>,
     inner: Arc<Mutex<Inner>>,
     transport: Arc<dyn Transport + Sync>,
     shutdown: Arc<AtomicBool>,
@@ -1977,7 +2850,7 @@ fn handle_message(
                     // Damaged in flight. Reject *before* recording the
                     // sequence number, so the clean retransmission is not
                     // mistaken for a duplicate.
-                    g.stats.repl.corruptions_detected += 1;
+                    g.stats.lock().repl.corruptions_detected += 1;
                     g.note("corrupt_detected", |e| {
                         e.u64_field("seq", seq)
                             .u64_field("lpn", lpn)
@@ -1990,7 +2863,7 @@ fn handle_message(
                 } else if !g.remote.contains_key(&lpn) && g.remote.len() >= g.cfg.remote_capacity {
                     // Out of hosting credits; also before observe() so a
                     // retransmission after space frees can still apply.
-                    g.stats.repl.credit_rejections += 1;
+                    g.stats.lock().repl.credit_rejections += 1;
                     g.note("credit_reject", |e| {
                         e.u64_field("seq", seq).u64_field("lpn", lpn)
                     });
@@ -2005,7 +2878,7 @@ fn handle_message(
                             // Retransmission or network duplication: already
                             // applied, just re-ack below (the first ack may
                             // have been the casualty).
-                            g.stats.repl.dups_dropped += 1;
+                            g.stats.lock().repl.dups_dropped += 1;
                             if let Some(o) = &g.obs {
                                 o.dedups.inc();
                                 o.obs.emit(
@@ -2018,7 +2891,7 @@ fn handle_message(
                         }
                         status => {
                             if status == SeqStatus::NewOutOfOrder {
-                                g.stats.repl.reorders_healed += 1;
+                                g.stats.lock().repl.reorders_healed += 1;
                             }
                             let e = g.remote.entry(lpn).or_insert((version, data.clone()));
                             if version >= e.0 {
@@ -2060,11 +2933,150 @@ fn handle_message(
                 let _ = tx.send(AckSignal::Nack(reason));
             }
         }
+        Message::WriteReplBatch {
+            epoch,
+            seq,
+            entries,
+        } => {
+            let reply = {
+                let mut g = inner.lock();
+                if epoch < g.batch_rx.epoch {
+                    // Stale epoch: the sender already abandoned that window
+                    // and restarted its seq space; replying would corrupt
+                    // the new epoch's cumulative-ack stream.
+                    None
+                } else {
+                    if epoch > g.batch_rx.epoch {
+                        // The sender reset its pipeline (abandon after
+                        // exhausted retries, or a node restart): adopt the
+                        // fresh contiguous seq space from 1.
+                        g.batch_rx = BatchRx {
+                            epoch,
+                            cum: 0,
+                            seen: Default::default(),
+                        };
+                    }
+                    let bad = entries
+                        .iter()
+                        .filter(|(_, _, crc, data)| crc32(data) != *crc)
+                        .count() as u64;
+                    if bad > 0 {
+                        // Reject before recording the seq, so the clean
+                        // retransmission is not mistaken for a duplicate.
+                        g.stats.lock().repl.corruptions_detected += bad;
+                        g.note("corrupt_detected", |e| {
+                            e.u64_field("seq", seq)
+                                .u64_field("entries", bad)
+                                .str_field("msg", "write_repl_batch")
+                        });
+                        Some(Message::ReplNackBatch {
+                            epoch,
+                            seq,
+                            reason: NackReason::Corrupt,
+                        })
+                    } else if seq <= g.batch_rx.cum || g.batch_rx.seen.contains(&seq) {
+                        // Retransmission whose ack was the casualty:
+                        // already applied, re-advertise the cumulative
+                        // frontier.
+                        g.stats.lock().repl.dups_dropped += 1;
+                        if let Some(o) = &g.obs {
+                            o.dedups.inc();
+                            o.obs.emit(
+                                o.ev("repl_dedup")
+                                    .u64_field("seq", seq)
+                                    .str_field("msg", "write_repl_batch"),
+                            );
+                        }
+                        let credits = g.advertised_credits();
+                        Some(Message::ReplAckBatch {
+                            epoch,
+                            up_to: g.batch_rx.cum,
+                            credits,
+                        })
+                    } else {
+                        // Whole-batch credit check: hosting is all-or-
+                        // nothing per batch so the cumulative ack never
+                        // covers a partially applied frame.
+                        let new_pages = entries
+                            .iter()
+                            .filter(|(lpn, ..)| !g.remote.contains_key(lpn))
+                            .map(|(lpn, ..)| *lpn)
+                            .collect::<std::collections::BTreeSet<u64>>()
+                            .len();
+                        if g.remote.len() + new_pages > g.cfg.remote_capacity {
+                            g.stats.lock().repl.credit_rejections += 1;
+                            g.note("credit_reject", |e| {
+                                e.u64_field("seq", seq).u64_field("pages", new_pages as u64)
+                            });
+                            Some(Message::ReplNackBatch {
+                                epoch,
+                                seq,
+                                reason: NackReason::NoCredit,
+                            })
+                        } else {
+                            if seq == g.batch_rx.cum + 1 {
+                                g.batch_rx.cum = seq;
+                                // Absorb any batches that arrived ahead of
+                                // this gap.
+                                loop {
+                                    let next = g.batch_rx.cum + 1;
+                                    if !g.batch_rx.seen.remove(&next) {
+                                        break;
+                                    }
+                                    g.batch_rx.cum = next;
+                                }
+                            } else {
+                                g.batch_rx.seen.insert(seq);
+                                g.stats.lock().repl.reorders_healed += 1;
+                            }
+                            for (lpn, ver, _crc, data) in entries {
+                                g.observe_version(ver);
+                                let e = g.remote.entry(lpn).or_insert((ver, data.clone()));
+                                if ver >= e.0 {
+                                    *e = (ver, data);
+                                }
+                            }
+                            let credits = g.advertised_credits();
+                            Some(Message::ReplAckBatch {
+                                epoch,
+                                up_to: g.batch_rx.cum,
+                                credits,
+                            })
+                        }
+                    }
+                }
+            };
+            if let Some(reply) = reply {
+                let _ = transport.send(reply);
+            }
+        }
+        Message::ReplAckBatch {
+            epoch,
+            up_to,
+            credits,
+        } => {
+            let pipe = {
+                let mut g = inner.lock();
+                g.credits = Some(credits);
+                g.pipe_tx.clone()
+            };
+            let _ = pipe.send(PipeCmd::Ack { epoch, up_to });
+        }
+        Message::ReplNackBatch { epoch, seq, reason } => {
+            let pipe = {
+                let mut g = inner.lock();
+                if matches!(reason, NackReason::NoCredit) {
+                    g.credits = Some(0);
+                }
+                g.pipe_tx.clone()
+            };
+            let _ = pipe.send(PipeCmd::Nack { epoch, seq, reason });
+        }
         Message::Discard { seq, pages } => {
             let mut g = inner.lock();
             match g.peer_seqs.observe(seq) {
                 SeqStatus::Duplicate => {
-                    g.stats.repl.dups_dropped += 1;
+                    g.stats.lock().repl.dups_dropped += 1;
                     if let Some(o) = &g.obs {
                         o.dedups.inc();
                         o.obs.emit(
@@ -2076,7 +3088,7 @@ fn handle_message(
                 }
                 status => {
                     if status == SeqStatus::NewOutOfOrder {
-                        g.stats.repl.reorders_healed += 1;
+                        g.stats.lock().repl.reorders_healed += 1;
                     }
                     for (lpn, ver) in pages {
                         if ver != u64::MAX {
@@ -2113,7 +3125,7 @@ fn handle_message(
                     .filter(|(_, _, crc, data)| crc32(data) != *crc)
                     .count() as u64;
                 if bad > 0 {
-                    g.stats.repl.corruptions_detected += bad;
+                    g.stats.lock().repl.corruptions_detected += bad;
                     g.note("corrupt_detected", |e| {
                         e.u64_field("seq", seq)
                             .u64_field("entries", bad)
@@ -2126,7 +3138,7 @@ fn handle_message(
                 } else {
                     match g.peer_seqs.observe(seq) {
                         SeqStatus::Duplicate => {
-                            g.stats.repl.dups_dropped += 1;
+                            g.stats.lock().repl.dups_dropped += 1;
                             if let Some(o) = &g.obs {
                                 o.dedups.inc();
                                 o.obs.emit(
@@ -2138,7 +3150,7 @@ fn handle_message(
                         }
                         status => {
                             if status == SeqStatus::NewOutOfOrder {
-                                g.stats.repl.reorders_healed += 1;
+                                g.stats.lock().repl.reorders_healed += 1;
                             }
                             for (lpn, ver, _crc, data) in entries {
                                 g.observe_version(ver);
@@ -2149,7 +3161,7 @@ fn handle_message(
                                     // while solo, so it is durable there;
                                     // dropping the replica costs only the
                                     // second memory, not the data.
-                                    g.stats.repl.credit_rejections += 1;
+                                    g.stats.lock().repl.credit_rejections += 1;
                                     continue;
                                 }
                                 let e = g.remote.entry(lpn).or_insert((ver, data.clone()));
@@ -2776,10 +3788,18 @@ mod tests {
             0
         );
         let events = ring.events();
-        let sends = events.iter().filter(|e| e.kind == "repl_send").count();
-        let acks = events.iter().filter(|e| e.kind == "repl_ack").count();
+        // Sequential writes each travel as their own single-page batch.
+        let sends = events
+            .iter()
+            .filter(|e| e.kind == "repl_batch_send")
+            .count();
+        let acks = events.iter().filter(|e| e.kind == "repl_batch_ack").count();
         assert_eq!(acks, 8);
         assert!(sends >= 8, "every replication has at least one send span");
+        assert_eq!(s.repl.batches_sent, 8);
+        assert_eq!(s.repl.batch_pages, 8);
+        let hist = a.repl_batch_histogram();
+        assert_eq!(hist.count, 8);
         for e in &events {
             assert_eq!(e.component, "cluster.node");
             assert_eq!(e.get("id").and_then(fc_obs::Value::as_u64), Some(0));

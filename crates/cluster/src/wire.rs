@@ -32,8 +32,14 @@ pub const MAX_FRAME: usize = 16 << 20;
 // CRC-32 (IEEE 802.3), table-driven, dependency-free
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 lookup tables: `CRC32_TABLES[0]` is the classic byte-at-a-
+/// time table; `CRC32_TABLES[k][b]` folds byte `b` positioned `k` bytes
+/// ahead of the CRC register, letting the hot loop consume 8 bytes per
+/// step. Every replicated page is checksummed at least three times (write
+/// stamp, frame encode, receive verify), so this runs on the data plane's
+/// critical path.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -46,20 +52,44 @@ const fn crc32_table() -> [u32; 256] {
             };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
 
 /// CRC-32 (IEEE) of `data` — the checksum used for both frame integrity and
-/// per-page payload integrity.
+/// per-page payload integrity. Slicing-by-8: 8 bytes per table step.
 pub fn crc32(data: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
     let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        let hi = u32::from_le_bytes([ch[4], ch[5], ch[6], ch[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -191,6 +221,43 @@ pub enum Message {
         /// The `seq` of the acknowledged batch.
         seq: u64,
     },
+    /// Replicate a batch of dirty pages into the peer's remote buffer in
+    /// one frame — the pipelined replacement for per-page
+    /// [`Message::WriteRepl`]. Batches live in their own contiguous
+    /// sequence space (`1, 2, 3, …` per epoch) so the receiver can
+    /// acknowledge cumulatively with [`Message::ReplAckBatch`].
+    WriteReplBatch {
+        /// Pipeline epoch. Bumped by the sender whenever it abandons
+        /// un-acked in-flight state (solo entry, restart); a frame with a
+        /// higher epoch resets the receiver's cumulative tracker.
+        epoch: u32,
+        /// Batch sequence number, contiguous from 1 within `epoch`.
+        seq: u64,
+        /// The pages, each carrying its own payload CRC (same shape as a
+        /// resync entry). May be empty: an emptied batch retransmission
+        /// still advances the cumulative ack past a refused sequence.
+        entries: Vec<ResyncEntry>,
+    },
+    /// Cumulative acknowledgement of [`Message::WriteReplBatch`] frames:
+    /// every batch with `seq <= up_to` in `epoch` has been applied.
+    ReplAckBatch {
+        /// Epoch the ack belongs to; stale-epoch acks are ignored.
+        epoch: u32,
+        /// Highest contiguously applied batch sequence (0 = none yet).
+        up_to: u64,
+        /// Remote-buffer credits the receiver still advertises.
+        credits: u32,
+    },
+    /// Refuse one [`Message::WriteReplBatch`] (the cumulative ack cannot
+    /// advance past it until the sender retransmits or empties it).
+    ReplNackBatch {
+        /// Epoch of the refused batch.
+        epoch: u32,
+        /// The refused batch's sequence number.
+        seq: u64,
+        /// Why it was refused.
+        reason: NackReason,
+    },
     /// Ask the peer for its replica of one page (scrub repair).
     PageFetch {
         /// Logical page wanted.
@@ -260,6 +327,9 @@ const TAG_RESYNC_BATCH: u8 = 10;
 const TAG_RESYNC_ACK: u8 = 11;
 const TAG_PAGE_FETCH: u8 = 12;
 const TAG_PAGE_DATA: u8 = 13;
+const TAG_WRITE_REPL_BATCH: u8 = 14;
+const TAG_REPL_ACK_BATCH: u8 = 15;
+const TAG_REPL_NACK_BATCH: u8 = 16;
 
 /// Append one framed message to `out`.
 pub fn encode(msg: &Message, out: &mut BytesMut) {
@@ -341,6 +411,39 @@ pub fn encode(msg: &Message, out: &mut BytesMut) {
         Message::ResyncAck { seq } => {
             out.put_u8(TAG_RESYNC_ACK);
             out.put_u64_le(*seq);
+        }
+        Message::WriteReplBatch {
+            epoch,
+            seq,
+            entries,
+        } => {
+            out.put_u8(TAG_WRITE_REPL_BATCH);
+            out.put_u32_le(*epoch);
+            out.put_u64_le(*seq);
+            out.put_u32_le(entries.len() as u32);
+            for (lpn, ver, crc, data) in entries {
+                out.put_u64_le(*lpn);
+                out.put_u64_le(*ver);
+                out.put_u32_le(*crc);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+        Message::ReplAckBatch {
+            epoch,
+            up_to,
+            credits,
+        } => {
+            out.put_u8(TAG_REPL_ACK_BATCH);
+            out.put_u32_le(*epoch);
+            out.put_u64_le(*up_to);
+            out.put_u32_le(*credits);
+        }
+        Message::ReplNackBatch { epoch, seq, reason } => {
+            out.put_u8(TAG_REPL_NACK_BATCH);
+            out.put_u32_le(*epoch);
+            out.put_u64_le(*seq);
+            out.put_u8(reason.to_u8());
         }
         Message::PageFetch { lpn } => {
             out.put_u8(TAG_PAGE_FETCH);
@@ -491,6 +594,43 @@ fn parse_body(body: &mut Bytes) -> Result<Message, WireError> {
                 seq: body.get_u64_le(),
             }
         }
+        TAG_WRITE_REPL_BATCH => {
+            need(body, 4 + 8 + 4)?;
+            let epoch = body.get_u32_le();
+            let seq = body.get_u64_le();
+            let n = body.get_u32_le() as usize;
+            let mut entries = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                need(body, 8 + 8 + 4 + 4)?;
+                let lpn = body.get_u64_le();
+                let ver = body.get_u64_le();
+                let crc = body.get_u32_le();
+                let dl = body.get_u32_le() as usize;
+                need(body, dl)?;
+                entries.push((lpn, ver, crc, body.split_to(dl)));
+            }
+            Message::WriteReplBatch {
+                epoch,
+                seq,
+                entries,
+            }
+        }
+        TAG_REPL_ACK_BATCH => {
+            need(body, 4 + 8 + 4)?;
+            Message::ReplAckBatch {
+                epoch: body.get_u32_le(),
+                up_to: body.get_u64_le(),
+                credits: body.get_u32_le(),
+            }
+        }
+        TAG_REPL_NACK_BATCH => {
+            need(body, 4 + 8 + 1)?;
+            Message::ReplNackBatch {
+                epoch: body.get_u32_le(),
+                seq: body.get_u64_le(),
+                reason: NackReason::from_u8(body.get_u8())?,
+            }
+        }
         TAG_PAGE_FETCH => {
             need(body, 8)?;
             Message::PageFetch {
@@ -562,7 +702,7 @@ impl Message {
     pub fn payload_ok(&self) -> bool {
         match self {
             Message::WriteRepl { crc, data, .. } => crc32(data) == *crc,
-            Message::ResyncBatch { entries, .. } => {
+            Message::ResyncBatch { entries, .. } | Message::WriteReplBatch { entries, .. } => {
                 entries.iter().all(|(_, _, crc, data)| crc32(data) == *crc)
             }
             Message::PageData {
@@ -573,13 +713,17 @@ impl Message {
     }
 
     /// Data-plane sequence number of this message, if it carries one.
-    /// `WriteRepl`, `Discard` and `ResyncBatch` are the data plane (they
-    /// mutate the peer's remote buffer); everything else is control traffic.
+    /// `WriteRepl`, `Discard`, `ResyncBatch` and `WriteReplBatch` are the
+    /// data plane (they mutate the peer's remote buffer); everything else
+    /// is control traffic. Note that `WriteReplBatch` sequences live in
+    /// their own per-epoch space, disjoint from the shared
+    /// `WriteRepl`/`Discard`/`ResyncBatch` counter.
     pub fn data_seq(&self) -> Option<u64> {
         match self {
             Message::WriteRepl { seq, .. }
             | Message::Discard { seq, .. }
-            | Message::ResyncBatch { seq, .. } => Some(*seq),
+            | Message::ResyncBatch { seq, .. }
+            | Message::WriteReplBatch { seq, .. } => Some(*seq),
             _ => None,
         }
     }
@@ -714,6 +858,29 @@ mod tests {
             ],
         });
         round_trip(Message::ResyncAck { seq: 77 });
+        round_trip(Message::WriteReplBatch {
+            epoch: 3,
+            seq: 88,
+            entries: vec![
+                resync_entry(4, 20, Bytes::from_static(b"batched-page")),
+                resync_entry(9, 21, Bytes::new()),
+            ],
+        });
+        round_trip(Message::WriteReplBatch {
+            epoch: 0,
+            seq: 1,
+            entries: vec![],
+        });
+        round_trip(Message::ReplAckBatch {
+            epoch: 3,
+            up_to: 88,
+            credits: 12,
+        });
+        round_trip(Message::ReplNackBatch {
+            epoch: 3,
+            seq: 89,
+            reason: NackReason::NoCredit,
+        });
         round_trip(Message::PageFetch { lpn: 12 });
         round_trip(Message::page_data(
             12,
@@ -843,6 +1010,22 @@ mod tests {
             entries: vec![(1, 1, 0xDEAD_BEEF, Bytes::from_static(b"x"))],
         };
         assert!(!bad.payload_ok());
+        // Pipelined batches verify every entry too.
+        let good_batch = Message::WriteReplBatch {
+            epoch: 1,
+            seq: 5,
+            entries: vec![resync_entry(1, 1, Bytes::from_static(b"x"))],
+        };
+        assert!(good_batch.payload_ok());
+        let bad_batch = Message::WriteReplBatch {
+            epoch: 1,
+            seq: 5,
+            entries: vec![
+                resync_entry(1, 1, Bytes::from_static(b"x")),
+                (2, 2, 0xDEAD_BEEF, Bytes::from_static(b"y")),
+            ],
+        };
+        assert!(!bad_batch.payload_ok());
         // Control traffic trivially passes.
         assert!(Message::Purge.payload_ok());
         assert!(Message::ReplAck { seq: 1, credits: 0 }.payload_ok());
@@ -906,8 +1089,35 @@ mod tests {
             .data_seq(),
             Some(6)
         );
+        assert_eq!(
+            Message::WriteReplBatch {
+                epoch: 2,
+                seq: 8,
+                entries: vec![]
+            }
+            .data_seq(),
+            Some(8)
+        );
         assert_eq!(Message::ReplAck { seq: 9, credits: 0 }.data_seq(), None);
         assert_eq!(Message::ResyncAck { seq: 9 }.data_seq(), None);
+        assert_eq!(
+            Message::ReplAckBatch {
+                epoch: 1,
+                up_to: 9,
+                credits: 0
+            }
+            .data_seq(),
+            None
+        );
+        assert_eq!(
+            Message::ReplNackBatch {
+                epoch: 1,
+                seq: 9,
+                reason: NackReason::Corrupt
+            }
+            .data_seq(),
+            None
+        );
         assert_eq!(
             Message::ReplNack {
                 seq: 9,

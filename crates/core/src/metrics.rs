@@ -15,6 +15,13 @@ use serde::{Deserialize, Serialize};
 pub struct ReplicationStats {
     /// Replication sends re-attempted after an ack timeout.
     pub retries: u64,
+    /// Pipelined `WriteReplBatch` frames handed to the transport for the
+    /// first time (retransmissions count under `retries`). Zero when the
+    /// legacy stop-and-wait path is in use.
+    pub batches_sent: u64,
+    /// Pages carried by those first-send batches; `batch_pages /
+    /// batches_sent` is the mean replication batch size.
+    pub batch_pages: u64,
     /// Received data-plane messages discarded as duplicates (same sequence
     /// number seen before — retransmissions or network duplication).
     pub dups_dropped: u64,
@@ -57,6 +64,10 @@ impl fc_obs::StatSource for ReplicationStats {
     fn emit(&self, reg: &mut fc_obs::Registry) {
         reg.counter("cluster.replication.retries")
             .store(self.retries);
+        reg.counter("cluster.replication.batches_sent")
+            .store(self.batches_sent);
+        reg.counter("cluster.replication.batch_pages")
+            .store(self.batch_pages);
         reg.counter("cluster.replication.dups_dropped")
             .store(self.dups_dropped);
         reg.counter("cluster.replication.reorders_healed")
@@ -88,14 +99,21 @@ impl fc_obs::StatSource for ReplicationStats {
 
 impl ReplicationStats {
     /// True when the link behaved perfectly: nothing retried, deduplicated,
-    /// reordered, or destaged.
+    /// reordered, or destaged. The batch throughput counters are excluded —
+    /// they grow on a healthy pipelined link.
     pub fn is_clean(&self) -> bool {
-        *self == ReplicationStats::default()
+        ReplicationStats {
+            batches_sent: 0,
+            batch_pages: 0,
+            ..*self
+        } == ReplicationStats::default()
     }
 
     /// Sum the counters of `other` into `self` (merging per-node reports).
     pub fn absorb(&mut self, other: &ReplicationStats) {
         self.retries += other.retries;
+        self.batches_sent += other.batches_sent;
+        self.batch_pages += other.batch_pages;
         self.dups_dropped += other.dups_dropped;
         self.reorders_healed += other.reorders_healed;
         self.partition_destages += other.partition_destages;
@@ -241,6 +259,8 @@ mod tests {
         assert!(a.is_clean());
         let b = ReplicationStats {
             retries: 2,
+            batches_sent: 15,
+            batch_pages: 16,
             dups_dropped: 1,
             reorders_healed: 3,
             partition_destages: 4,
@@ -259,6 +279,8 @@ mod tests {
         a.absorb(&b);
         assert!(!a.is_clean());
         assert_eq!(a.retries, 4);
+        assert_eq!(a.batches_sent, 30);
+        assert_eq!(a.batch_pages, 32);
         assert_eq!(a.dups_dropped, 2);
         assert_eq!(a.reorders_healed, 6);
         assert_eq!(a.partition_destages, 8);

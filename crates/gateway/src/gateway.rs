@@ -380,6 +380,13 @@ pub struct Gateway {
     /// One entry per shard (empty in single mode). Swapped wholesale by
     /// `attach_obs`, same discipline as `instruments`.
     shard_instruments: Mutex<Arc<Vec<ShardInstruments>>>,
+    /// Commit guard for the counter-sum identity: every site that bumps a
+    /// per-shard counter together with its aggregate twin holds this while
+    /// doing both, and [`Gateway::stats_with_shards`] holds it across its
+    /// combined snapshot — so Σ shard.* == gateway.* at *every* snapshot,
+    /// not just at quiescence. Taken per run/segment (never per page) and
+    /// strictly a leaf: no other lock is acquired while it is held.
+    stats_commit: Mutex<()>,
     next_mem_client: AtomicU64,
     /// Deterministic decorrelation stream for retry-backoff jitter.
     jitter: AtomicU64,
@@ -472,6 +479,7 @@ impl Gateway {
             shard_instruments: Mutex::new(Arc::new(
                 (0..shards).map(|_| ShardInstruments::detached()).collect(),
             )),
+            stats_commit: Mutex::new(()),
             next_mem_client: AtomicU64::new(1),
             jitter: AtomicU64::new(1),
             epoch: Instant::now(),
@@ -932,7 +940,10 @@ impl Gateway {
 
     /// Snapshot of gateway activity.
     pub fn stats(&self) -> GatewayStats {
-        let ins = self.instruments();
+        self.stats_of(&self.instruments())
+    }
+
+    fn stats_of(&self, ins: &Instruments) -> GatewayStats {
         GatewayStats {
             sessions_started: ins.sessions_started.get(),
             sessions_ended: ins.sessions_ended.get(),
@@ -966,6 +977,24 @@ impl Gateway {
             inflight: self.admission.inflight(),
             max_inflight_seen: self.admission.max_inflight_seen(),
         }
+    }
+
+    /// Atomic combined snapshot: aggregate stats and per-shard stats read
+    /// under the stats-commit guard, so the counter-sum identity
+    /// ([`crate::ShardStatsSum::matches`]) holds *at this snapshot* even
+    /// while writers are mid-flight. Separate [`Gateway::stats`] /
+    /// [`Gateway::shard_stats`] calls only promise the identity at
+    /// quiescence.
+    pub fn stats_with_shards(&self) -> (GatewayStats, Vec<ShardStats>) {
+        let ins = self.instruments();
+        let shard_ins = self.shard_instruments();
+        let _c = self.stats_commit.lock();
+        let shards = shard_ins
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.stats(i as u16))
+            .collect();
+        (self.stats_of(&ins), shards)
     }
 
     /// Jittered exponential backoff for attempt `n` of a shard-op retry.
@@ -1020,8 +1049,11 @@ impl Gateway {
                         continue;
                     }
                     if now >= deadline {
-                        ins.unavailable.inc();
-                        shard_ins.unavailable.inc();
+                        {
+                            let _c = self.stats_commit.lock();
+                            ins.unavailable.inc();
+                            shard_ins.unavailable.inc();
+                        }
                         ins.emit(
                             ins.event("unavailable")
                                 .map(|e| e.u64_field("shard", u64::from(shard))),
@@ -1029,8 +1061,11 @@ impl Gateway {
                         let retry_after_ms = sb.health.read().breaker.retry_after_ms();
                         return Err(Unavail { retry_after_ms });
                     }
-                    ins.retries.inc();
-                    shard_ins.retries.inc();
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.retries.inc();
+                        shard_ins.retries.inc();
+                    }
                     std::thread::sleep(self.backoff(attempt));
                     attempt += 1;
                 }
@@ -1059,8 +1094,11 @@ impl Gateway {
                     && sb.secondary.is_some()
                 {
                     h.active = Replica::Secondary;
-                    ins.failovers.inc();
-                    shard_ins.failovers.inc();
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.failovers.inc();
+                        shard_ins.failovers.inc();
+                    }
                     shard_ins.health.set(0.0);
                     ins.emit(ins.event("failover").map(|e| {
                         e.u64_field("shard", u64::from(shard))
@@ -1076,8 +1114,11 @@ impl Gateway {
                 if h.active == Replica::Secondary && !sb.primary.is_halted() {
                     h.active = Replica::Primary;
                     h.breaker.on_success();
-                    ins.failovers.inc();
-                    shard_ins.failovers.inc();
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.failovers.inc();
+                        shard_ins.failovers.inc();
+                    }
                     shard_ins.health.set(1.0);
                     ins.emit(ins.event("failover").map(|e| {
                         e.u64_field("shard", u64::from(shard))
@@ -1135,8 +1176,11 @@ impl Gateway {
         }
         h.active = Replica::Primary;
         h.breaker.on_success();
-        ins.failbacks.inc();
-        shard_ins.failbacks.inc();
+        {
+            let _c = self.stats_commit.lock();
+            ins.failbacks.inc();
+            shard_ins.failbacks.inc();
+        }
         shard_ins.health.set(1.0);
         ins.emit(
             ins.event("failback")
@@ -1198,10 +1242,13 @@ impl Gateway {
                     })?;
                     out.extend(seg);
                     sins.ops.inc();
-                    ins.read_pages.add(u64::from(count));
-                    sins.read_pages.add(u64::from(count));
-                    ins.read_hits.add(seg_hits);
-                    sins.read_hits.add(seg_hits);
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.read_pages.add(u64::from(count));
+                        sins.read_pages.add(u64::from(count));
+                        ins.read_hits.add(seg_hits);
+                        sins.read_hits.add(seg_hits);
+                    }
                     sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                     hits += seg_hits;
                 }
@@ -1234,8 +1281,11 @@ impl Gateway {
                         Ok(())
                     })?;
                     sins.ops.inc();
-                    ins.trim_pages.add(u64::from(count));
-                    sins.trim_pages.add(u64::from(count));
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.trim_pages.add(u64::from(count));
+                        sins.trim_pages.add(u64::from(count));
+                    }
                     sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                 }
             }
@@ -1304,14 +1354,20 @@ impl Gateway {
                         }
                     };
                     sins.ops.inc();
-                    ins.flushed_pages.add(flushed);
-                    sins.flushed_pages.add(flushed);
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.flushed_pages.add(flushed);
+                        sins.flushed_pages.add(flushed);
+                    }
                     sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                     total += flushed;
                 }
                 if let Some((shard, retry_after_ms)) = dead {
-                    ins.unavailable.inc();
-                    shard_ins[usize::from(shard)].unavailable.inc();
+                    {
+                        let _c = self.stats_commit.lock();
+                        ins.unavailable.inc();
+                        shard_ins[usize::from(shard)].unavailable.inc();
+                    }
                     ins.emit(
                         ins.event("unavailable")
                             .map(|e| e.u64_field("shard", u64::from(shard))),
@@ -1393,12 +1449,15 @@ impl Gateway {
                             let out_n = run.len() as u64;
                             let in_n = in_count[i];
                             sins.ops.inc();
-                            ins.runs.inc();
-                            sins.runs.inc();
-                            ins.write_pages.add(in_n);
-                            sins.write_pages.add(in_n);
-                            ins.coalesced_pages.add(in_n - out_n);
-                            sins.coalesced_pages.add(in_n - out_n);
+                            {
+                                let _c = self.stats_commit.lock();
+                                ins.runs.inc();
+                                sins.runs.inc();
+                                ins.write_pages.add(in_n);
+                                sins.write_pages.add(in_n);
+                                ins.coalesced_pages.add(in_n - out_n);
+                                sins.coalesced_pages.add(in_n - out_n);
+                            }
                             sins.latency_ns.record(started.elapsed().as_nanos() as u64);
                             sub.out_pages += out_n;
                             sub.runs += 1;

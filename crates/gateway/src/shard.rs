@@ -291,6 +291,19 @@ impl ShardedGateway {
     /// and front them with a sharded gateway. The node block geometry is
     /// aligned with `cfg.pages_per_block`.
     pub fn spawn_mem(cfg: GatewayConfig, ring_cfg: RingConfig, pairs: u16) -> ShardedGateway {
+        ShardedGateway::spawn_mem_with(cfg, ring_cfg, pairs, |_| {})
+    }
+
+    /// [`ShardedGateway::spawn_mem`] with a hook to adjust every node's
+    /// [`NodeConfig`] before spawn — how the load generator applies
+    /// replication-pipeline knobs (`repl_window`, `repl_batch_pages`,
+    /// `legacy_repl`) uniformly across the cluster.
+    pub fn spawn_mem_with(
+        cfg: GatewayConfig,
+        ring_cfg: RingConfig,
+        pairs: u16,
+        tune: impl Fn(&mut NodeConfig),
+    ) -> ShardedGateway {
         assert!(pairs >= 1, "a cluster needs at least one pair");
         let mut primaries = Vec::with_capacity(pairs as usize);
         let mut secondaries = Vec::with_capacity(pairs as usize);
@@ -299,8 +312,10 @@ impl ShardedGateway {
             let backend = shared_backend(MemBackend::default());
             let mut cfg_a = NodeConfig::test_profile((2 * i) as u8);
             cfg_a.pages_per_block = cfg.pages_per_block;
+            tune(&mut cfg_a);
             let mut cfg_b = NodeConfig::test_profile((2 * i + 1) as u8);
             cfg_b.pages_per_block = cfg.pages_per_block;
+            tune(&mut cfg_b);
             primaries.push(Arc::new(Node::spawn(cfg_a, ta, backend.clone())));
             secondaries.push(Arc::new(Node::spawn(cfg_b, tb, backend)));
         }
@@ -361,6 +376,13 @@ impl ShardedGateway {
     /// Per-shard stats, index = shard id.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.gateway.shard_stats()
+    }
+
+    /// Atomic combined snapshot — see [`Gateway::stats_with_shards`]. The
+    /// counter-sum identity ([`ShardStatsSum::matches`]) holds on the
+    /// returned pair even under concurrent traffic.
+    pub fn stats_with_shards(&self) -> (GatewayStats, Vec<ShardStats>) {
+        self.gateway.stats_with_shards()
     }
 
     /// Shut down the gateway sessions, then every pair node. The

@@ -265,7 +265,7 @@ impl Histogram {
 }
 
 /// Point-in-time view of a [`Histogram`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSummary {
     pub count: u64,
     pub sum: u64,

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Replication-pipeline A/B benchmark: fixed-seed write-heavy (fin1)
+# closed-loop load over the in-memory transport, pipelined vs the legacy
+# stop-and-wait path, at 1 and 4 shards. Emits BENCH_10.json (one JSON
+# object per config) and prints a ratio table.
+#
+# The knobs below size the node buffers above the working set so every
+# write replicates (no credit-stall or self-evict write-through), raise
+# the gateway destage block so a whole request reaches the node as one
+# run, and lift client admission out of the way so shed == 0 — making
+# the final-state digest bit-identical between the two modes (asserted
+# here). Everything is seeded: same numbers on every run of this script.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   tiny request counts, skips the >= 2x throughput assertion
+#             (wired into scripts/ci.sh; full runs are for BENCH_10.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+[[ "${1:-}" == "--smoke" ]] && SMOKE=1
+
+REQS_1SHARD=1500
+REQS_4SHARD=800
+REPEATS=3
+MIN_RATIO="2.0"
+if [[ "$SMOKE" == 1 ]]; then
+  REQS_1SHARD=60
+  REQS_4SHARD=40
+  REPEATS=1
+fi
+
+cargo build --release --offline -q -p fc-bench
+LG=target/release/loadgen
+
+# Shared fixed-seed workload: fin1 (write fraction 0.91), 32-page mean
+# requests, admission lifted out of the way (shed must be 0 for the
+# digest identity to hold).
+COMMON=(--transport mem --trace fin1 --seed 42 --pages 256 --req-pages 32
+  --remote-capacity 16384 --buffer-pages 8192 --repl-batch-pages 32
+  --pages-per-block 64 --client-rate 1000000)
+
+# Best-of-N throughput per config: the box this runs on is shared, so a
+# single run can eat an unrelated scheduling hiccup. Everything except
+# wall time is deterministic across repeats (same seed, same digest).
+run_cfg() { # name, extra flags...
+  local name=$1
+  shift
+  echo "==> $name (best of $REPEATS)" >&2
+  for _ in $(seq "$REPEATS"); do
+    "$LG" "${COMMON[@]}" "$@" --json
+    echo
+  done |
+    python3 -c "
+import json, sys
+runs = [json.loads(l) for l in sys.stdin if l.strip()]
+best = max(runs, key=lambda r: r['throughput_rps'])
+assert len({r['state_digest'] for r in runs}) == 1, 'digest varies across repeats'
+best['name'] = '$name'
+print(json.dumps(best))
+"
+}
+
+OUT=BENCH_10.json
+# Smoke runs (CI) must not clobber the checked-in full-run results.
+[[ "$SMOKE" == 1 ]] && OUT=$(mktemp --suffix .bench10.json)
+{
+  run_cfg pipelined_1shard --clients 4 --requests "$REQS_1SHARD"
+  run_cfg legacy_1shard --clients 4 --requests "$REQS_1SHARD" --legacy-repl
+  run_cfg pipelined_4shard --clients 8 --shards 4 --requests "$REQS_4SHARD"
+  run_cfg legacy_4shard --clients 8 --shards 4 --requests "$REQS_4SHARD" --legacy-repl
+} >"$OUT"
+
+python3 - "$OUT" "$MIN_RATIO" "$SMOKE" <<'EOF'
+import json, sys
+
+path, min_ratio, smoke = sys.argv[1], float(sys.argv[2]), sys.argv[3] == "1"
+rows = {r["name"]: r for r in map(json.loads, open(path))}
+
+print(f"{'config':<18} {'rps':>9} {'p50us':>8} {'p99us':>9} {'p999us':>9} "
+      f"{'shed':>6} {'retries':>7} {'digest':>20}")
+for name, r in rows.items():
+    lat = r["latency_us"]
+    print(f"{name:<18} {r['throughput_rps']:>9.0f} {lat['p50']:>8.0f} "
+          f"{lat['p99']:>9.0f} {lat['p999']:>9.0f} {r['shed_rate']:>6.3f} "
+          f"{r['replication']['retries']:>7} {r['state_digest']:>20}")
+
+ok = True
+for shards in ("1shard", "4shard"):
+    p, l = rows[f"pipelined_{shards}"], rows[f"legacy_{shards}"]
+    ratio = p["throughput_rps"] / l["throughput_rps"]
+    print(f"{shards}: pipelined/legacy throughput ratio = {ratio:.2f}x")
+    if p["state_digest"] != l["state_digest"]:
+        print(f"FAIL: {shards} final-state digest differs between modes")
+        ok = False
+    for r in (p, l):
+        if r["shed"] != 0 or r["errors"] != 0:
+            print(f"FAIL: {r['name']} shed={r['shed']} errors={r['errors']}")
+            ok = False
+    if shards == "1shard" and not smoke and ratio < min_ratio:
+        print(f"FAIL: 1shard ratio {ratio:.2f}x below required {min_ratio}x")
+        ok = False
+sys.exit(0 if ok else 1)
+EOF
+
+echo "BENCH OK ($OUT)"

@@ -25,6 +25,9 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> rustdoc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
+echo "==> benches compile (criterion harness, including node_write A/B)"
+cargo bench --workspace --no-run --offline -q
+
 echo "==> lifecycle chaos suite (partitions, crash/corrupt-during-resync)"
 cargo test -q --offline --test chaos_replication --test recovery_e2e
 
@@ -80,5 +83,8 @@ cargo run --release --offline -p fc-bench --bin loadgen -- \
 echo "==> elastic scale smoke: digest identical with and without live scaling"
 cargo run --release --offline --example elastic_scale \
   | grep -q "elastic scale complete"
+
+echo "==> replication-pipeline A/B smoke: pipelined vs legacy, digest identity"
+scripts/bench.sh --smoke | grep -q "BENCH OK"
 
 echo "CI OK"

@@ -120,6 +120,109 @@ fn chaos_matrix_loses_no_acked_writes() {
     assert!(total_faults > 0);
 }
 
+/// Batched-frame sweep: 20 seeds of multi-page `write_run`s — so the wire
+/// carries `WriteReplBatch` frames, not single-page messages — through
+/// rotating drop / dup+delay / reorder / corrupt plans. Invariants:
+/// zero acked-write loss after the writer crashes, every injected
+/// corruption detected by the receiver's CRC (`corruptions_detected ==
+/// FaultStats.corrupted`), and `writes_balance` on the final snapshot.
+#[test]
+fn chaos_batched_runs_sweep_loses_no_acked_writes() {
+    let mut total_batches = 0u64;
+    let mut total_multi_page = 0u64;
+    let mut total_corrupted = 0u64;
+    let mut total_faults = 0u64;
+    for seed in 1..=20u64 {
+        let plan_a = match seed % 4 {
+            0 => FaultPlan::new(seed).with_drop(0.10),
+            1 => FaultPlan::new(seed)
+                .with_dup(0.12)
+                .with_delay(Duration::from_millis(1), Duration::from_millis(3)),
+            2 => FaultPlan::new(seed).with_reorder(0.15, 4),
+            // Corruption runs alone: a corrupted frame that was also
+            // dropped or duplicated would skew the detection count.
+            _ => FaultPlan::new(seed).with_corrupt(0.15),
+        };
+        let (ta, tb) = mem_pair();
+        let fa = Arc::new(FaultTransport::new(ta, plan_a));
+        let ba = shared_backend(MemBackend::new());
+        let bb = shared_backend(MemBackend::new());
+        let mut cfg_a = chaos_config(0);
+        // Room for whole runs per frame, and a real in-flight window.
+        cfg_a.repl_batch_pages = 8;
+        cfg_a.repl_window = 4;
+        let a = Node::spawn(cfg_a, fa.clone(), ba.clone());
+        let b = Node::spawn(chaos_config(1), tb, bb);
+
+        let mut rng = DetRng::new(seed);
+        let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+        for i in 0..24u64 {
+            let base = rng.below(40);
+            let len = 4 + rng.below(5); // 4..=8 page runs
+            let pages: Vec<Vec<u8>> = (0..len)
+                .map(|j| format!("s{seed}-r{i}-l{}", base + j).into_bytes())
+                .collect();
+            // Durability is promised either way; the split between
+            // replicated and write-through is the fault schedule's call.
+            let _ = a.write_run(7, base, &pages);
+            for (j, p) in pages.into_iter().enumerate() {
+                expected.insert(base + j as u64, p);
+            }
+        }
+
+        // Every injected corruption must be caught by B's payload CRC.
+        wait_until(|| b.stats().repl.corruptions_detected == fa.fault_stats().corrupted);
+        let injected = fa.fault_stats().corrupted;
+        assert_eq!(
+            b.stats().repl.corruptions_detected,
+            injected,
+            "seed {seed}: corruption detection count mismatch"
+        );
+
+        let stats = a.stats();
+        assert!(stats.writes_balance(), "seed {seed}: stats imbalance");
+        total_batches += stats.repl.batches_sent;
+        total_multi_page += stats
+            .repl
+            .batch_pages
+            .saturating_sub(stats.repl.batches_sent);
+        total_corrupted += injected;
+        total_faults += stats.repl.retries + injected;
+
+        // The writer crashes; acked writes must survive in its backend ∪
+        // the peer's remote buffer, freshest version winning.
+        a.crash();
+        let remote: HashMap<u64, (u64, Vec<u8>)> = b
+            .export_remote()
+            .into_iter()
+            .map(|(l, v, d)| (l, (v, d)))
+            .collect();
+        b.shutdown();
+        let backend = ba.lock();
+        for (lpn, content) in &expected {
+            let best = match (backend.read_page(*lpn), remote.get(lpn)) {
+                (Some((bv, bd)), Some((rv, rd))) => Some(if *rv > bv { rd.clone() } else { bd }),
+                (Some((_, bd)), None) => Some(bd),
+                (None, Some((_, rd))) => Some(rd.clone()),
+                (None, None) => None,
+            };
+            assert_eq!(
+                best.as_deref(),
+                Some(content.as_slice()),
+                "seed {seed}: acked write to lpn {lpn} lost or stale after crash"
+            );
+        }
+    }
+    // The sweep must have driven real batched frames and real faults.
+    assert!(total_batches > 0, "no batched frames sent");
+    assert!(
+        total_multi_page > 0,
+        "every batch was a single page — runs never coalesced"
+    );
+    assert!(total_corrupted > 0, "corrupt plans injected nothing");
+    assert!(total_faults > 0, "plans too gentle");
+}
+
 /// Same seed + same plan ⇒ byte-identical decision trace, run twice.
 #[test]
 fn fault_schedule_is_deterministic_for_a_fixed_seed() {

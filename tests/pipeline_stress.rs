@@ -1,0 +1,240 @@
+//! Concurrency stress for the replication pipeline: many writers driving
+//! batched replication with the in-flight window saturated, while a
+//! sampler thread snapshots counters *mid-flight* and asserts the
+//! accounting identities at every single snapshot.
+//!
+//! Two identities from the issue:
+//!
+//! 1. [`fc_cluster::NodeStats::writes_balance`] — `writes` always equals
+//!    `replicated_pages + write_through`, because a node commits a write
+//!    and its outcome under one lock acquisition.
+//! 2. The gateway's 11-counter sum identity
+//!    ([`fc_gateway::ShardStatsSum::matches`]) — Σ `gateway.shard.{i}.*`
+//!    equals the aggregate `gateway.*` at every
+//!    [`fc_gateway::ShardedGateway::stats_with_shards`] snapshot, because
+//!    paired shard/aggregate bumps commit under the stats-commit guard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use bytes::Bytes;
+use fc_cluster::{mem_pair, shared_backend, MemBackend, Node, NodeConfig};
+use fc_gateway::{GatewayConfig, ShardStatsSum, ShardedGateway};
+use fc_ring::RingConfig;
+use fc_simkit::DetRng;
+
+const PAGE_BYTES: usize = 128;
+
+/// A pipeline profile that keeps the window *full*: batches are small and
+/// only two may be unacknowledged, so writers spend most of their time
+/// enqueued behind window backpressure — the regime where a racy counter
+/// commit would be caught.
+fn windowed_config(id: u8) -> NodeConfig {
+    let mut cfg = NodeConfig::test_profile(id);
+    cfg.repl_batch_pages = 4;
+    cfg.repl_window = 2;
+    // Size the pools above the working set so writes exercise the
+    // replication path instead of degrading to write-through.
+    cfg.buffer_pages = 8192;
+    cfg.remote_capacity = 16384;
+    cfg
+}
+
+fn page(seed: u64, i: u64) -> Bytes {
+    let mut v = vec![0u8; PAGE_BYTES];
+    v[..8].copy_from_slice(&(seed ^ i).to_le_bytes());
+    Bytes::from(v)
+}
+
+/// Four writers hammer one node with mixed single-page writes and 8-page
+/// runs; a sampler asserts `writes_balance` on every concurrent snapshot.
+#[test]
+fn multi_writer_stress_holds_writes_balance_at_every_snapshot() {
+    const WRITERS: u64 = 4;
+    const ROUNDS: u64 = 120;
+    const RUN_PAGES: u64 = 8;
+
+    let (ta, tb) = mem_pair();
+    let backend = shared_backend(MemBackend::default());
+    let a = Arc::new(Node::spawn(windowed_config(0), ta, backend.clone()));
+    let b = Node::spawn(windowed_config(1), tb, backend);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let a = Arc::clone(&a);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut snapshots = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let s = a.stats();
+                assert!(
+                    s.writes_balance(),
+                    "snapshot {snapshots}: writes {} != replicated {} + write_through {}",
+                    s.writes,
+                    s.replicated_pages,
+                    s.write_through
+                );
+                snapshots += 1;
+            }
+            snapshots
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let a = Arc::clone(&a);
+            thread::spawn(move || {
+                let mut rng = DetRng::new(w + 1);
+                for round in 0..ROUNDS {
+                    // Disjoint per-writer lpn regions; runs and singles mix.
+                    let base = w * 1024 + rng.below(512);
+                    if round % 3 == 0 {
+                        let _ = a.write(base, &page(w, round));
+                    } else {
+                        let pages: Vec<Bytes> =
+                            (0..RUN_PAGES).map(|i| page(w, round * 64 + i)).collect();
+                        let _ = a.write_run(w, base, &pages);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, Ordering::SeqCst);
+    let snapshots = sampler.join().unwrap();
+    assert!(
+        snapshots > 100,
+        "sampler barely ran ({snapshots} snapshots)"
+    );
+
+    let s = a.stats();
+    assert!(s.writes_balance());
+    let singles = WRITERS * ROUNDS.div_ceil(3);
+    let runs = WRITERS * (ROUNDS - ROUNDS.div_ceil(3));
+    assert_eq!(s.writes, singles + runs * RUN_PAGES, "every write counted");
+    // The stress actually drove the batched pipeline: multi-page frames
+    // went out, and the tiny window forced backpressure stalls.
+    assert!(s.repl.batches_sent > 0, "no batched frames sent");
+    assert!(
+        s.repl.batch_pages > s.repl.batches_sent,
+        "batches never coalesced more than one page"
+    );
+    // Clean link: no retries, no dedup/reorder healing, no credit stalls.
+    assert_eq!(s.repl.retries, 0);
+    assert_eq!(s.repl.dups_dropped, 0);
+    assert_eq!(s.repl.corruptions_detected, 0);
+    assert_eq!(s.repl.credit_stalls, 0);
+
+    Arc::try_unwrap(a).ok().expect("writers done").shutdown();
+    b.shutdown();
+}
+
+/// Four clients drive a 4-shard gateway (writes, reads, trims, flushes)
+/// while the main thread takes combined snapshots; the 11-counter sum
+/// identity must hold at every one, mid-flight included.
+#[test]
+fn sharded_gateway_counter_sums_match_at_every_snapshot() {
+    const SHARDS: u16 = 4;
+    const CLIENTS: u64 = 4;
+    const STEPS: u64 = 150;
+    const SPACE: u64 = 512;
+
+    let sg = Arc::new(ShardedGateway::spawn_mem_with(
+        GatewayConfig::test_profile(),
+        RingConfig::default(),
+        SHARDS,
+        |cfg| {
+            cfg.repl_batch_pages = 4;
+            cfg.repl_window = 2;
+            cfg.buffer_pages = 8192;
+            cfg.remote_capacity = 16384;
+        },
+    ));
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let sg = Arc::clone(&sg);
+            thread::spawn(move || {
+                let mut client = sg.connect_mem_as(c + 1);
+                client.hello().expect("hello");
+                let mut rng = DetRng::new(0xBEEF + c);
+                let mut acked: HashMap<u64, Bytes> = HashMap::new();
+                for step in 0..STEPS {
+                    match rng.below(10) {
+                        0..=5 => {
+                            let pages = 1 + rng.below(6);
+                            let lpn = rng.below(SPACE - pages);
+                            let payloads: Vec<Bytes> =
+                                (0..pages).map(|i| page(c, step * 64 + i)).collect();
+                            let ack = client.write(lpn, payloads.clone()).expect("write");
+                            assert_eq!(u64::from(ack.pages), pages);
+                            for (i, p) in payloads.into_iter().enumerate() {
+                                acked.insert(lpn + i as u64, p);
+                            }
+                        }
+                        6..=7 => {
+                            // Concurrent writers race on content, so reads
+                            // only feed the read_pages/read_hits columns.
+                            let pages = 1 + rng.below(8);
+                            let lpn = rng.below(SPACE - pages);
+                            let got = client.read(lpn, pages as u32).expect("read");
+                            assert_eq!(got.len(), pages as usize);
+                        }
+                        8 => {
+                            let pages = 1 + rng.below(4);
+                            let lpn = rng.below(SPACE - pages);
+                            client.trim(lpn, pages as u32).expect("trim");
+                            for l in lpn..lpn + pages {
+                                acked.remove(&l);
+                            }
+                        }
+                        _ => {
+                            client.flush().expect("flush");
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Sample until every client finishes; each combined snapshot must
+    // satisfy the identity exactly, no matter what is in flight.
+    let mut snapshots = 0u64;
+    let mut done = false;
+    while !done {
+        done = clients.iter().all(|h| h.is_finished());
+        let (g, shards) = sg.stats_with_shards();
+        if let Err((name, sum, total)) = ShardStatsSum::of(&shards).matches(&g) {
+            panic!("snapshot {snapshots}: Σ shard.{name} = {sum} != gateway.{name} = {total}");
+        }
+        snapshots += 1;
+    }
+    for h in clients {
+        h.join().unwrap();
+    }
+    assert!(
+        snapshots > 100,
+        "sampler barely ran ({snapshots} snapshots)"
+    );
+
+    // Quiesced end state: identity still exact, and traffic really moved
+    // through every shard.
+    let (g, shards) = sg.stats_with_shards();
+    ShardStatsSum::of(&shards)
+        .matches(&g)
+        .unwrap_or_else(|(name, sum, total)| {
+            panic!("final: Σ shard.{name} = {sum} != gateway.{name} = {total}")
+        });
+    assert!(g.write_pages > 0 && g.read_pages > 0 && g.trim_pages > 0);
+    for (i, s) in shards.iter().enumerate() {
+        assert!(
+            s.ops > 0,
+            "shard {i} never served an op — workload not spread"
+        );
+    }
+    Arc::try_unwrap(sg).ok().expect("clients done").shutdown();
+}
